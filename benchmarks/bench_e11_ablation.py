@@ -1,0 +1,77 @@
+"""E11 (ablation) — design choices the paper calls out.
+
+* exhaustive vs. beam-pruned rule-based search (section 3: "the search
+  space may not be explored exhaustively but rather pruned using
+  heuristics"): plan quality vs. nodes expanded;
+* join reordering on/off (Algorithm 1 step 3);
+* chase-result caching on the backchase's containment checks.
+"""
+
+from __future__ import annotations
+
+from repro.backchase.backchase import minimal_subqueries
+from repro.chase.chase import ChaseEngine, chase
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.rules import RuleBasedOptimizer, SearchStats
+
+
+def test_e11_beam_vs_exhaustive(benchmark, rs_small):
+    wl = rs_small
+
+    def compare():
+        exhaustive = RuleBasedOptimizer(
+            wl.constraints, statistics=wl.statistics, strategy="exhaustive"
+        )
+        stats_ex = SearchStats()
+        best_ex, cost_ex = exhaustive.search(wl.query, stats_ex)[0]
+
+        beam = RuleBasedOptimizer(
+            wl.constraints, statistics=wl.statistics, strategy="beam", beam_width=2
+        )
+        stats_beam = SearchStats()
+        best_beam, cost_beam = beam.search(wl.query, stats_beam)[0]
+        return (cost_ex, stats_ex.expanded), (cost_beam, stats_beam.expanded)
+
+    (cost_ex, nodes_ex), (cost_beam, nodes_beam) = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    # pruning must reduce work; the beam winner can be at most as good
+    assert nodes_beam <= nodes_ex
+    assert cost_beam >= cost_ex
+
+
+def test_e11_reordering_never_hurts(benchmark, projdept_small):
+    wl = projdept_small
+
+    def compare():
+        with_reorder = Optimizer(
+            wl.constraints,
+            physical_names=wl.physical_names,
+            statistics=wl.statistics,
+            reorder=True,
+        ).optimize(wl.query)
+        without = Optimizer(
+            wl.constraints,
+            physical_names=wl.physical_names,
+            statistics=wl.statistics,
+            reorder=False,
+        ).optimize(wl.query)
+        return with_reorder.best.cost, without.best.cost
+
+    cost_with, cost_without = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert cost_with <= cost_without
+
+
+def test_e11_chase_cache_ablation(benchmark, rs_small):
+    """Backchase with a shared (cached) engine vs. fresh engines."""
+
+    wl = rs_small
+    universal = chase(wl.query, wl.constraints).query
+
+    def cached_run():
+        engine = ChaseEngine(wl.constraints)
+        minimal_subqueries(universal, wl.constraints, engine)
+        return engine.cache_hits, engine.cache_misses
+
+    hits, misses = benchmark.pedantic(cached_run, rounds=1, iterations=1)
+    assert hits > misses  # the cache carries most of the containment checks

@@ -1,0 +1,61 @@
+"""E3 — generalized tableau minimization (section 3's backchase example).
+
+Reproduces: the displayed R(A,B) three-binding query minimizes to the
+displayed two-binding query via the trivial constraint, and semantic
+minimization with RIC/KEY constraints.
+"""
+
+from __future__ import annotations
+
+from repro.backchase.minimize import minimize
+from repro.chase.containment import is_equivalent, is_trivial
+from repro.query.parser import parse_constraint, parse_query
+
+REDUNDANT = (
+    "select struct(A = p.A, B = r.B) from R p, R q, R r "
+    "where p.B = q.A and q.B = r.B"
+)
+EXPECTED = (
+    "select struct(A = p.A, B = q.B) from R p, R q where p.B = q.A"
+)
+
+
+def test_e3_tableau_minimization(benchmark):
+    query = parse_query(REDUNDANT)
+    minimal = benchmark(lambda: minimize(query))
+    assert minimal.canonical_key() == parse_query(EXPECTED).canonical_key()
+    assert is_equivalent(minimal, query)
+
+
+def test_e3_trivial_constraint_check(benchmark):
+    """The paper's displayed trivial constraint justifies the step."""
+
+    triv = parse_constraint(
+        "forall (p in R, q in R) where p.B = q.A "
+        "-> exists (r in R) p.B = q.A and q.B = r.B",
+        "c",
+    )
+    assert benchmark(lambda: is_trivial(triv))
+
+
+def test_e3_semantic_minimization_ric(benchmark):
+    ric = parse_constraint(
+        "forall (p in Proj) -> exists (d in depts) p.PDept = d.DName", "RIC"
+    )
+    query = parse_query(
+        "select struct(N = p.PName) from Proj p, depts d where p.PDept = d.DName"
+    )
+    minimal = benchmark(lambda: minimize(query, [ric]))
+    assert minimal.binding_vars() == ("p",)
+
+
+def test_e3_minimization_scaling_chain(benchmark):
+    """Minimize a 6-binding chain query with a redundant tail."""
+
+    query = parse_query(
+        "select struct(A = x0.A) from R x0, R x1, R x2, R x3, R x4, R x5 "
+        "where x0.B = x1.B and x1.B = x2.B and x2.B = x3.B and x3.B = x4.B "
+        "and x4.B = x5.B"
+    )
+    minimal = benchmark.pedantic(lambda: minimize(query), rounds=1, iterations=1)
+    assert len(minimal.bindings) == 1

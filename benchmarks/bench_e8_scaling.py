@@ -1,0 +1,84 @@
+"""E8 — complexity behaviour (section 5's closing remarks).
+
+Reproduces: the chase applies full dependencies only polynomially many
+times (universal plan size linear in the number of structures); the
+backchase is exponential in the worst case (measured node counts); the
+chase-result cache makes repeated containment checks cheap.
+"""
+
+from __future__ import annotations
+
+from repro.backchase.backchase import BackchaseStats, minimal_subqueries
+from repro.chase.chase import ChaseEngine, chase
+from repro.physical.indexes import SecondaryIndex
+from repro.query.parser import parse_query
+
+
+def _chain_query(n: int):
+    """R x0 ⋈ R x1 ⋈ ... ⋈ R x(n-1) on a chain of B-equalities."""
+
+    bindings = ", ".join(f"R x{i}" for i in range(n))
+    conds = " and ".join(f"x{i}.B = x{i+1}.B" for i in range(n - 1))
+    text = f"select struct(A = x0.A) from {bindings}"
+    if conds:
+        text += f" where {conds}"
+    return parse_query(text)
+
+
+def _index_constraints(k: int):
+    deps = []
+    for i in range(k):
+        deps.extend(SecondaryIndex(f"IX{i}", "R", "B").constraints())
+    return deps
+
+
+def test_e8_chase_steps_linear_in_structures(benchmark):
+    query = parse_query("select struct(A = r.A) from R r")
+
+    def chase_sizes():
+        return [
+            len(chase(query, _index_constraints(k)).query.bindings)
+            for k in range(1, 6)
+        ]
+
+    sizes = benchmark.pedantic(chase_sizes, rounds=1, iterations=1)
+    # one (dom, entry) binding pair per index: 1 + 2k
+    assert sizes == [3, 5, 7, 9, 11]
+
+
+def test_e8_backchase_nodes_grow_with_bindings(benchmark):
+    def node_counts():
+        counts = []
+        for n in (2, 3, 4):
+            stats = BackchaseStats()
+            minimal_subqueries(_chain_query(n), [], stats=stats)
+            counts.append(stats.nodes_visited)
+        return counts
+
+    counts = benchmark.pedantic(node_counts, rounds=1, iterations=1)
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+
+
+def test_e8_chase_cache_effective(benchmark):
+    deps = _index_constraints(2)
+    engine = ChaseEngine(deps)
+    query = _chain_query(3)
+
+    def repeated():
+        for _ in range(20):
+            engine.chase(query)
+        return engine.cache_hits, engine.cache_misses
+
+    hits, misses = benchmark.pedantic(repeated, rounds=1, iterations=1)
+    assert misses == 1
+    assert hits >= 19
+
+
+def test_e8_chase_wall_clock(benchmark):
+    deps = _index_constraints(3)
+    query = _chain_query(3)
+    result = benchmark(lambda: chase(query, deps))
+    # each of the 3 indexes applies to each of the 3 R bindings, adding a
+    # (dom, entry) pair per application
+    assert len(result.query.bindings) == 3 + 3 * 3 * 2

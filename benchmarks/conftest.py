@@ -1,0 +1,44 @@
+"""Shared workloads for the benchmark suite (session-scoped)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.optimizer import Optimizer
+from repro.workloads.projdept import build_projdept
+from repro.workloads.relational import build_rabc, build_rs
+
+
+@pytest.fixture(scope="session")
+def projdept_small():
+    return build_projdept(n_depts=4, projs_per_dept=3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def projdept_medium():
+    return build_projdept(n_depts=40, projs_per_dept=25, citibank_share=0.05, seed=9)
+
+
+@pytest.fixture(scope="session")
+def projdept_optimized(projdept_small):
+    opt = Optimizer(
+        projdept_small.constraints,
+        physical_names=projdept_small.physical_names,
+        statistics=projdept_small.statistics,
+    )
+    return projdept_small, opt.optimize(projdept_small.query)
+
+
+@pytest.fixture(scope="session")
+def rabc_workload():
+    return build_rabc(n=2000, a_values=50, b_values=50, seed=5)
+
+
+@pytest.fixture(scope="session")
+def rs_small():
+    return build_rs(n_r=80, n_s=80, b_values=40, seed=5)
+
+
+@pytest.fixture(scope="session")
+def rs_medium():
+    return build_rs(n_r=2000, n_s=2000, b_values=500, join_hit_rate=0.1, seed=5)

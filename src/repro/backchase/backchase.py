@@ -1,0 +1,327 @@
+"""The backchase: minimizing the universal plan (section 3, phase 2).
+
+A backchase step removes one binding ``R y`` from a query provided
+
+(1) the remaining conditions ``C'`` are implied by ``C``,
+(2) the new output ``O'`` is equal to ``O`` under ``C``, and
+(3) the constraint ``forall(remaining) C' -> exists(y in R) C`` is implied
+    by the dependency set ``D ∪ D'``.
+
+We realize (1) and (2) by rewriting with the congruence closure of the
+where clause ("build a database instance out of the syntax of Q, grouping
+terms in congruence classes"): every surviving path is replaced by a
+congruent term that avoids ``y``; ``C'`` is the maximal set of implied
+equalities over surviving terms (a spanning set per congruence class,
+which generates the same congruence).  Condition (3) is decided by the
+chase: the candidate must be equivalent to the query under ``D ∪ D'``
+(checked with containment mappings in both directions).
+
+Bindings whose sources mention ``y`` are re-sourced to congruent ``y``-free
+paths when possible (the footnote's general rule); otherwise this removal
+fails and the enumeration tries removing the dependent binding first.
+
+``minimal_subqueries`` explores all backchase sequences from the universal
+plan with memoization; its normal forms are exactly the minimal equivalent
+subqueries (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.chase.chase import ChaseEngine
+from repro.chase.congruence import CongruenceClosure, build_congruence
+from repro.chase.containment import is_contained_in
+from repro.constraints.epcd import EPCD
+from repro.errors import BackchaseError
+from repro.query import paths as P
+from repro.query.ast import Binding, Eq, PathOutput, PCQuery, StructOutput
+from repro.query.paths import Path, Var
+
+# When enabled, backchase steps additionally verify the query ⊑ candidate
+# direction that is guaranteed by construction (used by the test suite).
+PARANOID_CHECKS = False
+
+
+def toposort_bindings(query: PCQuery) -> PCQuery:
+    """Stable-reorder bindings so every source references earlier vars only.
+
+    Backchase rewriting may re-source a binding to a path over a variable
+    bound later in the clause; for PC queries (guarded, total lookups) the
+    nested loops commute, so a dependency-respecting order is equivalent.
+    """
+
+    remaining = list(query.bindings)
+    ordered: List[Binding] = []
+    bound: Set[str] = set()
+    while remaining:
+        for i, binding in enumerate(remaining):
+            if P.free_vars(binding.source) <= bound:
+                ordered.append(binding)
+                bound.add(binding.var)
+                del remaining[i]
+                break
+        else:
+            raise BackchaseError(
+                f"cyclic binding dependencies: {[str(b) for b in remaining]}"
+            )
+    return PCQuery(query.output, tuple(ordered), query.conditions)
+
+
+def simplify_conditions(query: PCQuery) -> PCQuery:
+    """Drop every condition implied (by congruence) by the remaining ones.
+
+    Lossless: the retained conditions generate the same congruence, hence
+    the same implied equalities for any later reasoning.  Runs to a
+    fixpoint so the result does not depend on condition order — conditions
+    like ``M[x] = M[y]`` are removed whenever ``x = y`` is retained,
+    keeping plans free of redundant (and possibly failing) lookups.
+    """
+
+    kept: List[Eq] = [c for c in query.conditions if c.left != c.right]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(kept) - 1, -1, -1):
+            cc = CongruenceClosure()
+            for j, other in enumerate(kept):
+                if j != i:
+                    cc.merge(other.left, other.right)
+            if cc.equal(kept[i].left, kept[i].right):
+                del kept[i]
+                changed = True
+    # Deterministic, deduplicated order.
+    seen = set()
+    unique: List[Eq] = []
+    for cond in sorted((c.normalized() for c in kept), key=Eq.key):
+        if cond.key() not in seen:
+            seen.add(cond.key())
+            unique.append(cond)
+    if tuple(unique) == query.conditions:
+        return query
+    return PCQuery(query.output, query.bindings, tuple(unique))
+
+
+def quick_simplify_conditions(query: PCQuery) -> PCQuery:
+    """One-pass simplification for the hot enumeration path.
+
+    Sorts conditions smallest-first so residues like ``M[x] = M[y]`` are
+    processed after (and eliminated by) their generators ``x = y``; not
+    guaranteed minimal, but deterministic and two orders of magnitude
+    cheaper than the fixpoint version.
+    """
+
+    ordered = sorted(
+        (c.normalized() for c in query.conditions if c.left != c.right),
+        key=lambda c: (P.size(c.left) + P.size(c.right), c.key()),
+    )
+    cc = CongruenceClosure()
+    kept: List[Eq] = []
+    for cond in ordered:
+        if cc.equal(cond.left, cond.right):
+            continue
+        cc.merge(cond.left, cond.right)
+        kept.append(cond)
+    if tuple(kept) == query.conditions:
+        return query
+    return PCQuery(query.output, query.bindings, tuple(kept))
+
+
+def _rewrite_output(output, cc: CongruenceClosure, banned: FrozenSet[str]):
+    if isinstance(output, StructOutput):
+        fields = []
+        for name, path in output.fields:
+            replacement = cc.equivalent_avoiding(path, banned)
+            if replacement is None:
+                return None
+            fields.append((name, replacement))
+        return StructOutput(tuple(fields))
+    replacement = cc.equivalent_avoiding(output.path, banned)
+    if replacement is None:
+        return None
+    return PathOutput(replacement)
+
+
+def _surviving_conditions(
+    cc: CongruenceClosure, banned: FrozenSet[str], allowed_vars: Set[str]
+) -> List[Eq]:
+    """Maximal implied equalities over terms avoiding ``banned`` variables.
+
+    First materializes the banned-free congruent rewrite of every term that
+    mentions a banned variable (e.g. with ``r = x2`` in force, ``r.B``
+    materializes ``x2.B`` into its class) — without this the implied-
+    equality set is not maximal and completeness fails.  Then one spanning
+    set per congruence class: equating every surviving member to the
+    smallest one regenerates the full restricted congruence.
+    """
+
+    for var in banned:
+        var_term = Var(var)
+        if var_term not in cc:
+            continue
+        replacements = [
+            m
+            for m in cc.members(var_term)
+            if not (P.free_vars(m) & banned)
+        ]
+        if not replacements:
+            continue
+        for term in list(cc.all_terms()):
+            if var in P.free_vars(term):
+                for replacement in replacements:
+                    cc.add(P.substitute(term, {var: replacement}))
+    for term in list(cc.all_terms()):
+        if P.free_vars(term) & banned:
+            cc.equivalent_avoiding(term, banned)
+
+    conditions: List[Eq] = []
+    for members in sorted(cc.classes(), key=lambda ms: str(ms[0])):
+        survivors = [
+            m
+            for m in members
+            if not (P.free_vars(m) & banned) and P.free_vars(m) <= allowed_vars
+        ]
+        if len(survivors) < 2:
+            continue
+        representative = survivors[0]
+        for other in survivors[1:]:
+            conditions.append(Eq(representative, other))
+    return conditions
+
+
+def try_remove_binding(
+    query: PCQuery,
+    var: str,
+    deps: Sequence[EPCD],
+    engine: Optional[ChaseEngine] = None,
+    check: bool = True,
+) -> Optional[PCQuery]:
+    """One backchase step: remove binding ``var`` if conditions (1)-(3) hold.
+
+    Returns the reduced (simplified, reordered) query, or ``None`` when the
+    step does not apply.  ``check=False`` skips the (expensive) condition
+    (3) equivalence test — used by tests that verify the check separately.
+    """
+
+    engine = engine or ChaseEngine(list(deps))
+    if not query.has_var(var):
+        return None
+    banned = frozenset((var,))
+    cc = build_congruence(query)
+
+    # Rewrite the output to avoid the removed variable (condition (2)).
+    new_output = _rewrite_output(query.output, cc, banned)
+    if new_output is None:
+        return None
+
+    # Re-source dependent bindings; drop the removed one.
+    new_bindings: List[Binding] = []
+    for binding in query.bindings:
+        if binding.var == var:
+            continue
+        source = binding.source
+        if var in P.free_vars(source):
+            source = cc.equivalent_avoiding(source, banned)
+            if source is None:
+                return None
+        new_bindings.append(Binding(binding.var, source))
+
+    surviving_vars = {b.var for b in new_bindings}
+    new_conditions = _surviving_conditions(cc, banned, surviving_vars)
+
+    candidate = PCQuery(new_output, tuple(new_bindings), tuple(new_conditions))
+    try:
+        candidate = toposort_bindings(candidate)
+    except BackchaseError:
+        return None
+    candidate = quick_simplify_conditions(candidate)
+    candidate.validate()
+
+    if check:
+        # Condition (3): equivalence under the dependencies, decided by
+        # chase + containment mappings.  The direction query ⊑ candidate
+        # holds by construction — the candidate's bindings, conditions and
+        # output are all congruent images of the query's own, so the
+        # identity is a containment mapping.  (PARANOID_CHECKS verifies
+        # this in the test suite.)  Only candidate ⊑ query needs the chase.
+        if not is_contained_in(candidate, query, deps, engine):
+            return None
+        if PARANOID_CHECKS and not is_contained_in(query, candidate, deps, engine):
+            raise BackchaseError(
+                f"construction invariant violated: query ⋢ candidate after "
+                f"removing {var!r} from {query}"
+            )
+    return candidate
+
+
+@dataclass
+class BackchaseStats:
+    """Instrumentation for the enumeration (used by benchmarks)."""
+
+    nodes_visited: int = 0
+    steps_attempted: int = 0
+    steps_applied: int = 0
+    normal_forms: int = 0
+
+
+def minimal_subqueries(
+    query: PCQuery,
+    deps: Sequence[EPCD],
+    engine: Optional[ChaseEngine] = None,
+    max_nodes: int = 10_000,
+    stats: Optional[BackchaseStats] = None,
+) -> List[PCQuery]:
+    """All normal forms of backchasing ``query`` (Theorem 2: the minimal
+    equivalent subqueries).
+
+    Explores every backchase sequence with memoization on canonical query
+    forms; deterministic output order (by size, then canonical text).
+    """
+
+    engine = engine or ChaseEngine(list(deps))
+    stats = stats if stats is not None else BackchaseStats()
+    visited: Set[str] = set()
+    normal_forms: Dict[str, PCQuery] = {}
+    stack: List[PCQuery] = [quick_simplify_conditions(query)]
+
+    while stack:
+        current = stack.pop()
+        key = current.canonical_key()
+        if key in visited:
+            continue
+        visited.add(key)
+        stats.nodes_visited += 1
+        if stats.nodes_visited > max_nodes:
+            raise BackchaseError(
+                f"backchase search exceeded {max_nodes} nodes"
+            )
+        reduced_any = False
+        for var in current.binding_vars():
+            stats.steps_attempted += 1
+            candidate = try_remove_binding(current, var, deps, engine)
+            if candidate is not None:
+                stats.steps_applied += 1
+                reduced_any = True
+                if candidate.canonical_key() not in visited:
+                    stack.append(candidate)
+        if not reduced_any:
+            if key not in normal_forms:
+                normal_forms[key] = current
+                stats.normal_forms += 1
+
+    results = list(normal_forms.values())
+    results.sort(key=lambda q: (len(q.bindings), q.canonical_key()))
+    return results
+
+
+def is_minimal(
+    query: PCQuery, deps: Sequence[EPCD], engine: Optional[ChaseEngine] = None
+) -> bool:
+    """No strict equivalent subquery exists (section 3's minimality)."""
+
+    engine = engine or ChaseEngine(list(deps))
+    return all(
+        try_remove_binding(query, var, deps, engine) is None
+        for var in query.binding_vars()
+    )

@@ -1,0 +1,206 @@
+"""The chase: rewriting queries with EPCDs (section 3, phase 1).
+
+A chase step with constraint ``forall(x̄ ∈ P̄) B1 → exists(ȳ ∈ Q̄) B2``
+applies to query ``Q`` when there is a homomorphism ``h`` from the premise
+into ``Q`` (sources matched up to congruence, ``h(B1)`` implied by the
+where clause) such that the conclusion is *not* already satisfied (no
+extension of ``h`` witnesses ``∃ȳ. B2``).  The step adds fresh bindings
+``ȳ' ∈ h(Q̄)`` and conditions ``h(B2)`` — "new loops and conditions are
+being added to the ones already existing in Q".
+
+EGDs (no existential bindings) add their equality conclusions to the
+where clause.
+
+Chasing to a fixpoint with the constraints that characterize physical
+structures yields the paper's **universal plan**.  The chase terminates
+for full dependencies; a step bound guards arbitrary constraint sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chase.congruence import CongruenceClosure, build_congruence
+from repro.chase.homomorphism import Hom, find_hom, match_bindings
+from repro.constraints.epcd import EPCD
+from repro.errors import ChaseNonTermination
+from repro.query import paths as P
+from repro.query.ast import Binding, Eq, PCQuery, fresh_var_namer
+from repro.query.paths import Var
+
+DEFAULT_MAX_STEPS = 200
+
+
+@dataclass
+class ChaseStep:
+    """A record of one applied chase step (for traces and tests)."""
+
+    constraint: str
+    hom: Dict[str, str]
+    added_bindings: Tuple[Binding, ...]
+    added_conditions: Tuple[Eq, ...]
+
+    def __str__(self) -> str:
+        mapping = ", ".join(f"{k}→{v}" for k, v in self.hom.items())
+        return f"chase[{self.constraint}] with {{{mapping}}}"
+
+
+@dataclass
+class ChaseResult:
+    """The chased query together with the step trace."""
+
+    query: PCQuery
+    steps: List[ChaseStep] = field(default_factory=list)
+
+    @property
+    def universal_plan(self) -> PCQuery:
+        return self.query
+
+
+def conclusion_satisfied(
+    dep: EPCD, hom: Hom, query: PCQuery, cc: CongruenceClosure
+) -> bool:
+    """Is the conclusion of ``dep`` already witnessed in ``query`` under ``hom``?"""
+
+    if dep.is_egd():
+        return all(
+            cc.equal(P.substitute(c.left, hom), P.substitute(c.right, hom))
+            for c in dep.conclusion_conditions
+        )
+    extension = find_hom(
+        dep.conclusion_bindings,
+        dep.conclusion_conditions,
+        query,
+        cc,
+        initial=hom,
+    )
+    return extension is not None
+
+
+def find_applicable_hom(
+    dep: EPCD, query: PCQuery, cc: CongruenceClosure
+) -> Optional[Hom]:
+    """First premise homomorphism whose conclusion is not yet satisfied."""
+
+    for hom in match_bindings(dep.premise_bindings, dep.premise_conditions, query, cc):
+        if not conclusion_satisfied(dep, hom, query, cc):
+            return hom
+    return None
+
+
+def apply_chase_step(
+    query: PCQuery, dep: EPCD, hom: Hom
+) -> Tuple[PCQuery, ChaseStep]:
+    """Apply one chase step (the rewrite displayed in section 3)."""
+
+    namer = fresh_var_namer(query)
+    extended: Hom = dict(hom)
+    new_bindings: List[Binding] = []
+    for binding in dep.conclusion_bindings:
+        fresh = next(namer)
+        source = P.substitute(binding.source, extended)
+        extended[binding.var] = Var(fresh)
+        new_bindings.append(Binding(fresh, source))
+    new_conditions = tuple(
+        Eq(P.substitute(c.left, extended), P.substitute(c.right, extended))
+        for c in dep.conclusion_conditions
+    )
+    chased = query.with_bindings(new_bindings).with_fresh_conditions(new_conditions)
+    step = ChaseStep(
+        constraint=dep.name,
+        hom={k: str(v) for k, v in hom.items()},
+        added_bindings=tuple(new_bindings),
+        added_conditions=new_conditions,
+    )
+    return chased, step
+
+
+def chase_once(
+    query: PCQuery, deps: Sequence[EPCD]
+) -> Optional[Tuple[PCQuery, ChaseStep]]:
+    """Apply the first applicable chase step, or ``None`` at fixpoint."""
+
+    cc = build_congruence(query)
+    for dep in deps:
+        hom = find_applicable_hom(dep, query, cc)
+        if hom is not None:
+            return apply_chase_step(query, dep, hom)
+    return None
+
+
+def chase(
+    query: PCQuery,
+    deps: Iterable[EPCD],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """Chase ``query`` with ``deps`` to a fixpoint.
+
+    Deterministic: constraints are tried in the given order and the first
+    applicable homomorphism (target binding order) is applied, so repeated
+    runs produce the same universal plan.
+
+    Raises :class:`ChaseNonTermination` after ``max_steps`` steps, which
+    per the paper can only happen for non-full dependency sets; the bound
+    "could be used as a heuristic for stopping the chase when termination
+    is not guaranteed".
+    """
+
+    dep_list = list(deps)
+    current = query
+    steps: List[ChaseStep] = []
+    for _ in range(max_steps):
+        outcome = chase_once(current, dep_list)
+        if outcome is None:
+            return ChaseResult(current, steps)
+        current, step = outcome
+        steps.append(step)
+    raise ChaseNonTermination(
+        f"chase did not terminate within {max_steps} steps", max_steps
+    )
+
+
+class ChaseEngine:
+    """A chase service with memoization over canonicalized queries.
+
+    The backchase performs many containment checks, each of which chases a
+    candidate subquery with the same constraint set; caching by canonical
+    form removes the repeated work.
+    """
+
+    def __init__(self, deps: Sequence[EPCD], max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        self.deps = list(deps)
+        self.max_steps = max_steps
+        self._cache: Dict[str, PCQuery] = {}
+        self._cc_cache: Dict[str, "CongruenceClosure"] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def chase(self, query: PCQuery) -> PCQuery:
+        """Chase the canonical form of ``query`` (cached)."""
+
+        canonical = query.canonical()
+        key = str(canonical)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        result = chase(canonical, self.deps, self.max_steps).query
+        self._cache[key] = result
+        return result
+
+    def chase_with_cc(self, query: PCQuery) -> Tuple[PCQuery, CongruenceClosure]:
+        """Chased canonical form plus its congruence closure (both cached).
+
+        The congruence closure is shared between containment checks;
+        callers may add terms (monotone and sound) but must not merge.
+        """
+
+        chased = self.chase(query)
+        key = str(query.canonical())
+        cc = self._cc_cache.get(key)
+        if cc is None:
+            cc = build_congruence(chased)
+            self._cc_cache[key] = cc
+        return chased, cc

@@ -1,0 +1,183 @@
+"""Command-line interface: chase & backchase from files.
+
+Usage::
+
+    python -m repro optimize --query q.oql [--ddl schema.ddl]
+                             [--constraints extra.epcd] [--physical R,S,I]
+    python -m repro chase    --query q.oql --constraints c.epcd
+    python -m repro minimize --query q.oql [--constraints c.epcd]
+    python -m repro check    --constraints c.epcd   (syntax check)
+
+Constraint files hold one EPCD per non-empty, non-comment line, optionally
+prefixed by ``name:``::
+
+    # primary index on Proj.PName
+    PI1: forall (p in Proj) -> exists (i in dom(I)) i = p.PName and I[i] = p
+
+The DDL file uses the ODL-ish syntax of :mod:`repro.model.ddl`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.backchase.minimize import minimize
+from repro.chase.chase import chase
+from repro.constraints.epcd import EPCD
+from repro.errors import ReproError
+from repro.model.ddl import parse_ddl
+from repro.optimizer.optimizer import Optimizer
+from repro.query.parser import parse_constraint, parse_query
+from repro.query.printer import format_query
+
+
+def load_constraints(path: str) -> List[EPCD]:
+    """Parse a constraint file (one EPCD per line, ``#`` comments)."""
+
+    constraints: List[EPCD] = []
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            name = f"c{lineno}"
+            if ":" in line.split("forall", 1)[0] and not line.startswith("forall"):
+                name, line = line.split(":", 1)
+                name = name.strip()
+                line = line.strip()
+            try:
+                constraints.append(parse_constraint(line, name))
+            except ReproError as exc:
+                raise ReproError(f"{path}:{lineno}: {exc}") from exc
+    return constraints
+
+
+def _gather_constraints(args) -> List[EPCD]:
+    constraints: List[EPCD] = []
+    if args.ddl:
+        with open(args.ddl) as handle:
+            result = parse_ddl(handle.read())
+        constraints.extend(result.constraints)
+        if getattr(args, "encode_classes", False):
+            for encoding in result.class_encodings:
+                constraints.extend(encoding.constraints())
+    if args.constraints:
+        constraints.extend(load_constraints(args.constraints))
+    return constraints
+
+
+def _read_query(args):
+    with open(args.query) as handle:
+        return parse_query(handle.read())
+
+
+def cmd_optimize(args) -> int:
+    query = _read_query(args)
+    constraints = _gather_constraints(args)
+    physical = (
+        frozenset(name.strip() for name in args.physical.split(","))
+        if args.physical
+        else None
+    )
+    optimizer = Optimizer(
+        constraints,
+        physical_names=physical,
+        max_chase_steps=args.max_chase_steps,
+        max_backchase_nodes=args.max_backchase_nodes,
+    )
+    result = optimizer.optimize(query)
+    print(result.report())
+    return 0
+
+
+def cmd_chase(args) -> int:
+    query = _read_query(args)
+    constraints = _gather_constraints(args)
+    result = chase(query, constraints, args.max_chase_steps)
+    print("universal plan:")
+    print(format_query(result.query, indent=2))
+    print("\nsteps:")
+    for step in result.steps:
+        print(f"  {step}")
+    return 0
+
+
+def cmd_minimize(args) -> int:
+    query = _read_query(args)
+    constraints = _gather_constraints(args)
+    minimal = minimize(query, constraints)
+    print(format_query(minimal))
+    return 0
+
+
+def cmd_check(args) -> int:
+    constraints = _gather_constraints(args)
+    for dep in constraints:
+        kind = "EGD" if dep.is_egd() else "TGD"
+        full = "full" if dep.is_full() else "non-full"
+        print(f"  {dep.name}: {kind}, {full}")
+    print(f"{len(constraints)} constraints OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chase & backchase query optimization (VLDB 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, query_required=True):
+        if query_required:
+            p.add_argument("--query", required=True, help="file with one PC query")
+        p.add_argument("--ddl", help="ODL-ish schema file (adds its constraints)")
+        p.add_argument(
+            "--constraints", help="EPCD file (one constraint per line)"
+        )
+        p.add_argument(
+            "--encode-classes",
+            action="store_true",
+            help="also add the class-encoding constraints from the DDL",
+        )
+        p.add_argument("--max-chase-steps", type=int, default=200)
+
+    p_opt = sub.add_parser("optimize", help="run Algorithm 1")
+    common(p_opt)
+    p_opt.add_argument(
+        "--physical", help="comma-separated physical schema names (plan filter)"
+    )
+    p_opt.add_argument("--max-backchase-nodes", type=int, default=20_000)
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_chase = sub.add_parser("chase", help="chase to the universal plan")
+    common(p_chase)
+    p_chase.set_defaults(func=cmd_chase)
+
+    p_min = sub.add_parser("minimize", help="minimize a query")
+    common(p_min)
+    p_min.set_defaults(func=cmd_minimize)
+
+    p_check = sub.add_parser("check", help="parse/classify constraint files")
+    common(p_check, query_required=False)
+    p_check.set_defaults(func=cmd_check)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

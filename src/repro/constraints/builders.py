@@ -1,0 +1,147 @@
+"""Builders for common logical-schema constraints.
+
+The ProjDept schema of figure 2 carries referential integrity (RIC),
+inverse relationship (INV) and key (KEY) constraints; this module builds
+their EPCD forms (the numbered assertions of section 1) for arbitrary
+schemas.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.constraints.epcd import EPCD
+from repro.query.ast import Binding, Eq
+from repro.query.paths import Attr, Path, SName, Var
+
+
+def key_constraint(name: str, relation: str, attr: str) -> EPCD:
+    """KEY: ``forall(x, y in R) x.A = y.A -> x = y`` (an EGD)."""
+
+    x, y = Var("x"), Var("y")
+    return EPCD(
+        name=name,
+        premise_bindings=(
+            Binding("x", SName(relation)),
+            Binding("y", SName(relation)),
+        ),
+        premise_conditions=(Eq(Attr(x, attr), Attr(y, attr)),),
+        conclusion_conditions=(Eq(x, y),),
+    )
+
+
+def foreign_key(
+    name: str,
+    relation: str,
+    attr: str,
+    target: str,
+    target_attr: str,
+) -> EPCD:
+    """RIC: ``forall(x in R) -> exists(y in T) x.A = y.B``.
+
+    This is assertion (2) of section 1 (``RIC2``); for set-valued sources
+    see :func:`member_foreign_key`.
+    """
+
+    return EPCD(
+        name=name,
+        premise_bindings=(Binding("x", SName(relation)),),
+        conclusion_bindings=(Binding("y", SName(target)),),
+        conclusion_conditions=(Eq(Attr(Var("x"), attr), Attr(Var("y"), target_attr)),),
+    )
+
+
+def member_foreign_key(
+    name: str,
+    extent: str,
+    set_attr: str,
+    target: str,
+    target_attr: str,
+) -> EPCD:
+    """RIC for set-valued attributes: every member of ``o.S`` references a
+    ``target`` row via ``target_attr`` — assertion (1) of section 1::
+
+        forall(d in depts, s in d.DProjs) -> exists(p in Proj) s = p.PName
+    """
+
+    return EPCD(
+        name=name,
+        premise_bindings=(
+            Binding("o", SName(extent)),
+            Binding("m", Attr(Var("o"), set_attr)),
+        ),
+        conclusion_bindings=(Binding("y", SName(target)),),
+        conclusion_conditions=(Eq(Var("m"), Attr(Var("y"), target_attr)),),
+    )
+
+
+def inverse_relationship(
+    name_prefix: str,
+    extent: str,
+    set_attr: str,
+    relation: str,
+    rel_key_attr: str,
+    rel_back_attr: str,
+    extent_name_attr: str,
+) -> List[EPCD]:
+    """INV pair: ``d.DProjs ∋ p.PName  ⟺  p.PDept = d.DName``.
+
+    Assertions (3) and (4) of section 1:
+
+    * forward (an EGD): membership implies the back-pointer equality;
+    * backward: the back-pointer equality implies membership.
+    """
+
+    d, m, p = Var("d"), Var("m"), Var("p")
+    forward = EPCD(
+        name=f"{name_prefix}1",
+        premise_bindings=(
+            Binding("d", SName(extent)),
+            Binding("m", Attr(d, set_attr)),
+            Binding("p", SName(relation)),
+        ),
+        premise_conditions=(Eq(m, Attr(p, rel_key_attr)),),
+        conclusion_conditions=(Eq(Attr(p, rel_back_attr), Attr(d, extent_name_attr)),),
+    )
+    backward = EPCD(
+        name=f"{name_prefix}2",
+        premise_bindings=(
+            Binding("p", SName(relation)),
+            Binding("d", SName(extent)),
+        ),
+        premise_conditions=(Eq(Attr(p, rel_back_attr), Attr(d, extent_name_attr)),),
+        conclusion_bindings=(Binding("m", Attr(d, set_attr)),),
+        conclusion_conditions=(Eq(Attr(p, rel_key_attr), Var("m")),),
+    )
+    return [forward, backward]
+
+
+def inclusion(
+    name: str,
+    source: Path,
+    target: Path,
+) -> EPCD:
+    """Plain inclusion ``source ⊆ target`` over set-valued paths with no
+    free variables (e.g. ``dom(Dept) ⊆ depts``)."""
+
+    return EPCD(
+        name=name,
+        premise_bindings=(Binding("x", source),),
+        conclusion_bindings=(Binding("y", target),),
+        conclusion_conditions=(Eq(Var("x"), Var("y")),),
+    )
+
+
+def nonempty_entries(name: str, dict_name: str) -> EPCD:
+    """SI3-style non-emptiness: every key of a set-valued dictionary has a
+    non-empty entry: ``forall(k in dom(M)) -> exists(t in M[k]) true``."""
+
+    from repro.query.paths import Dom, Lookup
+
+    return EPCD(
+        name=name,
+        premise_bindings=(Binding("k", Dom(SName(dict_name))),),
+        conclusion_bindings=(
+            Binding("t", Lookup(SName(dict_name), Var("k"))),
+        ),
+    )

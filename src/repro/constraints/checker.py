@@ -1,0 +1,87 @@
+"""Checking constraints against database instances.
+
+Used by tests and workload generators to validate that materialized
+physical structures really satisfy their characterizing EPCDs — i.e. that
+the implementation mapping is faithful before the optimizer relies on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.constraints.epcd import EPCD
+from repro.model.instance import Instance
+from repro.query.ast import PathOutput, PCQuery
+from repro.query.evaluator import Env, _iter_envs, eval_path
+from repro.query.paths import Var
+
+
+def _premise_envs(dep: EPCD, instance: Instance) -> Iterator[Env]:
+    if not dep.premise_bindings:
+        yield {}
+        return
+    body = PCQuery(
+        PathOutput(Var(dep.premise_bindings[0].var)),
+        dep.premise_bindings,
+        dep.premise_conditions,
+    )
+    yield from _iter_envs(body, instance)
+
+
+def _conclusion_holds(dep: EPCD, env: Env, instance: Instance) -> bool:
+    def conditions_hold(e: Env, conditions) -> bool:
+        return all(
+            eval_path(c.left, e, instance) == eval_path(c.right, e, instance)
+            for c in conditions
+        )
+
+    if not dep.conclusion_bindings:
+        return conditions_hold(env, dep.conclusion_conditions)
+
+    def search(index: int, e: Env) -> bool:
+        if index == len(dep.conclusion_bindings):
+            return conditions_hold(e, dep.conclusion_conditions)
+        binding = dep.conclusion_bindings[index]
+        collection = eval_path(binding.source, e, instance)
+        for element in collection:
+            child = dict(e)
+            child[binding.var] = element
+            # Check the conditions that are fully bound already, to prune.
+            if search(index + 1, child):
+                return True
+        return False
+
+    return search(0, dict(env))
+
+
+def holds(dep: EPCD, instance: Instance) -> bool:
+    """Does the instance satisfy the dependency?"""
+
+    return next(violations(dep, instance, limit=1), None) is None
+
+
+def violations(
+    dep: EPCD, instance: Instance, limit: Optional[int] = None
+) -> Iterator[Env]:
+    """Premise environments with no conclusion witness (counterexamples)."""
+
+    found = 0
+    for env in _premise_envs(dep, instance):
+        if not _conclusion_holds(dep, env, instance):
+            yield env
+            found += 1
+            if limit is not None and found >= limit:
+                return
+
+
+def check_all(
+    deps: Sequence[EPCD], instance: Instance
+) -> List[Tuple[str, Env]]:
+    """First violation (if any) per failing constraint."""
+
+    failures: List[Tuple[str, Env]] = []
+    for dep in deps:
+        witness = next(violations(dep, instance, limit=1), None)
+        if witness is not None:
+            failures.append((dep.name, witness))
+    return failures

@@ -1,0 +1,198 @@
+"""Embedded path-conjunctive dependencies (EPCDs).
+
+From section 5 of the paper::
+
+    EPCD: forall(x1 in P1, ..., xn in Pn). B1(x) ->
+          exists(y1 in P1', ..., yk in Pk'). B2(x, y)
+
+``Pi`` may refer to ``x1 .. x(i-1)``; ``Pj'`` may additionally refer to
+``y1 .. y(j-1)`` (EPCDs are not first-order formulas).  EGDs are the
+special case with no existential bindings and equality conclusions —
+functional dependencies (KEY), the class-encoding attribute laws, etc.
+
+Full dependencies (conclusion paths mention only universal variables) make
+the chase terminate with a polynomial-size result (section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.errors import ConstraintError
+from repro.query import paths as P
+from repro.query.ast import Binding, Eq, PCQuery, StructOutput
+from repro.query.paths import Path, Var
+
+
+@dataclass(frozen=True)
+class EPCD:
+    """An embedded path-conjunctive dependency."""
+
+    name: str
+    premise_bindings: Tuple[Binding, ...]
+    premise_conditions: Tuple[Eq, ...] = ()
+    conclusion_bindings: Tuple[Binding, ...] = ()
+    conclusion_conditions: Tuple[Eq, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- classification -----------------------------------------------------
+
+    def is_egd(self) -> bool:
+        """Equality-generating: no existential bindings."""
+
+        return not self.conclusion_bindings
+
+    def is_tgd(self) -> bool:
+        """Tuple/binding-generating: at least one existential binding."""
+
+        return bool(self.conclusion_bindings)
+
+    def is_full(self) -> bool:
+        """Full dependency: conclusion binding sources use only universals.
+
+        Chasing with full dependencies terminates (paper, section 5); the
+        view constraints cV are full, which powers Theorem 1.
+        """
+
+        universal = {b.var for b in self.premise_bindings}
+        return all(
+            P.free_vars(binding.source) <= universal
+            for binding in self.conclusion_bindings
+        )
+
+    def is_trivial_shape(self) -> bool:
+        """Cheap syntactic check: conclusion is a sub-conjunction of premise.
+
+        (Semantic triviality — "holds in all instances" — is decided with
+        the chase; see :func:`repro.chase.containment.implies`.)
+        """
+
+        premise_keys = {c.key() for c in self.premise_conditions}
+        return not self.conclusion_bindings and all(
+            c.key() in premise_keys or c.left == c.right
+            for c in self.conclusion_conditions
+        )
+
+    # -- structure -----------------------------------------------------------
+
+    def universal_vars(self) -> Tuple[str, ...]:
+        return tuple(b.var for b in self.premise_bindings)
+
+    def existential_vars(self) -> Tuple[str, ...]:
+        return tuple(b.var for b in self.conclusion_bindings)
+
+    def schema_names(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for binding in self.premise_bindings + self.conclusion_bindings:
+            names |= P.schema_names(binding.source)
+        for cond in self.premise_conditions + self.conclusion_conditions:
+            names |= P.schema_names(cond.left) | P.schema_names(cond.right)
+        return names
+
+    def validate(self) -> None:
+        bound: set = set()
+        for binding in self.premise_bindings:
+            if binding.var in bound:
+                raise ConstraintError(
+                    f"{self.name}: duplicate universal variable {binding.var!r}"
+                )
+            unbound = P.free_vars(binding.source) - bound
+            if unbound:
+                raise ConstraintError(
+                    f"{self.name}: premise binding {binding} references "
+                    f"unbound {sorted(unbound)}"
+                )
+            bound.add(binding.var)
+        for cond in self.premise_conditions:
+            unbound = (P.free_vars(cond.left) | P.free_vars(cond.right)) - bound
+            if unbound:
+                raise ConstraintError(
+                    f"{self.name}: premise condition {cond} references "
+                    f"unbound {sorted(unbound)}"
+                )
+        for binding in self.conclusion_bindings:
+            if binding.var in bound:
+                raise ConstraintError(
+                    f"{self.name}: conclusion variable {binding.var!r} shadows"
+                )
+            unbound = P.free_vars(binding.source) - bound
+            if unbound:
+                raise ConstraintError(
+                    f"{self.name}: conclusion binding {binding} references "
+                    f"unbound {sorted(unbound)}"
+                )
+            bound.add(binding.var)
+        for cond in self.conclusion_conditions:
+            unbound = (P.free_vars(cond.left) | P.free_vars(cond.right)) - bound
+            if unbound:
+                raise ConstraintError(
+                    f"{self.name}: conclusion condition {cond} references "
+                    f"unbound {sorted(unbound)}"
+                )
+
+    # -- views of the constraint ------------------------------------------------
+
+    def premise_query(self) -> PCQuery:
+        """The premise as a boolean-valued query (constraints-as-queries).
+
+        Used to decide constraint implication with the chase: chase the
+        premise with the constraint set and test whether the conclusion
+        holds in the result (paper, section 3: "constraints are viewed as
+        boolean-valued queries").
+        """
+
+        return PCQuery(
+            StructOutput(tuple((b.var, Var(b.var)) for b in self.premise_bindings)),
+            self.premise_bindings,
+            self.premise_conditions,
+        )
+
+    def rename(self, suffix: str) -> "EPCD":
+        """Rename all variables with a suffix (capture avoidance)."""
+
+        mapping: Dict[str, Path] = {}
+        for binding in self.premise_bindings + self.conclusion_bindings:
+            mapping[binding.var] = Var(binding.var + suffix)
+
+        def sub(path: Path) -> Path:
+            return P.substitute(path, mapping)
+
+        return EPCD(
+            name=self.name,
+            premise_bindings=tuple(
+                Binding(b.var + suffix, sub(b.source)) for b in self.premise_bindings
+            ),
+            premise_conditions=tuple(
+                Eq(sub(c.left), sub(c.right)) for c in self.premise_conditions
+            ),
+            conclusion_bindings=tuple(
+                Binding(b.var + suffix, sub(b.source)) for b in self.conclusion_bindings
+            ),
+            conclusion_conditions=tuple(
+                Eq(sub(c.left), sub(c.right)) for c in self.conclusion_conditions
+            ),
+        )
+
+    def __str__(self) -> str:
+        from repro.query.printer import format_constraint
+
+        return f"{self.name}: {format_constraint(self)}"
+
+
+def egd(
+    name: str,
+    premise_bindings: Tuple[Binding, ...],
+    premise_conditions: Tuple[Eq, ...],
+    equalities: Tuple[Eq, ...],
+) -> EPCD:
+    """Convenience constructor for equality-generating dependencies."""
+
+    return EPCD(
+        name=name,
+        premise_bindings=premise_bindings,
+        premise_conditions=premise_conditions,
+        conclusion_conditions=equalities,
+    )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the chase & backchase reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SchemaError(ReproError):
+    """Malformed schema definitions (duplicate names, unknown types, ...)."""
+
+
+class TypeMismatchError(ReproError):
+    """A runtime value does not conform to its declared type."""
+
+
+class InstanceError(ReproError):
+    """Malformed database instance (unknown names, bad class registry, ...)."""
+
+
+class QuerySyntaxError(ReproError):
+    """Raised by the parser on malformed concrete syntax."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class QueryValidationError(ReproError):
+    """A query violates well-formedness or the path-conjunctive restrictions."""
+
+
+class QueryExecutionError(ReproError):
+    """Runtime failure while evaluating a query (e.g. a failing lookup)."""
+
+
+class ConstraintError(ReproError):
+    """Malformed constraint (unbound variables, bad shapes, ...)."""
+
+
+class ChaseError(ReproError):
+    """Chase engine failure."""
+
+
+class ChaseNonTermination(ChaseError):
+    """The chase exceeded its step bound.
+
+    The paper notes the chase terminates for full dependencies; for
+    arbitrary constraint sets a bound is required (footnote to section 3).
+    """
+
+    def __init__(self, message: str, steps: int) -> None:
+        super().__init__(message)
+        self.steps = steps
+
+
+class BackchaseError(ReproError):
+    """Backchase engine failure."""
+
+
+class OptimizationError(ReproError):
+    """Optimizer-level failure (e.g. no physical plan exists)."""

@@ -1,0 +1,57 @@
+"""Plan execution: run compiled operator trees and report instrumentation.
+
+``execute(query, instance)`` is the production path (operator pipeline);
+``repro.query.evaluator.evaluate`` is the reference path.  The test suite
+checks they agree on every plan the optimizer emits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional
+
+from repro.exec.operators import Counters
+from repro.exec.planner import compile_query
+from repro.model.instance import Instance
+from repro.query.ast import PCQuery
+
+
+@dataclass
+class ExecutionResult:
+    """Result set plus instrumentation."""
+
+    results: FrozenSet[Any]
+    counters: Counters
+    elapsed_seconds: float
+    plan_text: str
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def execute(
+    query: PCQuery,
+    instance: Instance,
+    use_hash_joins: bool = False,
+    counters: Optional[Counters] = None,
+) -> ExecutionResult:
+    """Compile and run a plan, collecting results into a frozenset."""
+
+    counters = counters or Counters()
+    plan = compile_query(query, counters, use_hash_joins=use_hash_joins)
+    start = time.perf_counter()
+    results = frozenset(plan.results(instance))
+    elapsed = time.perf_counter() - start
+    return ExecutionResult(
+        results=results,
+        counters=counters,
+        elapsed_seconds=elapsed,
+        plan_text=plan.explain(),
+    )
+
+
+def explain(query: PCQuery, use_hash_joins: bool = False) -> str:
+    """The operator tree a query compiles to (without running it)."""
+
+    return compile_query(query, use_hash_joins=use_hash_joins).explain()

@@ -1,0 +1,237 @@
+"""Iterator-model physical operators over variable environments.
+
+Plans compile to a pipeline of operators, each producing a stream of
+environments (variable → value).  Dictionary lookups in binding sources
+make the same pipeline behave as index-nested-loop joins; an explicit
+:class:`HashJoinBind` implements the classic build/probe hash join for
+value-based equijoins (enabled by the hash-table structure of section 2).
+
+All operators share a :class:`Counters` object so benchmarks can report
+tuples scanned and dictionary probes alongside wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import QueryExecutionError
+from repro.model.instance import Instance
+from repro.model.values import Row
+from repro.query import paths as P
+from repro.query.ast import Eq
+from repro.query.evaluator import eval_path
+from repro.query.paths import Lookup, NFLookup, Path
+
+Env = Dict[str, Any]
+
+
+@dataclass
+class Counters:
+    """Execution instrumentation."""
+
+    tuples: int = 0
+    probes: int = 0
+    filtered: int = 0
+    hash_builds: int = 0
+
+    def reset(self) -> None:
+        self.tuples = 0
+        self.probes = 0
+        self.filtered = 0
+        self.hash_builds = 0
+
+
+def _count_probes(path: Path) -> int:
+    return sum(1 for t in P.subterms(path) if isinstance(t, (Lookup, NFLookup)))
+
+
+class Operator:
+    """Base class: an iterator of environments."""
+
+    def __init__(self, counters: Counters) -> None:
+        self.counters = counters
+
+    def rows(self, instance: Instance) -> Iterator[Env]:  # pragma: no cover
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Singleton(Operator):
+    """The unit stream: one empty environment."""
+
+    def rows(self, instance: Instance) -> Iterator[Env]:
+        yield {}
+
+    def explain(self, depth: int = 0) -> str:
+        return " " * depth + "unit"
+
+
+class ScanBind(Operator):
+    """Bind ``var`` to each element of ``source`` (dependent scan).
+
+    With a dictionary-lookup source this is an index nested-loop join;
+    with a schema-name source it is a full scan per outer row.
+    """
+
+    def __init__(
+        self, child: Operator, var: str, source: Path, counters: Counters
+    ) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.var = var
+        self.source = source
+        self._source_probes = _count_probes(source)
+
+    def rows(self, instance: Instance) -> Iterator[Env]:
+        for env in self.child.rows(instance):
+            self.counters.probes += self._source_probes
+            collection = eval_path(self.source, env, instance)
+            if not isinstance(collection, frozenset):
+                raise QueryExecutionError(
+                    f"binding source {self.source} is not a set"
+                )
+            for element in collection:
+                self.counters.tuples += 1
+                child_env = dict(env)
+                child_env[self.var] = element
+                yield child_env
+
+    def explain(self, depth: int = 0) -> str:
+        return (
+            self.child.explain(depth)
+            + "\n"
+            + " " * (depth + 2)
+            + f"scan {self.source} as {self.var}"
+        )
+
+
+class Filter(Operator):
+    """Apply equality conditions."""
+
+    def __init__(
+        self, child: Operator, conditions: Sequence[Eq], counters: Counters
+    ) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.conditions = list(conditions)
+        self._cond_probes = sum(
+            _count_probes(c.left) + _count_probes(c.right) for c in self.conditions
+        )
+
+    def rows(self, instance: Instance) -> Iterator[Env]:
+        for env in self.child.rows(instance):
+            self.counters.probes += self._cond_probes
+            ok = True
+            for cond in self.conditions:
+                if eval_path(cond.left, env, instance) != eval_path(
+                    cond.right, env, instance
+                ):
+                    ok = False
+                    break
+            if ok:
+                yield env
+            else:
+                self.counters.filtered += 1
+
+    def explain(self, depth: int = 0) -> str:
+        conds = " and ".join(str(c) for c in self.conditions)
+        return self.child.explain(depth) + "\n" + " " * (depth + 2) + f"filter {conds}"
+
+
+class HashJoinBind(Operator):
+    """Build/probe hash join binding ``var``.
+
+    Builds a hash table over ``build_source`` keyed by ``build_key``
+    (a path over the bound variable), then probes it with ``probe_key``
+    (a path over the outer environment) — the on-the-fly hash table of
+    section 2.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        var: str,
+        build_source: Path,
+        build_key: Path,
+        probe_key: Path,
+        counters: Counters,
+    ) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.var = var
+        self.build_source = build_source
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self._table: Optional[Dict[Any, List[Any]]] = None
+
+    def _build(self, instance: Instance) -> Dict[Any, List[Any]]:
+        table: Dict[Any, List[Any]] = {}
+        collection = eval_path(self.build_source, {}, instance)
+        if not isinstance(collection, frozenset):
+            raise QueryExecutionError(
+                f"hash join build source {self.build_source} is not a set"
+            )
+        for element in collection:
+            self.counters.hash_builds += 1
+            key = eval_path(self.build_key, {self.var: element}, instance)
+            table.setdefault(key, []).append(element)
+        return table
+
+    def rows(self, instance: Instance) -> Iterator[Env]:
+        table = self._build(instance)
+        for env in self.child.rows(instance):
+            self.counters.probes += 1
+            key = eval_path(self.probe_key, env, instance)
+            for element in table.get(key, ()):
+                self.counters.tuples += 1
+                child_env = dict(env)
+                child_env[self.var] = element
+                yield child_env
+
+    def explain(self, depth: int = 0) -> str:
+        return (
+            self.child.explain(depth)
+            + "\n"
+            + " " * (depth + 2)
+            + f"hash-join {self.build_source} as {self.var} "
+            + f"on {self.build_key} = {self.probe_key}"
+        )
+
+
+class Project(Operator):
+    """Terminal operator: evaluate the select clause."""
+
+    def __init__(self, child: Operator, output, counters: Counters) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.output = output
+        self._out_probes = sum(_count_probes(p) for p in output.paths())
+
+    def results(self, instance: Instance) -> Iterator[Any]:
+        from repro.query.ast import StructOutput
+
+        for env in self.child.rows(instance):
+            self.counters.probes += self._out_probes
+            if isinstance(self.output, StructOutput):
+                yield Row(
+                    {
+                        name: eval_path(path, env, instance)
+                        for name, path in self.output.fields
+                    }
+                )
+            else:
+                yield eval_path(self.output.path, env, instance)
+
+    def rows(self, instance: Instance) -> Iterator[Env]:  # pragma: no cover
+        raise QueryExecutionError("Project is a terminal operator")
+
+    def explain(self, depth: int = 0) -> str:
+        return (
+            self.child.explain(depth)
+            + "\n"
+            + " " * (depth + 2)
+            + f"project {self.output}"
+        )

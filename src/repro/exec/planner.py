@@ -1,0 +1,90 @@
+"""Compilation of PC plans into operator pipelines.
+
+The from-clause order is taken as the join order (the optimizer's
+reordering pass has already run); each binding becomes a :class:`ScanBind`
+— which behaves as a table scan, a dependent (navigation) scan or an
+index nested-loop probe depending on its source path — or, when enabled
+and profitable, a :class:`HashJoinBind` for value-based equijoins against
+an independent relation.  Conditions are pushed to the earliest level at
+which their variables are bound (selection pushing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.exec.operators import (
+    Counters,
+    Filter,
+    HashJoinBind,
+    Operator,
+    Project,
+    ScanBind,
+    Singleton,
+)
+from repro.query import paths as P
+from repro.query.ast import Eq, PCQuery
+from repro.query.paths import Path, SName
+
+
+def _condition_levels(query: PCQuery) -> List[List[Eq]]:
+    var_level = {b.var: i + 1 for i, b in enumerate(query.bindings)}
+    levels: List[List[Eq]] = [[] for _ in range(len(query.bindings) + 1)]
+    for cond in query.conditions:
+        needed = P.free_vars(cond.left) | P.free_vars(cond.right)
+        level = max((var_level.get(v, 0) for v in needed), default=0)
+        levels[level].append(cond)
+    return levels
+
+
+def _hash_join_opportunity(
+    binding_var: str,
+    source: Path,
+    level_conds: List[Eq],
+    bound: Set[str],
+) -> Optional[Tuple[Eq, Path, Path]]:
+    """A condition ``f(binding_var) = g(earlier vars)`` usable as join key."""
+
+    if not isinstance(source, SName):
+        return None
+    for cond in level_conds:
+        for this_side, other_side in ((cond.left, cond.right), (cond.right, cond.left)):
+            this_vars = P.free_vars(this_side)
+            other_vars = P.free_vars(other_side)
+            if this_vars == {binding_var} and other_vars <= bound and other_vars:
+                return cond, this_side, other_side
+    return None
+
+
+def compile_query(
+    query: PCQuery,
+    counters: Optional[Counters] = None,
+    use_hash_joins: bool = False,
+) -> Project:
+    """Compile a plan to an operator tree rooted at :class:`Project`."""
+
+    counters = counters or Counters()
+    levels = _condition_levels(query)
+    op: Operator = Singleton(counters)
+    if levels[0]:
+        op = Filter(op, levels[0], counters)
+    bound: Set[str] = set()
+    for level, binding in enumerate(query.bindings, start=1):
+        level_conds = list(levels[level])
+        opportunity = (
+            _hash_join_opportunity(binding.var, binding.source, level_conds, bound)
+            if use_hash_joins
+            else None
+        )
+        if opportunity is not None:
+            cond, build_key, probe_key = opportunity
+            op = HashJoinBind(
+                op, binding.var, binding.source, build_key, probe_key, counters
+            )
+            level_conds.remove(cond)
+        else:
+            op = ScanBind(op, binding.var, binding.source, counters)
+        if level_conds:
+            op = Filter(op, level_conds, counters)
+        bound.add(binding.var)
+    return Project(op, query.output, counters)

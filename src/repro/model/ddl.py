@@ -1,0 +1,367 @@
+"""An ODL-ish data definition language (figure 2 of the paper).
+
+The paper writes schemas "following mostly the syntax of ODL, the data
+definition language of ODMG, extended with referential integrity (foreign
+key) constraints in the style of data definition in SQL".  This module
+parses that style::
+
+    relation Proj {
+        PName: string, CustName: string, PDept: string, Budg: int
+        primary key (PName)
+        foreign key (PDept) references depts.DName
+    }
+
+    class Dept (extent depts) {
+        attribute string DName
+        relationship Set<string> DProjs
+            inverse Proj.PDept
+            foreign key references Proj.PName
+        attribute string MgrName
+        key DName
+    }
+
+``parse_ddl`` returns a :class:`DDLResult` bundling the logical
+:class:`~repro.model.schema.Schema`, the generated constraints (KEY / RIC
+/ INV assertions of section 1) and a :class:`ClassEncoding` per class for
+the physical mapping.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints.builders import (
+    foreign_key,
+    inverse_relationship,
+    key_constraint,
+    member_foreign_key,
+)
+from repro.constraints.epcd import EPCD
+from repro.errors import QuerySyntaxError, SchemaError
+from repro.model.schema import Schema
+from repro.model.types import (
+    DictType,
+    SetType,
+    StructType,
+    Type,
+    base_type,
+    relation as relation_type,
+)
+from repro.physical.classes import ClassEncoding
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}()<>,.:;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "relation",
+    "class",
+    "extent",
+    "attribute",
+    "relationship",
+    "inverse",
+    "key",
+    "primary",
+    "foreign",
+    "references",
+    "set",
+    "dict",
+    "struct",
+}
+
+
+@dataclass
+class RelationshipInfo:
+    """A class relationship with its inverse / FK metadata."""
+
+    name: str
+    attr_type: Type
+    inverse: Optional[Tuple[str, str]] = None  # (relation, back attr)
+    references: Optional[Tuple[str, str]] = None  # (relation, key attr)
+
+
+@dataclass
+class DDLResult:
+    """Everything a DDL schema induces."""
+
+    schema: Schema
+    constraints: List[EPCD]
+    class_encodings: List[ClassEncoding]
+
+    def encoding_for(self, class_name: str) -> ClassEncoding:
+        for enc in self.class_encodings:
+            if enc.class_name == class_name:
+                return enc
+        raise SchemaError(f"no class {class_name!r} in DDL result")
+
+
+class _DDLParser:
+    def __init__(self, source: str) -> None:
+        self.tokens: List[Tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(source):
+            match = _TOKEN_RE.match(source, pos)
+            if not match:
+                raise QuerySyntaxError(f"unexpected character {source[pos]!r}", pos)
+            kind = match.lastgroup or ""
+            text = match.group()
+            if kind != "ws":
+                if kind == "ident" and text.lower() in _KEYWORDS:
+                    self.tokens.append(("kw", text.lower(), pos))
+                else:
+                    self.tokens.append((kind, text, pos))
+            pos = match.end()
+        self.tokens.append(("eof", "", pos))
+        self.i = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Tuple[str, str, int]:
+        return self.tokens[min(self.i + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.tokens[self.i]
+        if token[0] != "eof":
+            self.i += 1
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token[0] == kind and (text is None or token[1] == text)
+
+    def eat(self, kind: str, text: Optional[str] = None) -> str:
+        token = self.peek()
+        if not self.at(kind, text):
+            raise QuerySyntaxError(
+                f"expected {text or kind!r}, found {token[1]!r}", token[2]
+            )
+        return self.advance()[1]
+
+    def eat_ident(self) -> str:
+        return self.eat("ident")
+
+    def skip_semi(self) -> None:
+        while self.at("punct", ";"):
+            self.advance()
+
+    # -- types ---------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        token = self.peek()
+        if token[0] == "kw" and token[1] == "set":
+            self.advance()
+            self.eat("punct", "<")
+            elem = self.parse_type()
+            self.eat("punct", ">")
+            return SetType(elem)
+        if token[0] == "kw" and token[1] == "dict":
+            self.advance()
+            self.eat("punct", "<")
+            key = self.parse_type()
+            self.eat("punct", ",")
+            value = self.parse_type()
+            self.eat("punct", ">")
+            return DictType(key, value)
+        if token[0] == "kw" and token[1] == "struct":
+            self.advance()
+            self.eat("punct", "{")
+            fields: List[Tuple[str, Type]] = []
+            while not self.at("punct", "}"):
+                name = self.eat_ident()
+                self.eat("punct", ":")
+                fields.append((name, self.parse_type()))
+                if self.at("punct", ","):
+                    self.advance()
+            self.eat("punct", "}")
+            return StructType(tuple(fields))
+        name = self.eat_ident()
+        return base_type(name)
+
+    # -- declarations ------------------------------------------------------------
+
+    def parse(self) -> DDLResult:
+        schema = Schema("ddl")
+        constraints: List[EPCD] = []
+        encodings: List[ClassEncoding] = []
+        while not self.at("eof"):
+            if self.at("kw", "relation"):
+                self._parse_relation(schema, constraints)
+            elif self.at("kw", "class"):
+                self._parse_class(schema, constraints, encodings)
+            else:
+                token = self.peek()
+                raise QuerySyntaxError(
+                    f"expected 'relation' or 'class', found {token[1]!r}", token[2]
+                )
+        return DDLResult(schema, constraints, encodings)
+
+    def _parse_relation(self, schema: Schema, constraints: List[EPCD]) -> None:
+        self.eat("kw", "relation")
+        name = self.eat_ident()
+        self.eat("punct", "{")
+        fields: Dict[str, Type] = {}
+        while self.peek()[0] == "ident":
+            fname = self.eat_ident()
+            self.eat("punct", ":")
+            fields[fname] = self.parse_type()
+            if self.at("punct", ","):
+                self.advance()
+        schema.add(name, relation_type(**fields))
+        # clauses
+        while True:
+            self.skip_semi()
+            if self.at("kw", "primary") or (
+                self.at("kw", "key") and self.peek(1)[1] == "("
+            ):
+                if self.at("kw", "primary"):
+                    self.advance()
+                self.eat("kw", "key")
+                self.eat("punct", "(")
+                attr = self.eat_ident()
+                self.eat("punct", ")")
+                if attr not in fields:
+                    raise SchemaError(f"key over unknown attribute {attr!r}")
+                constraints.append(key_constraint(f"{name}_{attr}_key", name, attr))
+            elif self.at("kw", "foreign"):
+                self.advance()
+                self.eat("kw", "key")
+                self.eat("punct", "(")
+                attr = self.eat_ident()
+                self.eat("punct", ")")
+                self.eat("kw", "references")
+                target = self.eat_ident()
+                self.eat("punct", ".")
+                target_attr = self.eat_ident()
+                constraints.append(
+                    foreign_key(
+                        f"{name}_{attr}_fk", name, attr, target, target_attr
+                    )
+                )
+            else:
+                break
+        self.eat("punct", "}")
+
+    def _parse_class(
+        self,
+        schema: Schema,
+        constraints: List[EPCD],
+        encodings: List[ClassEncoding],
+    ) -> None:
+        self.eat("kw", "class")
+        class_name = self.eat_ident()
+        self.eat("punct", "(")
+        self.eat("kw", "extent")
+        extent = self.eat_ident()
+        self.eat("punct", ")")
+        self.eat("punct", "{")
+
+        attributes: List[Tuple[str, Type]] = []
+        relationships: List[RelationshipInfo] = []
+        key_attrs: List[str] = []
+
+        while not self.at("punct", "}"):
+            self.skip_semi()
+            if self.at("kw", "attribute"):
+                self.advance()
+                attr_type = self.parse_type()
+                attr_name = self.eat_ident()
+                attributes.append((attr_name, attr_type))
+            elif self.at("kw", "relationship"):
+                self.advance()
+                rel_type = self.parse_type()
+                rel_name = self.eat_ident()
+                info = RelationshipInfo(rel_name, rel_type)
+                while self.at("kw", "inverse") or self.at("kw", "foreign"):
+                    if self.at("kw", "inverse"):
+                        self.advance()
+                        rel = self.eat_ident()
+                        self.eat("punct", ".")
+                        back = self.eat_ident()
+                        info.inverse = (rel, back)
+                    else:
+                        self.advance()
+                        self.eat("kw", "key")
+                        self.eat("kw", "references")
+                        rel = self.eat_ident()
+                        self.eat("punct", ".")
+                        keyattr = self.eat_ident()
+                        info.references = (rel, keyattr)
+                attributes.append((rel_name, rel_type))
+                relationships.append(info)
+            elif self.at("kw", "key"):
+                self.advance()
+                key_attrs.append(self.eat_ident())
+            else:
+                token = self.peek()
+                raise QuerySyntaxError(
+                    f"unexpected class member {token[1]!r}", token[2]
+                )
+            self.skip_semi()
+        self.eat("punct", "}")
+
+        struct_type = StructType(tuple(attributes))
+        encoding = ClassEncoding(class_name, extent, class_name, struct_type)
+        encodings.append(encoding)
+        schema.add_class(class_name, extent, struct_type)
+
+        for key_attr in key_attrs:
+            constraints.append(
+                key_constraint(f"{class_name}_{key_attr}_key", extent, key_attr)
+            )
+        for info in relationships:
+            if info.references is not None:
+                rel, rel_key = info.references
+                constraints.append(
+                    member_foreign_key(
+                        f"{class_name}_{info.name}_fk", extent, info.name, rel, rel_key
+                    )
+                )
+            if info.inverse is not None and info.references is not None:
+                rel, back = info.inverse
+                _, rel_key = info.references
+                if not key_attrs:
+                    raise SchemaError(
+                        f"inverse relationship {info.name!r} requires a class key"
+                    )
+                constraints.extend(
+                    inverse_relationship(
+                        f"{class_name}_{info.name}_inv",
+                        extent,
+                        info.name,
+                        rel,
+                        rel_key,
+                        back,
+                        key_attrs[0],
+                    )
+                )
+
+
+def parse_ddl(source: str) -> DDLResult:
+    """Parse an ODL-ish schema into (schema, constraints, encodings)."""
+
+    return _DDLParser(source).parse()
+
+
+PROJDEPT_DDL = """
+relation Proj {
+    PName: string, CustName: string, PDept: string, Budg: int
+    primary key (PName)
+    foreign key (PDept) references depts.DName
+}
+
+class Dept (extent depts) {
+    attribute string DName
+    relationship Set<string> DProjs
+        inverse Proj.PDept
+        foreign key references Proj.PName
+    attribute string MgrName
+    key DName
+}
+"""

@@ -1,0 +1,123 @@
+"""Database instances: values for schema names plus the class registry.
+
+An :class:`Instance` binds each schema name to a runtime value.  For OO
+classes it also records which dictionary implements each class, so oid
+dereference (``d.DName`` in OQL) evaluates as the dictionary lookup
+``Dept[d].DName`` — exactly the paper's semantics for class encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import InstanceError, TypeMismatchError
+from repro.model.schema import Schema
+from repro.model.values import DictValue, Oid, Row, type_check
+
+
+class Instance:
+    """A mapping from schema names to values, with oid dereferencing."""
+
+    def __init__(self, data: Optional[Dict[str, Any]] = None) -> None:
+        self._data: Dict[str, Any] = dict(data or {})
+        # class name -> dictionary schema name implementing the class
+        self._class_dicts: Dict[str, str] = {}
+
+    # -- mapping interface ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._data[name]
+        except KeyError:
+            raise InstanceError(f"instance has no value for schema name {name!r}") from None
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self._data[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def names(self) -> List[str]:
+        return list(self._data)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._data.get(name, default)
+
+    # -- class registry --------------------------------------------------------
+
+    def register_class(self, class_name: str, dict_name: str) -> None:
+        """Declare that dictionary ``dict_name`` implements ``class_name``.
+
+        Oid dereference for this class's oids then reads through that
+        dictionary.
+        """
+
+        if dict_name not in self._data:
+            raise InstanceError(
+                f"cannot register class {class_name!r}: no value for {dict_name!r}"
+            )
+        self._class_dicts[class_name] = dict_name
+
+    def class_dict_name(self, class_name: str) -> str:
+        try:
+            return self._class_dicts[class_name]
+        except KeyError:
+            raise InstanceError(f"no dictionary registered for class {class_name!r}") from None
+
+    def deref(self, oid: Oid) -> Row:
+        """Dereference an oid through its class dictionary."""
+
+        dict_name = self.class_dict_name(oid.class_name)
+        class_dict = self._data[dict_name]
+        if not isinstance(class_dict, DictValue):
+            raise InstanceError(
+                f"class dictionary {dict_name!r} is not a DictValue"
+            )
+        try:
+            return class_dict[oid]
+        except KeyError:
+            raise InstanceError(f"dangling oid {oid!r}") from None
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self, schema: Schema) -> List[str]:
+        """Return a list of type errors of this instance against ``schema``.
+
+        Empty list means the instance is well-typed.  Missing names are
+        reported; extra names are allowed (an instance may serve several
+        schemas, e.g. logical + physical combined).
+        """
+
+        problems: List[str] = []
+        for name in schema.names():
+            if name not in self._data:
+                problems.append(f"missing value for schema name {name!r}")
+                continue
+            try:
+                type_check(self._data[name], schema.type_of(name), name)
+            except TypeMismatchError as exc:
+                problems.append(str(exc))
+        # Every registered class dict must exist and cover all extent oids.
+        for class_name, dict_name in self._class_dicts.items():
+            if dict_name not in self._data:
+                problems.append(f"class {class_name!r} registered to missing {dict_name!r}")
+        return problems
+
+    def copy(self) -> "Instance":
+        clone = Instance(dict(self._data))
+        clone._class_dicts = dict(self._class_dicts)
+        return clone
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, value in self._data.items():
+            if isinstance(value, frozenset):
+                parts.append(f"{name}: set[{len(value)}]")
+            elif isinstance(value, DictValue):
+                parts.append(f"{name}: dict[{len(value)}]")
+            else:
+                parts.append(f"{name}: {type(value).__name__}")
+        return f"Instance({', '.join(parts)})"

@@ -1,0 +1,181 @@
+"""Complex-value type system of the paper's data model.
+
+The paper's data model (after [PT99], the equational chase companion
+paper) has base types, record (struct) types, set types, dictionary types
+``Dict<K, V>`` and invented oid base types for class extents (section 1,
+"An example logical schema" / figure 3).  This module implements that type
+language plus structural helpers used by the query type checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import SchemaError
+
+
+class Type:
+    """Abstract base class of all types."""
+
+    __slots__ = ()
+
+    def is_base(self) -> bool:
+        return isinstance(self, (BaseType, OidType))
+
+    def is_set(self) -> bool:
+        return isinstance(self, SetType)
+
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    def is_dict(self) -> bool:
+        return isinstance(self, DictType)
+
+
+@dataclass(frozen=True)
+class BaseType(Type):
+    """A named base type: ``string``, ``int``, ``float`` or ``bool``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class OidType(Type):
+    """An invented, abstract oid type for a class (e.g. ``Doid``).
+
+    The paper: "To maintain the abstract properties of oids we do not make
+    any assumptions about their nature and we invent fresh new base types
+    for them."
+    """
+
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}_oid"
+
+
+@dataclass(frozen=True)
+class SetType(Type):
+    """A finite set type ``Set<elem>`` (set semantics throughout)."""
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"Set<{self.elem}>"
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A record type with named, ordered fields."""
+
+    fields: Tuple[Tuple[str, Type], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, _ in self.fields:
+            if name in seen:
+                raise SchemaError(f"duplicate struct field {name!r}")
+            seen.add(name)
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def has_field(self, name: str) -> bool:
+        return any(f == name for f, _ in self.fields)
+
+    def field(self, name: str) -> Type:
+        for f, ty in self.fields:
+            if f == name:
+                return ty
+        raise SchemaError(f"struct has no field {name!r}: {self}")
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        return f"Struct{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class DictType(Type):
+    """A dictionary (finite function) type ``Dict<K, V>``.
+
+    Dictionaries are the paper's central physical construct: fast lookup
+    ``M[k]``, domain ``dom M``, and (for plans only) non-failing lookup
+    ``M{k}``.
+    """
+
+    key: Type
+    value: Type
+
+    def __str__(self) -> str:
+        return f"Dict<{self.key}, {self.value}>"
+
+
+# Canonical base type singletons.
+STRING = BaseType("string")
+INT = BaseType("int")
+FLOAT = BaseType("float")
+BOOL = BaseType("bool")
+
+_BASE_BY_NAME = {t.name: t for t in (STRING, INT, FLOAT, BOOL)}
+
+
+def base_type(name: str) -> BaseType:
+    """Return the canonical base type for ``name``.
+
+    Unknown names produce a fresh :class:`BaseType`, which lets schemas use
+    domain-specific atomic types (e.g. surrogate types).
+    """
+
+    return _BASE_BY_NAME.get(name, BaseType(name))
+
+
+def struct(**fields: Type) -> StructType:
+    """Convenience constructor: ``struct(A=STRING, B=INT)``."""
+
+    return StructType(tuple(fields.items()))
+
+
+def set_of(elem: Type) -> SetType:
+    return SetType(elem)
+
+
+def dict_of(key: Type, value: Type) -> DictType:
+    return DictType(key, value)
+
+
+def relation(**fields: Type) -> SetType:
+    """A relation is a set of structs (the common physical/logical shape)."""
+
+    return SetType(struct(**fields))
+
+
+def iter_subtypes(ty: Type) -> Iterator[Type]:
+    """Yield ``ty`` and every type nested inside it (pre-order)."""
+
+    yield ty
+    if isinstance(ty, SetType):
+        yield from iter_subtypes(ty.elem)
+    elif isinstance(ty, StructType):
+        for _, fty in ty.fields:
+            yield from iter_subtypes(fty)
+    elif isinstance(ty, DictType):
+        yield from iter_subtypes(ty.key)
+        yield from iter_subtypes(ty.value)
+
+
+def python_base_type(value: object) -> Optional[BaseType]:
+    """Map a Python scalar to its base type, or ``None`` if not a scalar."""
+
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STRING
+    return None

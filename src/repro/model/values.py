@@ -1,0 +1,252 @@
+"""Runtime values of the complex-value data model.
+
+Values are immutable and (where needed for set semantics) hashable:
+
+* base values — Python ``str``/``int``/``float``/``bool``;
+* records — :class:`Row` (immutable mapping, hashable);
+* sets — Python ``frozenset``;
+* dictionaries — :class:`DictValue` (immutable mapping over hashable keys);
+* oids — :class:`Oid`, opaque identifiers tied to a class name.
+
+``type_check`` verifies a value against a :class:`~repro.model.types.Type`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+from repro.errors import TypeMismatchError
+from repro.model.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    BaseType,
+    DictType,
+    OidType,
+    SetType,
+    StructType,
+    Type,
+)
+
+
+class Row(Mapping):
+    """An immutable record value with named fields.
+
+    Rows compare and hash by their field/value content, so they can be
+    members of ``frozenset`` relations (set semantics).
+    """
+
+    __slots__ = ("_fields", "_hash")
+
+    def __init__(self, fields: Mapping[str, Any] = (), **kwargs: Any) -> None:
+        data: Dict[str, Any] = dict(fields)
+        data.update(kwargs)
+        object.__setattr__(self, "_fields", tuple(sorted(data.items())))
+        object.__setattr__(self, "_hash", hash(self._fields))
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self._fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _ in self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._fields)
+        return f"Row({inner})"
+
+    def replace(self, **kwargs: Any) -> "Row":
+        data = dict(self._fields)
+        data.update(kwargs)
+        return Row(data)
+
+
+class Oid:
+    """An opaque object identifier for a class instance.
+
+    The paper invents fresh base types for oids and makes no assumption
+    about their structure; we keep a class name plus an integer identity,
+    neither of which is observable from the query language (dereference
+    goes through the class dictionary, see ``Instance.deref``).
+    """
+
+    __slots__ = ("class_name", "ident")
+
+    def __init__(self, class_name: str, ident: int) -> None:
+        self.class_name = class_name
+        self.ident = ident
+
+    def __hash__(self) -> int:
+        return hash((self.class_name, self.ident))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return self.class_name == other.class_name and self.ident == other.ident
+
+    def __lt__(self, other: "Oid") -> bool:
+        return (self.class_name, self.ident) < (other.class_name, other.ident)
+
+    def __repr__(self) -> str:
+        return f"Oid({self.class_name}, {self.ident})"
+
+
+class DictValue(Mapping):
+    """An immutable dictionary (finite function) value.
+
+    Keys must be hashable values (base values, oids or rows); entries may
+    be any value.  ``DictValue`` is itself *not* hashable — the paper's PC
+    restriction 1 forbids set/dictionary-typed equalities, and we never
+    nest dictionaries inside sets.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[Any, Any] = ()) -> None:
+        self._data: Dict[Any, Any] = dict(data)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def domain(self) -> frozenset:
+        """The paper's ``dom M``: the set of keys for which M is defined."""
+
+        return frozenset(self._data)
+
+    def lookup(self, key: Any) -> Any:
+        """Failing lookup ``M[k]`` — raises ``KeyError`` if undefined."""
+
+        return self._data[key]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def nonfailing_lookup(self, key: Any) -> Any:
+        """Non-failing lookup ``M{k}``: empty set instead of failure.
+
+        Only meaningful for set-valued entries (the paper: "for
+        dictionaries with set-valued entries one often assumes the
+        existence of a non-failing lookup operation").
+        """
+
+        return self._data.get(key, frozenset())
+
+    def __repr__(self) -> str:
+        return f"DictValue({self._data!r})"
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert Python containers to model values.
+
+    ``dict`` with a ``__row__`` sentinel or plain keyword-ish dicts become
+    rows; ``set``/``list``/``tuple`` become frozensets.  Existing model
+    values pass through.
+    """
+
+    if isinstance(value, (Row, DictValue, Oid, str, bool, int, float)):
+        return value
+    if isinstance(value, Mapping):
+        return Row({k: freeze(v) for k, v in value.items()})
+    if isinstance(value, (set, frozenset, list, tuple)):
+        return frozenset(freeze(v) for v in value)
+    raise TypeMismatchError(f"cannot freeze value of type {type(value).__name__}")
+
+
+def row(**fields: Any) -> Row:
+    """Convenience: ``row(A=1, B='x')`` with recursive freezing."""
+
+    return Row({k: freeze(v) for k, v in fields.items()})
+
+
+def type_check(value: Any, ty: Type, path: str = "value") -> None:
+    """Verify ``value`` conforms to ``ty``; raise :class:`TypeMismatchError`.
+
+    Oid values are checked against their class name only — their internals
+    are opaque by design.
+    """
+
+    if isinstance(ty, BaseType):
+        expected = {STRING: str, INT: int, FLOAT: (int, float), BOOL: bool}.get(ty)
+        if expected is None:
+            # Domain-specific atomic type: accept any base value.
+            if not isinstance(value, (str, int, float, bool)):
+                raise TypeMismatchError(f"{path}: expected atomic {ty}, got {value!r}")
+            return
+        if ty is BOOL and not isinstance(value, bool):
+            raise TypeMismatchError(f"{path}: expected bool, got {value!r}")
+        if ty is INT and isinstance(value, bool):
+            raise TypeMismatchError(f"{path}: expected int, got bool {value!r}")
+        if not isinstance(value, expected):
+            raise TypeMismatchError(f"{path}: expected {ty}, got {value!r}")
+        return
+    if isinstance(ty, OidType):
+        if not isinstance(value, Oid) or value.class_name != ty.class_name:
+            raise TypeMismatchError(
+                f"{path}: expected oid of class {ty.class_name}, got {value!r}"
+            )
+        return
+    if isinstance(ty, SetType):
+        if not isinstance(value, frozenset):
+            raise TypeMismatchError(f"{path}: expected frozenset, got {type(value).__name__}")
+        for elem in value:
+            type_check(elem, ty.elem, f"{path}.elem")
+        return
+    if isinstance(ty, StructType):
+        if not isinstance(value, Row):
+            raise TypeMismatchError(f"{path}: expected Row, got {type(value).__name__}")
+        expected_fields = set(ty.field_names())
+        actual_fields = set(value)
+        if expected_fields != actual_fields:
+            raise TypeMismatchError(
+                f"{path}: struct fields {sorted(actual_fields)} != "
+                f"declared {sorted(expected_fields)}"
+            )
+        for name, fty in ty.fields:
+            type_check(value[name], fty, f"{path}.{name}")
+        return
+    if isinstance(ty, DictType):
+        if not isinstance(value, DictValue):
+            raise TypeMismatchError(f"{path}: expected DictValue, got {type(value).__name__}")
+        for key, entry in value.items():
+            type_check(key, ty.key, f"{path}.key")
+            type_check(entry, ty.value, f"{path}[{key!r}]")
+        return
+    raise TypeMismatchError(f"{path}: unknown type {ty!r}")
+
+
+def sort_key(value: Any) -> Tuple:
+    """A deterministic ordering key over heterogeneous model values."""
+
+    if isinstance(value, bool):
+        return (0, str(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    if isinstance(value, str):
+        return (2, value)
+    if isinstance(value, Oid):
+        return (3, value.class_name, value.ident)
+    if isinstance(value, Row):
+        return (4, tuple((k, sort_key(v)) for k, v in sorted(value.items())))
+    if isinstance(value, frozenset):
+        return (5, tuple(sorted(sort_key(v) for v in value)))
+    return (9, repr(value))

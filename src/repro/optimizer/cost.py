@@ -1,0 +1,165 @@
+"""Cost estimation for PC plans.
+
+A plan is costed by simulating its nested-loop structure: each binding
+multiplies the running tuple count by the estimated cardinality of its
+source; equality conditions apply selectivities as soon as all their
+variables are bound; dictionary probes (``M[k]``, ``M{k}``) are charged a
+per-probe cost.  Absolute numbers are not meaningful — only the ranking of
+plans matters for Algorithm 1 steps 3–4, which is how the paper uses the
+cost function C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.optimizer.statistics import DEFAULT_SELECTIVITY, Statistics
+from repro.query import paths as P
+from repro.query.ast import Eq, PCQuery
+from repro.query.paths import (
+    Attr,
+    Const,
+    Dom,
+    Lookup,
+    NFLookup,
+    Path,
+    SName,
+)
+
+
+@dataclass
+class CostModel:
+    """Tunable unit costs for the estimator."""
+
+    tuple_cost: float = 1.0
+    probe_cost: float = 2.0
+    scan_startup: float = 1.0
+
+    def estimate(self, query: PCQuery, stats: Statistics) -> float:
+        return estimate_cost(query, stats, self)
+
+
+def _root_name(path: Path) -> Optional[str]:
+    while True:
+        if isinstance(path, SName):
+            return path.name
+        kids = P.children(path)
+        if not kids:
+            return None
+        path = kids[0]
+
+
+def _source_cardinality(source: Path, stats: Statistics) -> float:
+    """Expected number of elements produced by a binding source."""
+
+    if isinstance(source, SName):
+        return stats.card(source.name)
+    if isinstance(source, Dom):
+        name = _root_name(source.base)
+        return stats.card(name) if name else stats.default_cardinality
+    if isinstance(source, (Lookup, NFLookup)):
+        name = _root_name(source.base)
+        return stats.entry_card(name) if name else stats.default_fanout
+    if isinstance(source, Attr):
+        name = _root_name(source)
+        if name:
+            return stats.attr_fanout(name, source.attr)
+        return stats.default_fanout
+    return stats.default_cardinality
+
+
+def _count_probes(path: Path) -> int:
+    return sum(
+        1 for t in P.subterms(path) if isinstance(t, (Lookup, NFLookup))
+    )
+
+
+def _attr_of(path: Path) -> Optional[Tuple[str, str]]:
+    """(root schema name, attribute) of a simple attribute path, if any."""
+
+    if isinstance(path, Attr):
+        name = _root_name(path)
+        if name is not None:
+            return (name, path.attr)
+    return None
+
+
+def _selectivity(cond: Eq, sources: Dict[str, Path], stats: Statistics) -> float:
+    """Estimated selectivity of an equality condition."""
+
+    left, right = cond.left, cond.right
+
+    def ndv_of(path: Path) -> Optional[float]:
+        info = _attr_of(path)
+        if info is None:
+            return None
+        name, attr = info
+        return stats.distinct(name, attr)
+
+    left_const = isinstance(left, Const)
+    right_const = isinstance(right, Const)
+    if left_const and right_const:
+        return 1.0 if left.value == right.value else 0.0
+    if left_const or right_const:
+        other = right if left_const else left
+        ndv = ndv_of(other)
+        return 1.0 / ndv if ndv else DEFAULT_SELECTIVITY
+    ndv_l, ndv_r = ndv_of(left), ndv_of(right)
+    candidates = [n for n in (ndv_l, ndv_r) if n]
+    if candidates:
+        return 1.0 / max(candidates)
+    return DEFAULT_SELECTIVITY
+
+
+def estimate_cost(
+    query: PCQuery,
+    stats: Statistics,
+    model: Optional[CostModel] = None,
+) -> float:
+    """Estimated cost of evaluating the plan as written (no reordering)."""
+
+    model = model or CostModel()
+    var_level = {b.var: i + 1 for i, b in enumerate(query.bindings)}
+
+    def level_of(cond: Eq) -> int:
+        needed = P.free_vars(cond.left) | P.free_vars(cond.right)
+        return max((var_level.get(v, 0) for v in needed), default=0)
+
+    conds_at: List[List[Eq]] = [[] for _ in range(len(query.bindings) + 1)]
+    for cond in query.conditions:
+        conds_at[level_of(cond)].append(cond)
+
+    sources = {b.var: b.source for b in query.bindings}
+    multiplicity = 1.0
+    cost = model.scan_startup
+    for cond in conds_at[0]:
+        multiplicity *= _selectivity(cond, sources, stats)
+    for level, binding in enumerate(query.bindings, start=1):
+        n = _source_cardinality(binding.source, stats)
+        probes = _count_probes(binding.source)
+        cost += multiplicity * probes * model.probe_cost
+        produced = multiplicity * n
+        cost += produced * model.tuple_cost
+        for cond in conds_at[level]:
+            cost += produced * _count_probes(cond.left) * model.probe_cost
+            cost += produced * _count_probes(cond.right) * model.probe_cost
+            produced *= _selectivity(cond, sources, stats)
+        multiplicity = produced
+    # Output construction: charge probes in the select clause.
+    out_probes = sum(_count_probes(p) for p in query.output.paths())
+    cost += multiplicity * (1.0 + out_probes * model.probe_cost)
+    return cost
+
+
+def estimated_output_cardinality(query: PCQuery, stats: Statistics) -> float:
+    """Rough output-size estimate (used by bench reports)."""
+
+    var_level = {b.var: i + 1 for i, b in enumerate(query.bindings)}
+    sources = {b.var: b.source for b in query.bindings}
+    m = 1.0
+    for binding in query.bindings:
+        m *= _source_cardinality(binding.source, stats)
+    for cond in query.conditions:
+        m *= _selectivity(cond, sources, stats)
+    return max(m, 0.0)

@@ -1,0 +1,187 @@
+"""Algorithm 1 — the complete chase & backchase optimizer.
+
+::
+
+    Input:  logical schema with constraints D,
+            constraints D' characterizing physical schema,
+            cost function C, query Q
+    Output: cheapest plan Q' equivalent to Q under D ∪ D'
+
+    1. for each U = chase(Q, D ∪ D')
+    2.   for each p = backchase(U, D ∪ D')
+    3.     do cost-based conventional optimization
+    4.     keep cheapest plan so far
+
+Our chase is deterministic, so step 1 yields the single universal plan;
+step 2 enumerates all backchase normal forms (complete, Theorem 2); each
+normal form is normalized, condition-pruned, refined with non-failing
+lookups, join-reordered (step 3) and costed (step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.backchase.backchase import BackchaseStats, minimal_subqueries
+from repro.chase.chase import ChaseEngine, ChaseResult, chase
+from repro.constraints.epcd import EPCD
+from repro.errors import OptimizationError
+from repro.optimizer.cost import CostModel, estimate_cost
+from repro.optimizer.refine import (
+    nonfailing_refinement,
+    normalize_plan,
+    prune_conditions,
+)
+from repro.optimizer.reorder import reorder_bindings
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+
+
+@dataclass
+class Plan:
+    """One costed plan in the optimizer's output."""
+
+    query: PCQuery
+    cost: float
+    physical_only: bool
+    refined: bool = False
+    source: str = "backchase"
+
+    def __str__(self) -> str:
+        tags = []
+        if self.physical_only:
+            tags.append("physical")
+        if self.refined:
+            tags.append("refined")
+        tag_text = f" [{', '.join(tags)}]" if tags else ""
+        return f"cost={self.cost:.1f}{tag_text}: {self.query}"
+
+
+@dataclass
+class OptimizationResult:
+    """Universal plan, all candidate plans (cost-ranked) and the winner."""
+
+    query: PCQuery
+    universal_plan: PCQuery
+    chase_steps: List
+    plans: List[Plan]
+    best: Plan
+    backchase_stats: BackchaseStats
+
+    def physical_plans(self) -> List[Plan]:
+        return [p for p in self.plans if p.physical_only]
+
+    def report(self) -> str:
+        lines = [
+            f"query: {self.query}",
+            f"universal plan ({len(self.universal_plan.bindings)} bindings): "
+            f"{self.universal_plan}",
+            f"{len(self.plans)} candidate plans:",
+        ]
+        for plan in self.plans:
+            marker = "->" if plan is self.best else "  "
+            lines.append(f" {marker} {plan}")
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """The chase & backchase optimizer (Algorithm 1)."""
+
+    def __init__(
+        self,
+        constraints: Sequence[EPCD],
+        physical_names: Optional[Iterable[str]] = None,
+        statistics: Optional[Statistics] = None,
+        cost_model: Optional[CostModel] = None,
+        max_chase_steps: int = 200,
+        max_backchase_nodes: int = 20_000,
+        reorder: bool = True,
+    ) -> None:
+        self.constraints = list(constraints)
+        self.physical_names = frozenset(physical_names) if physical_names else None
+        self.statistics = statistics or Statistics()
+        self.cost_model = cost_model or CostModel()
+        self.max_chase_steps = max_chase_steps
+        self.max_backchase_nodes = max_backchase_nodes
+        self.reorder = reorder
+
+    # -- phases --------------------------------------------------------------
+
+    def universal_plan(self, query: PCQuery) -> ChaseResult:
+        """Phase 1: chase the query into the universal plan."""
+
+        return chase(query, self.constraints, self.max_chase_steps)
+
+    def minimal_plans(
+        self, universal: PCQuery, stats: Optional[BackchaseStats] = None
+    ) -> List[PCQuery]:
+        """Phase 2: all backchase normal forms of the universal plan."""
+
+        return minimal_subqueries(
+            universal,
+            self.constraints,
+            max_nodes=self.max_backchase_nodes,
+            stats=stats,
+        )
+
+    # -- Algorithm 1 -----------------------------------------------------------
+
+    def optimize(self, query: PCQuery) -> OptimizationResult:
+        chase_result = self.universal_plan(query)
+        universal = chase_result.query
+        bc_stats = BackchaseStats()
+        normal_forms = self.minimal_plans(universal, bc_stats)
+
+        engine = ChaseEngine(self.constraints, self.max_chase_steps)
+        candidates: Dict[str, Tuple[PCQuery, bool]] = {}
+
+        def add(plan: PCQuery, refined: bool) -> None:
+            key = plan.canonical_key()
+            if key not in candidates:
+                candidates[key] = (plan, refined)
+
+        for form in normal_forms:
+            cleaned = normalize_plan(form)
+            cleaned = prune_conditions(cleaned, self.constraints, engine)
+            cleaned = normalize_plan(cleaned)
+            add(cleaned, refined=False)
+            refined = nonfailing_refinement(cleaned)
+            if refined is not None:
+                add(refined, refined=True)
+
+        plans: List[Plan] = []
+        for plan_query, refined in candidates.values():
+            execution_query = plan_query
+            if self.reorder:
+                execution_query = reorder_bindings(
+                    plan_query, self.statistics, self.cost_model
+                )
+            cost = estimate_cost(execution_query, self.statistics, self.cost_model)
+            plans.append(
+                Plan(
+                    query=execution_query,
+                    cost=cost,
+                    physical_only=self._is_physical(execution_query),
+                    refined=refined,
+                )
+            )
+        if not plans:
+            raise OptimizationError("backchase produced no plans")
+        plans.sort(key=lambda p: (p.cost, p.query.canonical_key()))
+
+        eligible = [p for p in plans if p.physical_only] or plans
+        best = eligible[0]
+        return OptimizationResult(
+            query=query,
+            universal_plan=universal,
+            chase_steps=chase_result.steps,
+            plans=plans,
+            best=best,
+            backchase_stats=bc_stats,
+        )
+
+    def _is_physical(self, query: PCQuery) -> bool:
+        if self.physical_names is None:
+            return True
+        return query.schema_names() <= self.physical_names

@@ -1,0 +1,77 @@
+"""Greedy join reordering — the "conventional optimization" hook.
+
+Algorithm 1's step 3 applies "cost-based conventional optimization
+techniques such as selection pushing and join reordering" to each plan
+produced by the backchase.  Selection pushing is inherent in our cost
+model and executor (conditions fire as soon as bound); this module adds a
+greedy cost-based reordering of the from-clause that respects binding
+dependencies (a source may reference earlier variables only).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.optimizer.cost import CostModel, estimate_cost
+from repro.optimizer.statistics import Statistics
+from repro.query import paths as P
+from repro.query.ast import Binding, PCQuery
+
+
+def reorder_bindings(
+    query: PCQuery,
+    stats: Statistics,
+    model: Optional[CostModel] = None,
+) -> PCQuery:
+    """Greedily pick, at each position, the admissible binding that
+    minimizes the estimated cost of the extended prefix.
+
+    Dependent bindings (``d.DProjs s`` after ``depts d``) stay after their
+    producers by construction.  The output query is equivalent — PC
+    bindings commute (guarded lookups are total).
+    """
+
+    model = model or CostModel()
+    remaining: List[Binding] = list(query.bindings)
+    ordered: List[Binding] = []
+    bound: Set[str] = set()
+
+    while remaining:
+        best_binding = None
+        best_cost = None
+        for binding in remaining:
+            if not P.free_vars(binding.source) <= bound:
+                continue
+            prefix = ordered + [binding]
+            trial = PCQuery(query.output, tuple(prefix), query.conditions)
+            # Cost the prefix only: conditions referencing unbound vars are
+            # scheduled at level 0 by the estimator but evaluate vacuously;
+            # good enough for greedy ranking.
+            cost = estimate_cost(
+                PCQuery(
+                    query.output,
+                    tuple(prefix),
+                    tuple(
+                        c
+                        for c in query.conditions
+                        if (P.free_vars(c.left) | P.free_vars(c.right))
+                        <= bound | {binding.var}
+                    ),
+                ),
+                stats,
+                model,
+            )
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_binding = binding
+        if best_binding is None:  # cyclic (should not happen); bail out
+            ordered.extend(remaining)
+            break
+        ordered.append(best_binding)
+        bound.add(best_binding.var)
+        remaining.remove(best_binding)
+
+    reordered = PCQuery(query.output, tuple(ordered), query.conditions)
+    if estimate_cost(reordered, stats, model) <= estimate_cost(query, stats, model):
+        return reordered
+    return query

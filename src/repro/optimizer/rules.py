@@ -1,0 +1,172 @@
+"""Rule-based implementation of the C&B search (section 3).
+
+"In an implementation, the conceptual search of algorithm 1 can be
+specified implicitly by configuring a rule-based optimizer with the two
+rewrite rules (chase and backchase) and requesting that the application of
+the chase rule always takes precedence over that of the backchase rule.
+Depending on the search strategy implemented by the optimizer, the search
+space may not be explored exhaustively but rather pruned using
+heuristics."
+
+This module provides exactly that: :class:`ChaseRule` and
+:class:`BackchaseRule` as rewrite rules over queries, and a
+:class:`RuleBasedOptimizer` that runs them under a pluggable strategy —
+``exhaustive`` (the complete search of Algorithm 1), ``beam`` (keep the k
+cheapest frontier queries, the paper's pruning heuristics), or ``greedy``
+(beam of width 1).  Chase steps always take precedence: a query is only
+eligible for backchasing once it is chase-saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.backchase.backchase import try_remove_binding
+from repro.chase.chase import ChaseEngine, chase_once
+from repro.constraints.epcd import EPCD
+from repro.errors import OptimizationError
+from repro.optimizer.cost import CostModel, estimate_cost
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+
+
+class RewriteRule:
+    """A rule maps a query to zero or more rewritten queries."""
+
+    name = "rule"
+
+    def apply(self, query: PCQuery) -> Iterator[PCQuery]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ChaseRule(RewriteRule):
+    """One chase step with the first applicable constraint."""
+
+    name = "chase"
+
+    def __init__(self, deps: Sequence[EPCD]) -> None:
+        self.deps = list(deps)
+
+    def apply(self, query: PCQuery) -> Iterator[PCQuery]:
+        outcome = chase_once(query, self.deps)
+        if outcome is not None:
+            yield outcome[0]
+
+
+class BackchaseRule(RewriteRule):
+    """All single-binding backchase steps."""
+
+    name = "backchase"
+
+    def __init__(self, deps: Sequence[EPCD], engine: Optional[ChaseEngine] = None) -> None:
+        self.deps = list(deps)
+        self.engine = engine or ChaseEngine(self.deps)
+
+    def apply(self, query: PCQuery) -> Iterator[PCQuery]:
+        for var in query.binding_vars():
+            candidate = try_remove_binding(query, var, self.deps, self.engine)
+            if candidate is not None:
+                yield candidate
+
+
+@dataclass
+class SearchStats:
+    """Search instrumentation (used by the ablation bench)."""
+
+    expanded: int = 0
+    generated: int = 0
+    pruned: int = 0
+
+
+class RuleBasedOptimizer:
+    """C&B as prioritized rewrite rules with a pluggable search strategy.
+
+    ``strategy`` ∈ {"exhaustive", "beam", "greedy"}.  Beam search keeps the
+    ``beam_width`` cheapest queries per depth level — sound (each kept
+    query is equivalent) but potentially incomplete: the cheapest *final*
+    plan may be pruned if its ancestors look expensive, which is the
+    trade-off the paper describes for heuristic rule-based optimizers.
+    """
+
+    def __init__(
+        self,
+        constraints: Sequence[EPCD],
+        statistics: Optional[Statistics] = None,
+        cost_model: Optional[CostModel] = None,
+        strategy: str = "exhaustive",
+        beam_width: int = 4,
+        max_nodes: int = 20_000,
+    ) -> None:
+        if strategy not in ("exhaustive", "beam", "greedy"):
+            raise OptimizationError(f"unknown strategy {strategy!r}")
+        self.constraints = list(constraints)
+        self.statistics = statistics or Statistics()
+        self.cost_model = cost_model or CostModel()
+        self.strategy = strategy
+        self.beam_width = 1 if strategy == "greedy" else beam_width
+        self.max_nodes = max_nodes
+        self.chase_rule = ChaseRule(self.constraints)
+        self.engine = ChaseEngine(self.constraints)
+        self.backchase_rule = BackchaseRule(self.constraints, self.engine)
+
+    def _cost(self, query: PCQuery) -> float:
+        return estimate_cost(query, self.statistics, self.cost_model)
+
+    def saturate(self, query: PCQuery) -> PCQuery:
+        """Apply the chase rule to fixpoint (it has precedence)."""
+
+        current = query
+        for _ in range(self.max_nodes):
+            stepped = next(self.chase_rule.apply(current), None)
+            if stepped is None:
+                return current
+            current = stepped
+        raise OptimizationError("chase rule did not saturate")
+
+    def search(
+        self, query: PCQuery, stats: Optional[SearchStats] = None
+    ) -> List[Tuple[PCQuery, float]]:
+        """Run the rule search; return (plan, cost) pairs, cheapest first."""
+
+        stats = stats if stats is not None else SearchStats()
+        universal = self.saturate(query)
+        frontier: List[PCQuery] = [universal]
+        visited: Dict[str, None] = {universal.canonical_key(): None}
+        finals: Dict[str, PCQuery] = {}
+
+        while frontier:
+            next_frontier: List[PCQuery] = []
+            for current in frontier:
+                stats.expanded += 1
+                if stats.expanded > self.max_nodes:
+                    raise OptimizationError(
+                        f"rule search exceeded {self.max_nodes} nodes"
+                    )
+                produced_any = False
+                for candidate in self.backchase_rule.apply(current):
+                    produced_any = True
+                    stats.generated += 1
+                    key = candidate.canonical_key()
+                    if key not in visited:
+                        visited[key] = None
+                        next_frontier.append(candidate)
+                if not produced_any:
+                    finals.setdefault(current.canonical_key(), current)
+            if self.strategy in ("beam", "greedy") and len(next_frontier) > self.beam_width:
+                next_frontier.sort(key=self._cost)
+                stats.pruned += len(next_frontier) - self.beam_width
+                next_frontier = next_frontier[: self.beam_width]
+            frontier = next_frontier
+
+        ranked = sorted(
+            ((plan, self._cost(plan)) for plan in finals.values()),
+            key=lambda pair: (pair[1], pair[0].canonical_key()),
+        )
+        return ranked
+
+    def best(self, query: PCQuery) -> Tuple[PCQuery, float]:
+        ranked = self.search(query)
+        if not ranked:
+            raise OptimizationError("rule search produced no plans")
+        return ranked[0]

@@ -1,0 +1,108 @@
+"""Catalog statistics used by the cost model.
+
+The paper defers to "good cost models" (section 7); Algorithm 1 only needs
+*some* cost function C to rank the minimal plans.  We provide the standard
+textbook catalog: cardinalities, distinct value counts per attribute,
+average dictionary entry sizes, and average fan-outs of set-valued
+attributes — computable exactly from an :class:`Instance` or supplied
+synthetically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.model.instance import Instance
+from repro.model.values import DictValue, Oid, Row
+
+
+DEFAULT_CARD = 1000.0
+DEFAULT_NDV = 20.0
+DEFAULT_FANOUT = 10.0
+DEFAULT_SELECTIVITY = 0.1
+
+
+@dataclass
+class Statistics:
+    """Catalog statistics keyed by schema name (and ``name.attr``)."""
+
+    cardinality: Dict[str, float] = field(default_factory=dict)
+    entry_cardinality: Dict[str, float] = field(default_factory=dict)
+    ndv: Dict[str, float] = field(default_factory=dict)
+    fanout: Dict[str, float] = field(default_factory=dict)
+    default_cardinality: float = DEFAULT_CARD
+    default_ndv: float = DEFAULT_NDV
+    default_fanout: float = DEFAULT_FANOUT
+
+    def card(self, name: str) -> float:
+        return self.cardinality.get(name, self.default_cardinality)
+
+    def entry_card(self, name: str) -> float:
+        """Average size of a set-valued dictionary entry."""
+
+        return self.entry_cardinality.get(name, self.default_fanout)
+
+    def distinct(self, name: str, attr: str) -> float:
+        return self.ndv.get(f"{name}.{attr}", self.default_ndv)
+
+    def attr_fanout(self, name: str, attr: str) -> float:
+        return self.fanout.get(f"{name}.{attr}", self.default_fanout)
+
+    def set_card(self, name: str, value: float) -> "Statistics":
+        self.cardinality[name] = float(value)
+        return self
+
+    def set_ndv(self, name: str, attr: str, value: float) -> "Statistics":
+        self.ndv[f"{name}.{attr}"] = float(value)
+        return self
+
+    @staticmethod
+    def from_instance(instance: Instance) -> "Statistics":
+        """Collect exact statistics from a database instance."""
+
+        stats = Statistics()
+        for name in instance.names():
+            value = instance[name]
+            if isinstance(value, frozenset):
+                stats.cardinality[name] = float(len(value))
+                _collect_attr_stats(stats, name, value, instance)
+            elif isinstance(value, DictValue):
+                stats.cardinality[name] = float(len(value))
+                entries = list(value.values())
+                set_entries = [e for e in entries if isinstance(e, frozenset)]
+                if set_entries:
+                    total = sum(len(e) for e in set_entries)
+                    stats.entry_cardinality[name] = total / len(set_entries)
+                row_entries = [e for e in entries if isinstance(e, Row)]
+                if row_entries:
+                    _collect_attr_stats(stats, name, frozenset(), instance, row_entries)
+        return stats
+
+
+def _collect_attr_stats(stats, name, collection, instance, rows=None):
+    """NDV and fan-out per attribute of a set of rows/oids."""
+
+    elements = rows if rows is not None else list(collection)
+    per_attr_values: Dict[str, set] = {}
+    per_attr_fanout: Dict[str, list] = {}
+    for element in elements:
+        row = element
+        if isinstance(element, Oid):
+            try:
+                row = instance.deref(element)
+            except Exception:
+                continue
+        if not isinstance(row, Row):
+            continue
+        for attr, value in row.items():
+            if isinstance(value, frozenset):
+                per_attr_fanout.setdefault(attr, []).append(len(value))
+            elif isinstance(value, (str, int, float, bool, Oid)):
+                per_attr_values.setdefault(attr, set()).add(value)
+    for attr, values in per_attr_values.items():
+        if values:
+            stats.ndv[f"{name}.{attr}"] = float(len(values))
+    for attr, sizes in per_attr_fanout.items():
+        if sizes:
+            stats.fanout[f"{name}.{attr}"] = sum(sizes) / len(sizes)

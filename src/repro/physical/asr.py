@@ -1,0 +1,74 @@
+"""Access support relations [KemperMoerkotte] over class paths.
+
+Section 2: "we model access support relations for a given path as the
+materialized relation storing the oids along the path, together with the
+dictionaries modelling the classes of the source and target objects of
+the path."  ASRs generalize path indexes and translate the join-index
+idea to the object model (n-ary instead of binary).
+
+A path is a chain of attribute steps starting from a class extent; each
+step is either set-valued (a dependent binding) or oid-valued (an
+equality hop to the target extent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.constraints.epcd import EPCD
+from repro.errors import ConstraintError
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.physical.views import MaterializedView
+from repro.query.ast import Binding, Eq, PCQuery, StructOutput
+from repro.query.paths import Attr, SName, Var
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One attribute hop: ``attr`` from the previous object.
+
+    ``target_extent`` is required for oid-valued (scalar) steps — the hop
+    binds the next object from its extent with an equality — and must be
+    ``None`` for set-valued steps (the hop is a dependent binding).
+    """
+
+    attr: str
+    target_extent: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AccessSupportRelation:
+    """An ASR for a path ``source_extent.a1.a2...an``."""
+
+    name: str
+    source_extent: str
+    steps: Tuple[PathStep, ...]
+
+    def definition(self) -> PCQuery:
+        if not self.steps:
+            raise ConstraintError(f"ASR {self.name}: empty path")
+        bindings: List[Binding] = [Binding("o0", SName(self.source_extent))]
+        conditions: List[Eq] = []
+        fields: List[Tuple[str, object]] = [("O0", Var("o0"))]
+        prev = "o0"
+        for i, step in enumerate(self.steps, start=1):
+            var = f"o{i}"
+            if step.target_extent is None:
+                bindings.append(Binding(var, Attr(Var(prev), step.attr)))
+            else:
+                bindings.append(Binding(var, SName(step.target_extent)))
+                conditions.append(Eq(Attr(Var(prev), step.attr), Var(var)))
+            fields.append((f"O{i}", Var(var)))
+            prev = var
+        return PCQuery(StructOutput(tuple(fields)), tuple(bindings), tuple(conditions))
+
+    def view(self) -> MaterializedView:
+        return MaterializedView(self.name, self.definition())
+
+    def constraints(self) -> List[EPCD]:
+        return self.view().constraints()
+
+    def install(self, instance: Instance, schema: Schema = None):
+        return self.view().install(instance, schema)

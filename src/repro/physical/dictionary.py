@@ -1,0 +1,56 @@
+"""Dictionary construction utilities (the ``dict x in Q1 => Q2`` operation).
+
+OQL lacks a dictionary constructor; section 2 extends it with
+``dict x in Q => Q'(x)`` — "the dictionary with domain Q that associates
+to an arbitrary key x the entry Q'(x)".  These helpers build
+:class:`~repro.model.values.DictValue` values in that style and provide
+grouping/inversion conveniences used by the physical structure builders
+and the workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+from repro.errors import InstanceError
+from repro.model.values import DictValue, Row
+
+
+def dict_comprehension(domain: Iterable[Any], entry: Callable[[Any], Any]) -> DictValue:
+    """``dict x in domain => entry(x)`` — the paper's constructor."""
+
+    return DictValue({key: entry(key) for key in domain})
+
+
+def from_pairs_unique(pairs: Iterable[Tuple[Any, Any]], name: str = "dict") -> DictValue:
+    """Build an element-valued dictionary; duplicate keys must agree."""
+
+    data: Dict[Any, Any] = {}
+    for key, value in pairs:
+        if key in data and data[key] != value:
+            raise InstanceError(f"{name}: conflicting entries for key {key!r}")
+        data[key] = value
+    return DictValue(data)
+
+
+def from_pairs_grouped(pairs: Iterable[Tuple[Any, Any]]) -> DictValue:
+    """Build a set-valued dictionary grouping values by key."""
+
+    buckets: Dict[Any, set] = {}
+    for key, value in pairs:
+        buckets.setdefault(key, set()).add(value)
+    return DictValue({k: frozenset(v) for k, v in buckets.items()})
+
+
+def invert_unique(dictionary: DictValue, name: str = "dict") -> DictValue:
+    """Invert an element-valued dictionary (entries must be unique)."""
+
+    return from_pairs_unique(
+        ((value, key) for key, value in dictionary.items()), name=name
+    )
+
+
+def index_rows(rows: Iterable[Row], attr: str) -> DictValue:
+    """Set-valued index of rows by one attribute."""
+
+    return from_pairs_grouped((row[attr], row) for row in rows)

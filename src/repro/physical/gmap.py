@@ -1,0 +1,133 @@
+"""Gmaps [TsatalosSolomonIoannidis] as dictionaries with constraints.
+
+Section 2: "we capture the intended meaning of a general gmap definition
+using dictionaries::
+
+    dict z in (select O1(x̄) from P̄(x̄) where B(x̄)) =>
+              (select O2(x̄) from P̄(x̄) where B(x̄) and O1(x̄) = z)"
+
+characterized by the dependency pair
+
+* GM1: ``forall(x̄ in P̄) B -> exists(z in dom G, t in G[z]) z = O1 and t = O2``
+* GM2: ``forall(z in dom G, t in G[z]) -> exists(x̄ in P̄) B and z = O1 and t = O2``
+
+The paper notes gmaps correlate domain and range by construction; our
+encoding also supports the *generalized* form where O1 and O2 are
+independent outputs over the same body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.constraints.epcd import EPCD
+from repro.errors import ConstraintError
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.types import SetType
+from repro.model.values import DictValue, Row
+from repro.query.ast import Binding, Eq, PathOutput, PCQuery, StructOutput
+from repro.query.evaluator import _iter_envs, eval_path
+from repro.query.paths import Attr, Dom, Lookup, Path, SName, Var
+
+
+@dataclass(frozen=True)
+class GMap:
+    """A gmap: body + key output (O1) + value output (O2)."""
+
+    name: str
+    bindings: Tuple[Binding, ...]
+    conditions: Tuple[Eq, ...]
+    key_output: Union[Path, StructOutput]
+    value_output: Union[Path, StructOutput]
+
+    def _fresh(self, base: str) -> str:
+        used = {b.var for b in self.bindings}
+        candidate = base
+        i = 0
+        while candidate in used:
+            i += 1
+            candidate = f"{base}{i}"
+        return candidate
+
+    def _key_conds(self, z: str) -> Tuple[Eq, ...]:
+        if isinstance(self.key_output, StructOutput):
+            return tuple(
+                Eq(Attr(Var(z), attr), path) for attr, path in self.key_output.fields
+            )
+        return (Eq(Var(z), self.key_output),)
+
+    def _value_conds(self, t: str) -> Tuple[Eq, ...]:
+        if isinstance(self.value_output, StructOutput):
+            return tuple(
+                Eq(Attr(Var(t), attr), path)
+                for attr, path in self.value_output.fields
+            )
+        return (Eq(Var(t), self.value_output),)
+
+    def constraints(self) -> List[EPCD]:
+        z, t = self._fresh("z"), self._fresh("t")
+        g = SName(self.name)
+        gm1 = EPCD(
+            name=f"{self.name}_gm1",
+            premise_bindings=self.bindings,
+            premise_conditions=self.conditions,
+            conclusion_bindings=(
+                Binding(z, Dom(g)),
+                Binding(t, Lookup(g, Var(z))),
+            ),
+            conclusion_conditions=self._key_conds(z) + self._value_conds(t),
+        )
+        gm2 = EPCD(
+            name=f"{self.name}_gm2",
+            premise_bindings=(
+                Binding(z, Dom(g)),
+                Binding(t, Lookup(g, Var(z))),
+            ),
+            conclusion_bindings=self.bindings,
+            conclusion_conditions=self.conditions
+            + self._key_conds(z)
+            + self._value_conds(t),
+        )
+        return [gm1, gm2]
+
+    def materialize(self, instance: Instance) -> DictValue:
+        """Group value outputs by key output over the body."""
+
+        body = PCQuery(PathOutput(Var(self.bindings[0].var)), self.bindings, self.conditions)
+        buckets: Dict = {}
+        for env in _iter_envs(body, instance):
+            key = self._eval_output(self.key_output, env, instance)
+            value = self._eval_output(self.value_output, env, instance)
+            buckets.setdefault(key, set()).add(value)
+        return DictValue({k: frozenset(v) for k, v in buckets.items()})
+
+    @staticmethod
+    def _eval_output(output, env, instance):
+        if isinstance(output, StructOutput):
+            return Row({a: eval_path(p, env, instance) for a, p in output.fields})
+        return eval_path(output, env, instance)
+
+    def install(self, instance: Instance, schema: Schema = None) -> DictValue:
+        value = self.materialize(instance)
+        instance[self.name] = value
+        return value
+
+    @staticmethod
+    def from_queries(name: str, domain_query: PCQuery, value_output) -> "GMap":
+        """Convenience: gmap from the domain query plus a value output over
+        the same body (the paper's ``dict z in Q1 => Q2[z]`` notation)."""
+
+        key_output = (
+            domain_query.output
+            if isinstance(domain_query.output, StructOutput)
+            else domain_query.output.path
+        )
+        return GMap(
+            name=name,
+            bindings=domain_query.bindings,
+            conditions=domain_query.conditions,
+            key_output=key_output,
+            value_output=value_output,
+        )

@@ -1,0 +1,167 @@
+"""Primary and secondary indexes as dictionaries-with-constraints.
+
+Section 2 of the paper: an index is *completely characterized* by
+constraints.  A primary index ``I`` on key attribute ``A`` of relation
+``R`` is a dictionary from key values to rows with
+
+* PI1: ``forall(p in R) -> exists(i in dom I) i = p.A and I[i] = p``
+* PI2: ``forall(i in dom I) -> exists(p in R) i = p.A and I[i] = p``
+
+and a secondary index ``SI`` on (non-key) ``A`` maps values to *sets* of
+rows:
+
+* SI1: ``forall(p in R) -> exists(k in dom SI, t in SI[k]) k = p.A and p = t``
+* SI2: ``forall(k in dom SI, t in SI[k]) -> exists(p in R) k = p.A and p = t``
+* SI3: ``forall(k in dom SI) -> exists(t in SI[k]) true``  (non-emptiness)
+
+Each builder also materializes the dictionary from an instance and
+contributes the physical schema entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.constraints.epcd import EPCD
+from repro.errors import InstanceError, SchemaError
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.types import DictType, SetType, StructType, Type
+from repro.model.values import DictValue
+from repro.query.ast import Binding, Eq
+from repro.query.paths import Dom, Lookup, SName, Var
+
+
+@dataclass(frozen=True)
+class PrimaryIndex:
+    """A unique index: ``Dict<key, row>`` over relation ``relation``."""
+
+    name: str
+    relation: str
+    key_attr: str
+
+    def constraints(self) -> List[EPCD]:
+        p, i = Var("p"), Var("i")
+        rel, idx = SName(self.relation), SName(self.name)
+        pi1 = EPCD(
+            name=f"{self.name}_pi1",
+            premise_bindings=(Binding("p", rel),),
+            conclusion_bindings=(Binding("i", Dom(idx)),),
+            conclusion_conditions=(
+                Eq(i, getattr_path(p, self.key_attr)),
+                Eq(Lookup(idx, i), p),
+            ),
+        )
+        pi2 = EPCD(
+            name=f"{self.name}_pi2",
+            premise_bindings=(Binding("i", Dom(idx)),),
+            conclusion_bindings=(Binding("p", rel),),
+            conclusion_conditions=(
+                Eq(i, getattr_path(p, self.key_attr)),
+                Eq(Lookup(idx, i), p),
+            ),
+        )
+        return [pi1, pi2]
+
+    def schema_type(self, relation_type: Type) -> DictType:
+        if not isinstance(relation_type, SetType) or not isinstance(
+            relation_type.elem, StructType
+        ):
+            raise SchemaError(f"{self.relation} is not a relation type")
+        row_type = relation_type.elem
+        return DictType(row_type.field(self.key_attr), row_type)
+
+    def materialize(self, instance: Instance) -> DictValue:
+        """Build the index; raises on key violations (it is a *primary*
+        index — the relation must satisfy the key dependency)."""
+
+        rows = instance[self.relation]
+        data: Dict = {}
+        for row in rows:
+            key = row[self.key_attr]
+            if key in data and data[key] != row:
+                raise InstanceError(
+                    f"primary index {self.name}: duplicate key {key!r} in "
+                    f"{self.relation}"
+                )
+            data[key] = row
+        return DictValue(data)
+
+    def install(self, instance: Instance, schema: Schema = None) -> DictValue:
+        value = self.materialize(instance)
+        instance[self.name] = value
+        if schema is not None and self.name not in schema:
+            schema.add(self.name, self.schema_type(schema.type_of(self.relation)))
+        return value
+
+
+@dataclass(frozen=True)
+class SecondaryIndex:
+    """A non-unique index: ``Dict<value, Set<row>>`` over ``relation``."""
+
+    name: str
+    relation: str
+    key_attr: str
+
+    def constraints(self) -> List[EPCD]:
+        p, k, t = Var("p"), Var("k"), Var("t")
+        rel, idx = SName(self.relation), SName(self.name)
+        si1 = EPCD(
+            name=f"{self.name}_si1",
+            premise_bindings=(Binding("p", rel),),
+            conclusion_bindings=(
+                Binding("k", Dom(idx)),
+                Binding("t", Lookup(idx, k)),
+            ),
+            conclusion_conditions=(
+                Eq(k, getattr_path(p, self.key_attr)),
+                Eq(p, t),
+            ),
+        )
+        si2 = EPCD(
+            name=f"{self.name}_si2",
+            premise_bindings=(
+                Binding("k", Dom(idx)),
+                Binding("t", Lookup(idx, k)),
+            ),
+            conclusion_bindings=(Binding("p", rel),),
+            conclusion_conditions=(
+                Eq(k, getattr_path(p, self.key_attr)),
+                Eq(p, t),
+            ),
+        )
+        si3 = EPCD(
+            name=f"{self.name}_si3",
+            premise_bindings=(Binding("k", Dom(idx)),),
+            conclusion_bindings=(Binding("t", Lookup(idx, k)),),
+        )
+        return [si1, si2, si3]
+
+    def schema_type(self, relation_type: Type) -> DictType:
+        if not isinstance(relation_type, SetType) or not isinstance(
+            relation_type.elem, StructType
+        ):
+            raise SchemaError(f"{self.relation} is not a relation type")
+        row_type = relation_type.elem
+        return DictType(row_type.field(self.key_attr), SetType(row_type))
+
+    def materialize(self, instance: Instance) -> DictValue:
+        rows = instance[self.relation]
+        buckets: Dict = {}
+        for row in rows:
+            buckets.setdefault(row[self.key_attr], set()).add(row)
+        return DictValue({k: frozenset(v) for k, v in buckets.items()})
+
+    def install(self, instance: Instance, schema: Schema = None) -> DictValue:
+        value = self.materialize(instance)
+        instance[self.name] = value
+        if schema is not None and self.name not in schema:
+            schema.add(self.name, self.schema_type(schema.type_of(self.relation)))
+        return value
+
+
+def getattr_path(base: Var, attr: str):
+    from repro.query.paths import Attr
+
+    return Attr(base, attr)

@@ -1,0 +1,74 @@
+"""Join indexes [Valduriez] as view + index triples.
+
+Section 2: "We can fully describe a join index by a triple consisting of a
+materialized binary relation (view) and two indexes."  The binary relation
+stores the surrogates (keys) of joining tuple pairs; the two primary
+indexes on the surrogates let the join be computed by scanning the join
+index and probing both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.constraints.epcd import EPCD
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.physical.indexes import PrimaryIndex
+from repro.physical.views import MaterializedView
+from repro.query.ast import Binding, Eq, PCQuery, StructOutput
+from repro.query.paths import Attr, SName, Var
+
+
+@dataclass(frozen=True)
+class JoinIndex:
+    """A join index for ``R ⋈_{R.a = S.b} S`` keyed by surrogates.
+
+    ``left_key``/``right_key`` are the surrogate (key) attributes of the
+    two relations; the materialized binary relation pairs them for every
+    joining tuple pair.
+    """
+
+    name: str
+    left_relation: str
+    left_key: str
+    left_join_attr: str
+    right_relation: str
+    right_key: str
+    right_join_attr: str
+
+    def view(self) -> MaterializedView:
+        r, s = Var("r"), Var("s")
+        definition = PCQuery(
+            StructOutput(
+                (
+                    ("LK", Attr(r, self.left_key)),
+                    ("RK", Attr(s, self.right_key)),
+                )
+            ),
+            (
+                Binding("r", SName(self.left_relation)),
+                Binding("s", SName(self.right_relation)),
+            ),
+            (Eq(Attr(r, self.left_join_attr), Attr(s, self.right_join_attr)),),
+        )
+        return MaterializedView(self.name, definition)
+
+    def left_index(self) -> PrimaryIndex:
+        return PrimaryIndex(f"{self.name}_IL", self.left_relation, self.left_key)
+
+    def right_index(self) -> PrimaryIndex:
+        return PrimaryIndex(f"{self.name}_IR", self.right_relation, self.right_key)
+
+    def constraints(self) -> List[EPCD]:
+        return (
+            self.view().constraints()
+            + self.left_index().constraints()
+            + self.right_index().constraints()
+        )
+
+    def install(self, instance: Instance, schema: Schema = None) -> None:
+        self.view().install(instance, schema)
+        self.left_index().install(instance, schema)
+        self.right_index().install(instance, schema)

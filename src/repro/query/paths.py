@@ -1,0 +1,355 @@
+"""Path expressions — the term language shared by queries and constraints.
+
+Grammar (section 5 of the paper)::
+
+    Paths:  P ::= x | c | R | P.A | dom P | P[x]
+
+plus the non-failing lookup ``P{k}`` which the paper introduces for plans
+(never produced by path-conjunctive parsing; see restriction 2 in §5).
+
+Paths are immutable, hashable nodes.  The chase and backchase perform
+millions of hash/equality/free-variable operations on them, so every node
+precomputes its structural key, hash, rendered text and free-variable set
+at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Tuple
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+class Path:
+    """Abstract base class of path expressions.
+
+    Subclasses set ``_key`` (a nested tuple unique to the term), ``_hash``,
+    ``_str`` (rendered form), ``_fvs`` (free variables) and ``_size``.
+    All nodes are *interned*: structurally equal paths are the same object,
+    so equality is (almost always) identity and dictionary operations in
+    the congruence engine are cheap.
+    """
+
+    __slots__ = ("_key", "_hash", "_str", "_fvs", "_size")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        # Interning makes identity the common case; the structural
+        # fallback keeps correctness for unpickled/copied nodes.
+        if self is other:
+            return True
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._hash == other._hash and self._key == other._key
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __str__(self) -> str:
+        return self._str
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._str})"
+
+    def __lt__(self, other: "Path") -> bool:
+        return self._key < other._key
+
+
+class Var(Path):
+    """A query/constraint variable."""
+
+    __slots__ = ("name",)
+    _intern: Dict[Any, "Var"] = {}
+
+    def __new__(cls, name: str) -> "Var":
+        obj = cls._intern.get(name)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.name = name
+        obj._key = ("v", name)
+        obj._hash = hash(obj._key)
+        obj._str = name
+        obj._fvs = frozenset((name,))
+        obj._size = 1
+        cls._intern[name] = obj
+        return obj
+
+
+class Const(Path):
+    """A constant at base type (string, int, float, bool)."""
+
+    __slots__ = ("value",)
+    _intern: Dict[Any, "Const"] = {}
+
+    def __new__(cls, value: Any) -> "Const":
+        key = ("c", type(value).__name__, value)
+        obj = cls._intern.get(key)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.value = value
+        obj._key = key
+        obj._hash = hash(key)
+        obj._str = f'"{value}"' if isinstance(value, str) else str(value)
+        obj._fvs = _EMPTY
+        obj._size = 1
+        cls._intern[key] = obj
+        return obj
+
+
+class SName(Path):
+    """A schema name: a relation, class extent or dictionary."""
+
+    __slots__ = ("name",)
+    _intern: Dict[Any, "SName"] = {}
+
+    def __new__(cls, name: str) -> "SName":
+        obj = cls._intern.get(name)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.name = name
+        obj._key = ("n", name)
+        obj._hash = hash(obj._key)
+        obj._str = name
+        obj._fvs = _EMPTY
+        obj._size = 1
+        cls._intern[name] = obj
+        return obj
+
+
+class Attr(Path):
+    """Projection / oid dereference: ``P.A``."""
+
+    __slots__ = ("base", "attr")
+    _intern: Dict[Any, "Attr"] = {}
+
+    def __new__(cls, base: Path, attr: str) -> "Attr":
+        key = ("a", base._key, attr)
+        obj = cls._intern.get(key)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.base = base
+        obj.attr = attr
+        obj._key = key
+        obj._hash = hash(key)
+        obj._str = f"{base._str}.{attr}"
+        obj._fvs = base._fvs
+        obj._size = base._size + 1
+        cls._intern[key] = obj
+        return obj
+
+
+class Dom(Path):
+    """Dictionary domain: ``dom P``."""
+
+    __slots__ = ("base",)
+    _intern: Dict[Any, "Dom"] = {}
+
+    def __new__(cls, base: Path) -> "Dom":
+        key = ("d", base._key)
+        obj = cls._intern.get(key)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.base = base
+        obj._key = key
+        obj._hash = hash(key)
+        obj._str = f"dom({base._str})"
+        obj._fvs = base._fvs
+        obj._size = base._size + 1
+        cls._intern[key] = obj
+        return obj
+
+
+class Lookup(Path):
+    """Failing dictionary lookup ``P[k]``.
+
+    The PC restriction requires the key to be a variable covered by a
+    ``dom P`` binding; general plans may carry arbitrary keys once safety
+    has been proven (optimizer/refine).
+    """
+
+    __slots__ = ("base", "key")
+    _intern: Dict[Any, "Lookup"] = {}
+
+    def __new__(cls, base: Path, key: Path) -> "Lookup":
+        k = ("l", base._key, key._key)
+        obj = cls._intern.get(k)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.base = base
+        obj.key = key
+        obj._key = k
+        obj._hash = hash(k)
+        obj._str = f"{base._str}[{key._str}]"
+        obj._fvs = base._fvs | key._fvs
+        obj._size = base._size + key._size + 1
+        cls._intern[k] = obj
+        return obj
+
+
+class NFLookup(Path):
+    """Non-failing lookup ``P{k}``: empty set when ``k ∉ dom P``.
+
+    Only meaningful for dictionaries with set-valued entries; appears in
+    final plans such as the paper's P3 (``SI{"CitiBank"}``).
+    """
+
+    __slots__ = ("base", "key")
+    _intern: Dict[Any, "NFLookup"] = {}
+
+    def __new__(cls, base: Path, key: Path) -> "NFLookup":
+        k = ("nf", base._key, key._key)
+        obj = cls._intern.get(k)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.base = base
+        obj.key = key
+        obj._key = k
+        obj._hash = hash(k)
+        obj._str = f"{base._str}{{{key._str}}}"
+        obj._fvs = base._fvs | key._fvs
+        obj._size = base._size + key._size + 1
+        cls._intern[k] = obj
+        return obj
+
+
+# ---------------------------------------------------------------------------
+# structural helpers
+# ---------------------------------------------------------------------------
+
+
+def children(path: Path) -> Tuple[Path, ...]:
+    """Immediate subterms of a path (empty for leaves)."""
+
+    if isinstance(path, Attr):
+        return (path.base,)
+    if isinstance(path, Dom):
+        return (path.base,)
+    if isinstance(path, (Lookup, NFLookup)):
+        return (path.base, path.key)
+    return ()
+
+
+def rebuild(path: Path, new_children: Tuple[Path, ...]) -> Path:
+    """Reassemble a composite path with replaced children."""
+
+    if isinstance(path, Attr):
+        return Attr(new_children[0], path.attr)
+    if isinstance(path, Dom):
+        return Dom(new_children[0])
+    if isinstance(path, Lookup):
+        return Lookup(new_children[0], new_children[1])
+    if isinstance(path, NFLookup):
+        return NFLookup(new_children[0], new_children[1])
+    return path
+
+
+def subterms(path: Path) -> Iterator[Path]:
+    """All subterms including the path itself (post-order)."""
+
+    for child in children(path):
+        yield from subterms(child)
+    yield path
+
+
+def free_vars(path: Path) -> FrozenSet[str]:
+    """Variable names occurring in the path (precomputed)."""
+
+    return path._fvs
+
+
+def schema_names(path: Path) -> FrozenSet[str]:
+    """Schema names mentioned in the path."""
+
+    if isinstance(path, SName):
+        return frozenset((path.name,))
+    result: FrozenSet[str] = frozenset()
+    for child in children(path):
+        result |= schema_names(child)
+    return result
+
+
+def substitute(path: Path, mapping: Dict[str, Path]) -> Path:
+    """Replace variables by paths according to ``mapping``."""
+
+    if not path._fvs:
+        return path
+    if isinstance(path, Var):
+        return mapping.get(path.name, path)
+    hit = False
+    for var in path._fvs:
+        if var in mapping:
+            hit = True
+            break
+    if not hit:
+        return path
+    kids = children(path)
+    new_kids = tuple(substitute(k, mapping) for k in kids)
+    if new_kids == kids:
+        return path
+    return rebuild(path, new_kids)
+
+
+def transform(path: Path, fn: Callable[[Path], Path]) -> Path:
+    """Bottom-up rewriting: apply ``fn`` to every subterm."""
+
+    kids = children(path)
+    if kids:
+        new_kids = tuple(transform(k, fn) for k in kids)
+        if new_kids != kids:
+            path = rebuild(path, new_kids)
+    return fn(path)
+
+
+def mentions_var(path: Path, var: str) -> bool:
+    return var in path._fvs
+
+
+def depth(path: Path) -> int:
+    """Nesting depth of a path (leaves have depth 1)."""
+
+    kids = children(path)
+    if not kids:
+        return 1
+    return 1 + max(depth(k) for k in kids)
+
+
+def size(path: Path) -> int:
+    """Number of AST nodes (precomputed)."""
+
+    return path._size
+
+
+def path_sort_key(path: Path) -> Tuple:
+    """Deterministic ordering key (for canonical printing/enumeration)."""
+
+    return (path._size, path._str)
+
+
+# Convenience constructors used pervasively in tests and examples.
+def V(name: str) -> Var:
+    return Var(name)
+
+
+def C(value: Any) -> Const:
+    return Const(value)
+
+
+def N(name: str) -> SName:
+    return SName(name)
+
+
+def A(base: Path, *attrs: str) -> Path:
+    result = base
+    for attr in attrs:
+        result = Attr(result, attr)
+    return result

@@ -1,0 +1,48 @@
+"""Pretty-printing of queries and constraints in the paper's OQL-ish syntax.
+
+``str(query)`` already yields a one-line form; this module adds an indented
+multi-line form matching the paper's display style, and printing for EPCDs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.query.ast import PCQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.constraints.epcd import EPCD
+
+
+def format_query(query: PCQuery, indent: int = 0) -> str:
+    """Multi-line ``select / from / where`` rendering."""
+
+    pad = " " * indent
+    lines = [f"{pad}select {query.output}"]
+    if query.bindings:
+        binds = ",\n".join(
+            f"{pad}     {b.source} {b.var}" for b in query.bindings
+        )
+        lines.append(f"{pad}from\n{binds}" if len(query.bindings) > 1 else f"{pad}from {query.bindings[0]}")
+    if query.conditions:
+        conds = f"\n{pad}  and ".join(str(c) for c in query.conditions)
+        lines.append(f"{pad}where {conds}")
+    return "\n".join(lines)
+
+
+def format_constraint(dep: "EPCD") -> str:
+    """Render an EPCD in the paper's assertion style."""
+
+    prem_binds = ", ".join(f"{b.var} in {b.source}" for b in dep.premise_bindings)
+    parts = [f"forall ({prem_binds})"]
+    if dep.premise_conditions:
+        parts.append("where " + " and ".join(str(c) for c in dep.premise_conditions))
+    parts.append("->")
+    if dep.conclusion_bindings:
+        conc_binds = ", ".join(f"{b.var} in {b.source}" for b in dep.conclusion_bindings)
+        parts.append(f"exists ({conc_binds})")
+    if dep.conclusion_conditions:
+        parts.append(" and ".join(str(c) for c in dep.conclusion_conditions))
+    elif dep.conclusion_bindings:
+        parts.append("true")
+    return " ".join(parts)

@@ -1,0 +1,219 @@
+"""Type checking of paths and queries against a schema.
+
+Implements the PC restrictions of section 5:
+
+1. dictionary keys, where-clause equalities and select expressions must not
+   be (or contain) set- or dictionary-typed expressions;
+2. a lookup ``P[x]`` requires a guard binding ``x' in dom(P)`` with
+   ``x = x'`` implied by the where clause (we check the syntactic
+   special case plus directly stated equalities, which is the paper's
+   PTIME-checkable condition).
+
+Plans produced by the optimizer's refinement pass (direct lookups proven
+safe, non-failing lookups) intentionally violate restriction 2; pass
+``strict=False`` for those.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import QueryValidationError
+from repro.model.schema import Schema
+from repro.model.types import (
+    BaseType,
+    DictType,
+    OidType,
+    SetType,
+    StructType,
+    Type,
+    python_base_type,
+)
+from repro.query.ast import PCQuery, StructOutput
+from repro.query.paths import (
+    Attr,
+    Const,
+    Dom,
+    Lookup,
+    NFLookup,
+    Path,
+    SName,
+    Var,
+)
+
+
+def type_of_path(path: Path, schema: Schema, env: Dict[str, Type]) -> Type:
+    """Infer the type of ``path``; raise :class:`QueryValidationError`."""
+
+    if isinstance(path, Var):
+        if path.name not in env:
+            raise QueryValidationError(f"unbound variable {path.name!r}")
+        return env[path.name]
+    if isinstance(path, Const):
+        ty = python_base_type(path.value)
+        if ty is None:
+            raise QueryValidationError(f"constant {path.value!r} is not a base value")
+        return ty
+    if isinstance(path, SName):
+        return schema.type_of(path.name)
+    if isinstance(path, Attr):
+        base_ty = type_of_path(path.base, schema, env)
+        if isinstance(base_ty, StructType):
+            if not base_ty.has_field(path.attr):
+                raise QueryValidationError(f"no field {path.attr!r} in {base_ty}")
+            return base_ty.field(path.attr)
+        if isinstance(base_ty, OidType):
+            return schema.oid_attr_type(base_ty, path.attr)
+        raise QueryValidationError(
+            f"attribute access {path} on non-struct type {base_ty}"
+        )
+    if isinstance(path, Dom):
+        base_ty = type_of_path(path.base, schema, env)
+        if not isinstance(base_ty, DictType):
+            raise QueryValidationError(f"dom of non-dictionary type {base_ty}")
+        return SetType(base_ty.key)
+    if isinstance(path, (Lookup, NFLookup)):
+        base_ty = type_of_path(path.base, schema, env)
+        if not isinstance(base_ty, DictType):
+            raise QueryValidationError(f"lookup into non-dictionary type {base_ty}")
+        key_ty = type_of_path(path.key, schema, env)
+        if not _compatible(key_ty, base_ty.key):
+            raise QueryValidationError(
+                f"lookup key type {key_ty} does not match {base_ty.key} in {path}"
+            )
+        if isinstance(path, NFLookup) and not isinstance(base_ty.value, SetType):
+            raise QueryValidationError(
+                f"non-failing lookup {path} requires set-valued entries"
+            )
+        return base_ty.value
+    raise QueryValidationError(f"unknown path node {path!r}")
+
+
+def _compatible(a: Type, b: Type) -> bool:
+    if a == b:
+        return True
+    # int constants may key float dictionaries etc.; keep base types loose.
+    return isinstance(a, BaseType) and isinstance(b, BaseType)
+
+
+def _contains_collection(ty: Type) -> bool:
+    return isinstance(ty, (SetType, DictType))
+
+
+class TypedQuery:
+    """The result of type checking: per-variable types and the output type."""
+
+    def __init__(self, query: PCQuery, env: Dict[str, Type], output_type: Type) -> None:
+        self.query = query
+        self.env = env
+        self.output_type = output_type
+
+
+def typecheck_query(
+    query: PCQuery,
+    schema: Schema,
+    strict: bool = True,
+) -> TypedQuery:
+    """Type check a query; enforce PC restrictions when ``strict``."""
+
+    query.validate()
+    env: Dict[str, Type] = {}
+    guarded: Dict[str, List[Path]] = {}  # var -> dictionary paths it guards
+    for binding in query.bindings:
+        source_ty = type_of_path(binding.source, schema, env)
+        if not isinstance(source_ty, SetType):
+            raise QueryValidationError(
+                f"binding source {binding.source} has non-set type {source_ty}"
+            )
+        env[binding.var] = source_ty.elem
+        if isinstance(binding.source, Dom):
+            guarded.setdefault(binding.var, []).append(binding.source.base)
+
+    for cond in query.conditions:
+        left_ty = type_of_path(cond.left, schema, env)
+        right_ty = type_of_path(cond.right, schema, env)
+        if strict and (_contains_collection(left_ty) or _contains_collection(right_ty)):
+            raise QueryValidationError(
+                f"set/dictionary-typed equality violates PC restriction 1: {cond}"
+            )
+        if not _loosely_compatible(left_ty, right_ty, schema):
+            raise QueryValidationError(
+                f"ill-typed equality {cond}: {left_ty} vs {right_ty}"
+            )
+
+    if isinstance(query.output, StructOutput):
+        fields = []
+        for name, path in query.output.fields:
+            fty = type_of_path(path, schema, env)
+            if strict and _contains_collection(fty):
+                raise QueryValidationError(
+                    f"select field {name} has collection type {fty} (PC restriction 1)"
+                )
+            fields.append((name, fty))
+        output_type: Type = SetType(StructType(tuple(fields)))
+    else:
+        pty = type_of_path(query.output.path, schema, env)
+        if strict and _contains_collection(pty):
+            raise QueryValidationError(
+                f"select path has collection type {pty} (PC restriction 1)"
+            )
+        output_type = SetType(pty)
+
+    if strict:
+        _check_lookup_guards(query, schema, env)
+    return TypedQuery(query, env, output_type)
+
+
+def _loosely_compatible(a: Type, b: Type, schema: Schema) -> bool:
+    if a == b:
+        return True
+    if isinstance(a, BaseType) and isinstance(b, BaseType):
+        return True
+    # Struct/oid equalities such as I[i] = p (paper's PI1/PI2) require the
+    # same record shape.
+    if isinstance(a, StructType) and isinstance(b, StructType):
+        return set(a.field_names()) == set(b.field_names())
+    if isinstance(a, OidType) and isinstance(b, OidType):
+        return a.class_name == b.class_name
+    return False
+
+
+def _check_lookup_guards(query: PCQuery, schema: Schema, env: Dict[str, Type]) -> None:
+    """PC restriction 2: each lookup key must be a dom-guarded variable."""
+
+    stated = {frozenset((str(c.left), str(c.right))) for c in query.conditions}
+
+    def guard_ok(lookup: Lookup) -> bool:
+        if not isinstance(lookup.key, Var):
+            return False
+        key = lookup.key
+        for binding in query.bindings:
+            if not isinstance(binding.source, Dom):
+                continue
+            if str(binding.source.base) != str(lookup.base):
+                continue
+            if binding.var == key.name:
+                return True
+            if frozenset((binding.var, key.name)) == frozenset((key.name, binding.var)) and (
+                frozenset((str(Var(binding.var)), str(key))) in stated
+            ):
+                return True
+        return False
+
+    def visit(path: Path) -> None:
+        if isinstance(path, NFLookup):
+            raise QueryValidationError(
+                f"non-failing lookup {path} is not path-conjunctive (plans only)"
+            )
+        if isinstance(path, Lookup) and not guard_ok(path):
+            raise QueryValidationError(
+                f"unguarded lookup {path}: PC restriction 2 requires a "
+                f"binding over dom({path.base}) equal to the key"
+            )
+        from repro.query.paths import children
+
+        for child in children(path):
+            visit(child)
+
+    for top in query.all_paths():
+        visit(top)

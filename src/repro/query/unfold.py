@@ -1,0 +1,143 @@
+"""View unfolding (section 5: "The equivalence check can be done by
+unfolding the view definitions").
+
+``unfold_view`` replaces each scan of a materialized view by the view's
+body: the view binding's attribute projections become the corresponding
+output paths of the definition, the body's bindings and conditions are
+spliced in with fresh variables.  ``unfold_all`` iterates until no view
+names remain (views over views are supported as long as they are acyclic,
+which :class:`MaterializedView` guarantees for direct self-reference).
+
+This yields an independent equivalence procedure for plans over views —
+used by the test suite to cross-check the chase-based containment test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import QueryValidationError
+from repro.physical.views import MaterializedView
+from repro.query import paths as P
+from repro.query.ast import Binding, Eq, PCQuery, fresh_var_namer
+from repro.query.paths import Attr, Path, SName, Var
+
+
+def _rewrite_view_projections(
+    path: Path, view_var: str, field_map: Dict[str, Path]
+) -> Path:
+    """Replace ``v.A`` by the definition's output path for ``A``."""
+
+    def rewrite(term: Path) -> Path:
+        if (
+            isinstance(term, Attr)
+            and isinstance(term.base, Var)
+            and term.base.name == view_var
+        ):
+            if term.attr not in field_map:
+                raise QueryValidationError(
+                    f"view has no output field {term.attr!r}"
+                )
+            return field_map[term.attr]
+        return term
+
+    return P.transform(path, rewrite)
+
+
+def unfold_view(query: PCQuery, view: MaterializedView) -> PCQuery:
+    """Unfold every scan of ``view`` in ``query``.
+
+    The view variable may only be used through attribute projections
+    (``v.A``); a bare use of ``v`` (e.g. ``v = x``) has no equivalent
+    after unfolding and raises :class:`QueryValidationError`.
+    """
+
+    current = query
+    while True:
+        target = next(
+            (
+                b
+                for b in current.bindings
+                if isinstance(b.source, SName) and b.source.name == view.name
+            ),
+            None,
+        )
+        if target is None:
+            return current
+        current = _unfold_one(current, target, view)
+
+
+def _unfold_one(
+    query: PCQuery, target: Binding, view: MaterializedView
+) -> PCQuery:
+    namer = fresh_var_namer(query, prefix="_u")
+    renaming = {b.var: next(namer) for b in view.definition.bindings}
+    body = view.definition.rename_vars(renaming)
+
+    field_map: Dict[str, Path] = dict(body.output.fields)
+    view_var = target.var
+
+    def rewrite(path: Path) -> Path:
+        rewritten = _rewrite_view_projections(path, view_var, field_map)
+        if view_var in P.free_vars(rewritten):
+            raise QueryValidationError(
+                f"cannot unfold: variable {view_var!r} used as a whole value"
+            )
+        return rewritten
+
+    new_bindings: List[Binding] = []
+    for binding in query.bindings:
+        if binding.var == view_var:
+            new_bindings.extend(body.bindings)
+        else:
+            new_bindings.append(Binding(binding.var, rewrite(binding.source)))
+    new_conditions = [
+        Eq(rewrite(c.left), rewrite(c.right)) for c in query.conditions
+    ]
+    new_conditions.extend(body.conditions)
+    if hasattr(query.output, "fields"):
+        from repro.query.ast import StructOutput
+
+        new_output = StructOutput(
+            tuple((name, rewrite(path)) for name, path in query.output.fields)
+        )
+    else:
+        from repro.query.ast import PathOutput
+
+        new_output = PathOutput(rewrite(query.output.path))
+    result = PCQuery(new_output, tuple(new_bindings), tuple(new_conditions))
+    result.validate()
+    return result
+
+
+def unfold_all(
+    query: PCQuery, views: Sequence[MaterializedView], max_rounds: int = 20
+) -> PCQuery:
+    """Unfold until no view name remains in the query."""
+
+    by_name = {v.name: v for v in views}
+    current = query
+    for _ in range(max_rounds):
+        mentioned = current.schema_names() & set(by_name)
+        if not mentioned:
+            return current
+        for name in sorted(mentioned):
+            current = unfold_view(current, by_name[name])
+    raise QueryValidationError("view unfolding did not terminate (cyclic views?)")
+
+
+def is_equivalent_by_unfolding(
+    q1: PCQuery,
+    q2: PCQuery,
+    views: Sequence[MaterializedView],
+) -> bool:
+    """Equivalence of view-using plans by unfolding + classical containment.
+
+    Sound and complete for PC plans whose only non-base names are the
+    given views (no indexes, no other constraints) — the setting of the
+    paper's completeness theorems.
+    """
+
+    from repro.chase.containment import is_equivalent
+
+    return is_equivalent(unfold_all(q1, views), unfold_all(q2, views))

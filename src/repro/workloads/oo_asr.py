@@ -1,0 +1,107 @@
+"""A two-class OO workload exercising access support relations (§2).
+
+Classes ``Dept`` (extent ``depts``) and ``Emp`` (extent ``emps``); each
+department holds a set-valued relationship ``Staff`` of employee oids.
+The navigation query
+
+    select struct(D = d.DName, E = e.EName)
+    from depts d, d.Staff e
+
+admits an ASR-based plan: scan the materialized path relation
+``ASR(O0, O1)`` and dereference both oids through the class dictionaries —
+exactly how "ASRs are used to rewrite navigation style path queries to
+queries which scan the access support relation ... and dereference these
+oids to access the objects" (section 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.constraints.epcd import EPCD
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.types import INT, STRING, OidType, SetType, struct
+from repro.model.values import Oid, Row
+from repro.optimizer.statistics import Statistics
+from repro.physical.asr import AccessSupportRelation, PathStep
+from repro.physical.classes import ClassEncoding
+from repro.query.ast import PCQuery
+from repro.query.parser import parse_query
+
+QUERY_TEXT = """
+select struct(D = d.DName, E = e.EName)
+from depts d, d.Staff e
+"""
+
+
+@dataclass
+class OOASRWorkload:
+    schema: Schema
+    instance: Instance
+    constraints: List[EPCD]
+    query: PCQuery
+    statistics: Statistics
+    dept_encoding: ClassEncoding
+    emp_encoding: ClassEncoding
+    asr: AccessSupportRelation
+
+    @property
+    def physical_names(self) -> frozenset:
+        return frozenset(("Dept", "Emp", "ASR"))
+
+
+def build_oo_asr(
+    n_depts: int = 10,
+    staff_per_dept: int = 8,
+    seed: int = 17,
+) -> OOASRWorkload:
+    rng = random.Random(seed)
+    schema = Schema("oo-asr")
+
+    emp_attrs = struct(EName=STRING, Salary=INT)
+    dept_attrs = struct(DName=STRING, Staff=SetType(OidType("Emp")))
+    emp_encoding = ClassEncoding("Emp", "emps", "Emp", emp_attrs)
+    dept_encoding = ClassEncoding("Dept", "depts", "Dept", dept_attrs)
+    emp_encoding.register(schema)
+    dept_encoding.register(schema)
+
+    instance = Instance()
+    emp_objects = {}
+    next_emp = 0
+    dept_objects = {}
+    for d in range(n_depts):
+        staff = set()
+        for _ in range(staff_per_dept):
+            oid = Oid("Emp", next_emp)
+            emp_objects[oid] = Row(
+                EName=f"E{next_emp}", Salary=rng.randrange(50, 150)
+            )
+            staff.add(oid)
+            next_emp += 1
+        dept_objects[Oid("Dept", d)] = Row(
+            DName=f"D{d}", Staff=frozenset(staff)
+        )
+    emp_encoding.populate(instance, emp_objects)
+    dept_encoding.populate(instance, dept_objects)
+
+    asr = AccessSupportRelation("ASR", "depts", (PathStep("Staff"),))
+    asr.install(instance)
+
+    constraints: List[EPCD] = []
+    constraints.extend(dept_encoding.constraints())
+    constraints.extend(emp_encoding.constraints())
+    constraints.extend(asr.constraints())
+
+    return OOASRWorkload(
+        schema=schema,
+        instance=instance,
+        constraints=constraints,
+        query=parse_query(QUERY_TEXT),
+        statistics=Statistics.from_instance(instance),
+        dept_encoding=dept_encoding,
+        emp_encoding=emp_encoding,
+        asr=asr,
+    )

@@ -1,0 +1,233 @@
+"""The ProjDept workload — figures 2 and 3 of the paper, at any scale.
+
+Logical schema: relation ``Proj(PName, CustName, PDept, Budg)`` and class
+``Dept`` (extent ``depts``) with attributes ``DName``, ``DProjs`` (inverse
+of ``Proj.PDept``) and ``MgrName``, plus the RIC / INV / KEY constraints
+(assertions 1–6 of section 1).
+
+Physical schema: the class dictionary ``Dept``, the relation ``Proj``
+(direct mapping), primary index ``I`` on ``Proj.PName``, secondary index
+``SI`` on ``Proj.CustName``, and the materialized access structure ``JI``
+(a generalized access support relation / join index).
+
+The workload also carries the paper's query Q ("all project names with
+their budgets and department names that have a customer called CitiBank")
+and hand-written reference forms of the plans P1–P4 for cross-checking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.constraints.builders import (
+    foreign_key,
+    inverse_relationship,
+    key_constraint,
+    member_foreign_key,
+)
+from repro.constraints.epcd import EPCD
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.types import INT, STRING, SetType, StructType, relation, struct
+from repro.model.values import Oid, Row
+from repro.optimizer.statistics import Statistics
+from repro.physical.classes import ClassEncoding
+from repro.physical.indexes import PrimaryIndex, SecondaryIndex
+from repro.physical.views import MaterializedView
+from repro.query.ast import PCQuery
+from repro.query.parser import parse_query
+
+
+PROJ_TYPE = relation(PName=STRING, CustName=STRING, PDept=STRING, Budg=INT)
+DEPT_ATTRS = struct(DName=STRING, DProjs=SetType(STRING), MgrName=STRING)
+
+QUERY_TEXT = """
+select struct(PN = s, PB = p.Budg, DN = d.DName)
+from depts d, d.DProjs s, Proj p
+where s = p.PName and p.CustName = "CitiBank"
+"""
+
+JI_DEFINITION = """
+select struct(DOID = d, PN = p.PName)
+from depts d, d.DProjs s, Proj p
+where s = p.PName
+"""
+
+# Reference plans (paper, section 1).  P3 uses the non-failing lookup the
+# paper denotes SI{"CitiBank"}; P4 the guard-free primary index lookups.
+P1_TEXT = """
+select struct(PN = s, PB = p.Budg, DN = Dept[d].DName)
+from dom(Dept) d, Dept[d].DProjs s, Proj p
+where s = p.PName and p.CustName = "CitiBank"
+"""
+P2_TEXT = """
+select struct(PN = p.PName, PB = p.Budg, DN = p.PDept)
+from Proj p
+where p.CustName = "CitiBank"
+"""
+P3_TEXT = """
+select struct(PN = p.PName, PB = p.Budg, DN = p.PDept)
+from SI{"CitiBank"} p
+"""
+P4_TEXT = """
+select struct(PN = j.PN, PB = I[j.PN].Budg, DN = Dept[j.DOID].DName)
+from JI j
+where I[j.PN].CustName = "CitiBank"
+"""
+
+
+@dataclass
+class ProjDeptWorkload:
+    """Everything needed to run the paper's running example."""
+
+    logical: Schema
+    physical: Schema
+    combined: Schema
+    instance: Instance
+    constraints: List[EPCD]
+    query: PCQuery
+    statistics: Statistics
+    class_encoding: ClassEncoding
+    primary_index: PrimaryIndex
+    secondary_index: SecondaryIndex
+    join_view: MaterializedView
+    reference_plans: Dict[str, PCQuery] = field(default_factory=dict)
+
+    @property
+    def physical_names(self) -> frozenset:
+        return frozenset(("Dept", "Proj", "I", "SI", "JI"))
+
+
+def logical_constraints() -> List[EPCD]:
+    """Assertions 1–6 of section 1 (EGDs first, to keep the chase tidy)."""
+
+    inv = inverse_relationship(
+        "INV",
+        extent="depts",
+        set_attr="DProjs",
+        relation="Proj",
+        rel_key_attr="PName",
+        rel_back_attr="PDept",
+        extent_name_attr="DName",
+    )
+    return [
+        inv[0],  # INV1 (EGD)
+        key_constraint("KEY1", "depts", "DName"),
+        key_constraint("KEY2", "Proj", "PName"),
+        inv[1],  # INV2
+        member_foreign_key("RIC1", "depts", "DProjs", "Proj", "PName"),
+        foreign_key("RIC2", "Proj", "PDept", "depts", "DName"),
+    ]
+
+
+def build_projdept(
+    n_depts: int = 10,
+    projs_per_dept: int = 5,
+    n_customers: int = 8,
+    citibank_share: float = 0.15,
+    seed: int = 7,
+) -> ProjDeptWorkload:
+    """Generate a consistent ProjDept instance with all access structures.
+
+    ``citibank_share`` controls the selectivity of the query's customer
+    predicate (the fraction of projects whose customer is CitiBank) — the
+    knob that decides which of P1–P4 wins.
+    """
+
+    rng = random.Random(seed)
+    customers = ["CitiBank"] + [f"Customer{i}" for i in range(1, n_customers)]
+
+    proj_rows = set()
+    dept_projs: Dict[int, List[str]] = {d: [] for d in range(n_depts)}
+    for d in range(n_depts):
+        for j in range(projs_per_dept):
+            pname = f"P{d}_{j}"
+            if rng.random() < citibank_share:
+                cust = "CitiBank"
+            else:
+                cust = rng.choice(customers[1:]) if len(customers) > 1 else "CitiBank"
+            proj_rows.add(
+                Row(
+                    PName=pname,
+                    CustName=cust,
+                    PDept=f"D{d}",
+                    Budg=rng.randrange(10, 500),
+                )
+            )
+            dept_projs[d].append(pname)
+
+    objects: Dict[Oid, Row] = {}
+    for d in range(n_depts):
+        oid = Oid("Dept", d)
+        objects[oid] = Row(
+            DName=f"D{d}",
+            DProjs=frozenset(dept_projs[d]),
+            MgrName=f"Mgr{d}",
+        )
+
+    logical = Schema("ProjDept-logical")
+    logical.add("Proj", PROJ_TYPE)
+    encoding = ClassEncoding("Dept", "depts", "Dept", DEPT_ATTRS)
+    encoding.register(logical)  # declares depts, Dept and encoding constraints
+    logical.add_constraints(logical_constraints())
+
+    physical = Schema("ProjDept-physical")
+    physical.add("Proj", PROJ_TYPE)
+    physical.add("Dept", encoding.schema_type())
+
+    instance = Instance({"Proj": frozenset(proj_rows)})
+    encoding.populate(instance, objects)
+
+    primary = PrimaryIndex("I", "Proj", "PName")
+    secondary = SecondaryIndex("SI", "Proj", "CustName")
+    primary.install(instance, physical)
+    secondary.install(instance, physical)
+
+    join_view = MaterializedView("JI", parse_query(JI_DEFINITION))
+    join_view.install(instance)
+    physical.add(
+        "JI",
+        relation_type_of_ji(),
+    )
+
+    constraints: List[EPCD] = []
+    constraints.extend(logical_constraints())
+    constraints.extend(encoding.constraints())
+    constraints.extend(primary.constraints())
+    constraints.extend(secondary.constraints())
+    constraints.extend(join_view.constraints())
+
+    combined = logical.union(physical, "ProjDept-combined")
+
+    statistics = Statistics.from_instance(instance)
+    query = parse_query(QUERY_TEXT)
+
+    reference_plans = {
+        "P1": parse_query(P1_TEXT),
+        "P2": parse_query(P2_TEXT),
+        "P3": parse_query(P3_TEXT),
+        "P4": parse_query(P4_TEXT),
+    }
+
+    return ProjDeptWorkload(
+        logical=logical,
+        physical=physical,
+        combined=combined,
+        instance=instance,
+        constraints=constraints,
+        query=query,
+        statistics=statistics,
+        class_encoding=encoding,
+        primary_index=primary,
+        secondary_index=secondary,
+        join_view=join_view,
+        reference_plans=reference_plans,
+    )
+
+
+def relation_type_of_ji():
+    from repro.model.types import OidType
+
+    return SetType(StructType((("DOID", OidType("Dept")), ("PN", STRING))))

@@ -1,0 +1,147 @@
+"""The relational scenarios of section 4.
+
+* :func:`build_rabc` — one relation ``R(A, B, C)`` with secondary indexes
+  ``SA`` on A and ``SB`` on B; the query ``select r.C from R r where
+  r.A = a0 and r.B = b0`` admits the paper's *index-only access path* plan
+  (scan dom SA, filter, non-failing probes into SB).
+
+* :func:`build_rs` — relations ``R(A, B)`` and ``S(B, C)``, materialized
+  view ``V = π_A(R ⋈ S)``, secondary indexes ``IR`` on ``R.A`` and ``IS``
+  on ``S.B``; the query ``R ⋈ S`` admits the navigation-join plan
+  ``from V v, IR[v.A] r', IS{r'.B} s'`` that frameworks limited to PSJ
+  languages cannot express.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.constraints.epcd import EPCD
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.types import INT, relation
+from repro.model.values import Row
+from repro.optimizer.statistics import Statistics
+from repro.physical.indexes import SecondaryIndex
+from repro.physical.views import MaterializedView
+from repro.query.ast import PCQuery
+from repro.query.parser import parse_query
+
+
+@dataclass
+class RelationalWorkload:
+    """A relational scenario: schema, instance, constraints, query."""
+
+    schema: Schema
+    instance: Instance
+    constraints: List[EPCD]
+    query: PCQuery
+    statistics: Statistics
+    physical_names: frozenset
+    views: List[MaterializedView] = field(default_factory=list)
+    indexes: List[SecondaryIndex] = field(default_factory=list)
+
+
+RABC_QUERY = """
+select r.C
+from R r
+where r.A = 5 and r.B = 9
+"""
+
+
+def build_rabc(
+    n: int = 1000,
+    a_values: int = 50,
+    b_values: int = 50,
+    seed: int = 11,
+) -> RelationalWorkload:
+    """Section 4, example 1: R(A,B,C) with indexes SA and SB."""
+
+    rng = random.Random(seed)
+    rows = frozenset(
+        Row(A=rng.randrange(a_values), B=rng.randrange(b_values), C=i)
+        for i in range(n)
+    )
+    schema = Schema("RABC")
+    schema.add("R", relation(A=INT, B=INT, C=INT))
+    instance = Instance({"R": rows})
+
+    sa = SecondaryIndex("SA", "R", "A")
+    sb = SecondaryIndex("SB", "R", "B")
+    sa.install(instance, schema)
+    sb.install(instance, schema)
+
+    constraints = sa.constraints() + sb.constraints()
+    return RelationalWorkload(
+        schema=schema,
+        instance=instance,
+        constraints=constraints,
+        query=parse_query(RABC_QUERY),
+        statistics=Statistics.from_instance(instance),
+        physical_names=frozenset(("R", "SA", "SB")),
+        indexes=[sa, sb],
+    )
+
+
+RS_QUERY = """
+select struct(A = r.A, B = s.B, C = s.C)
+from R r, S s
+where r.B = s.B
+"""
+
+RS_VIEW = """
+select struct(A = r.A)
+from R r, S s
+where r.B = s.B
+"""
+
+
+def build_rs(
+    n_r: int = 500,
+    n_s: int = 500,
+    b_values: int = 100,
+    join_hit_rate: float = 0.3,
+    seed: int = 13,
+) -> RelationalWorkload:
+    """Section 4, example 2: R ⋈ S with V = π_A(R ⋈ S), IR and IS.
+
+    ``join_hit_rate`` controls how many R tuples find join partners — a
+    small view V is exactly the situation where the paper's navigation
+    plan shines.
+    """
+
+    rng = random.Random(seed)
+    joinable = max(1, int(b_values * join_hit_rate))
+    r_rows = frozenset(
+        Row(A=i, B=rng.randrange(b_values)) for i in range(n_r)
+    )
+    # S rows concentrate on a prefix of the B domain so only a fraction of
+    # R finds partners.
+    s_rows = frozenset(
+        Row(B=rng.randrange(joinable), C=i) for i in range(n_s)
+    )
+    schema = Schema("RS")
+    schema.add("R", relation(A=INT, B=INT))
+    schema.add("S", relation(B=INT, C=INT))
+    instance = Instance({"R": r_rows, "S": s_rows})
+
+    view = MaterializedView("V", parse_query(RS_VIEW))
+    view.install(instance, schema)
+    ir = SecondaryIndex("IR", "R", "A")
+    is_ = SecondaryIndex("IS", "S", "B")
+    ir.install(instance, schema)
+    is_.install(instance, schema)
+
+    constraints = view.constraints() + ir.constraints() + is_.constraints()
+    return RelationalWorkload(
+        schema=schema,
+        instance=instance,
+        constraints=constraints,
+        query=parse_query(RS_QUERY),
+        statistics=Statistics.from_instance(instance),
+        physical_names=frozenset(("R", "S", "V", "IR", "IS")),
+        views=[view],
+        indexes=[ir, is_],
+    )

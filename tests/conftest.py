@@ -1,0 +1,53 @@
+"""Shared fixtures: small instances and session-scoped workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Row, Schema, relation, INT, STRING
+from repro.workloads.projdept import build_projdept
+from repro.workloads.relational import build_rabc, build_rs
+
+
+@pytest.fixture
+def rs_schema() -> Schema:
+    schema = Schema("rs")
+    schema.add("R", relation(A=INT, B=INT))
+    schema.add("S", relation(B=INT, C=INT))
+    return schema
+
+
+@pytest.fixture
+def rs_instance() -> Instance:
+    r = frozenset(
+        {
+            Row(A=1, B=10),
+            Row(A=2, B=20),
+            Row(A=3, B=30),
+            Row(A=4, B=20),
+        }
+    )
+    s = frozenset(
+        {
+            Row(B=10, C=100),
+            Row(B=20, C=200),
+            Row(B=20, C=201),
+            Row(B=99, C=999),
+        }
+    )
+    return Instance({"R": r, "S": s})
+
+
+@pytest.fixture(scope="session")
+def projdept():
+    return build_projdept(n_depts=4, projs_per_dept=3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def rabc():
+    return build_rabc(n=300, a_values=20, b_values=20, seed=5)
+
+
+@pytest.fixture(scope="session")
+def rs_workload():
+    return build_rs(n_r=60, n_s=60, b_values=30, seed=5)

@@ -1,0 +1,132 @@
+"""Unit tests for constraint builders and the instance-level checker."""
+
+import pytest
+
+from repro.constraints.builders import (
+    foreign_key,
+    inclusion,
+    inverse_relationship,
+    key_constraint,
+    member_foreign_key,
+    nonempty_entries,
+)
+from repro.constraints.checker import check_all, holds, violations
+from repro.model.instance import Instance
+from repro.model.values import DictValue, Oid, Row
+
+
+@pytest.fixture
+def consistent():
+    d0 = Oid("Dept", 0)
+    dept = DictValue({d0: Row(DName="D0", DProjs=frozenset({"P1", "P2"}))})
+    inst = Instance(
+        {
+            "Proj": frozenset(
+                {
+                    Row(PName="P1", PDept="D0"),
+                    Row(PName="P2", PDept="D0"),
+                }
+            ),
+            "Dept": dept,
+            "depts": frozenset({d0}),
+            "SI": DictValue(
+                {"D0": frozenset({Row(PName="P1", PDept="D0"), Row(PName="P2", PDept="D0")})}
+            ),
+        }
+    )
+    inst.register_class("Dept", "Dept")
+    return inst
+
+
+class TestKeyConstraint:
+    def test_holds_on_unique(self, consistent):
+        assert holds(key_constraint("k", "Proj", "PName"), consistent)
+
+    def test_violated_on_duplicates(self, consistent):
+        consistent["Proj"] = consistent["Proj"] | {Row(PName="P1", PDept="D9")}
+        dep = key_constraint("k", "Proj", "PName")
+        assert not holds(dep, consistent)
+        witnesses = list(violations(dep, consistent, limit=5))
+        assert witnesses
+
+
+class TestForeignKey:
+    def test_holds(self, consistent):
+        assert holds(foreign_key("fk", "Proj", "PDept", "depts", "DName"), consistent)
+
+    def test_violated_by_dangling(self, consistent):
+        consistent["Proj"] = consistent["Proj"] | {Row(PName="P9", PDept="Nowhere")}
+        assert not holds(
+            foreign_key("fk", "Proj", "PDept", "depts", "DName"), consistent
+        )
+
+
+class TestMemberForeignKey:
+    def test_holds(self, consistent):
+        dep = member_foreign_key("ric", "depts", "DProjs", "Proj", "PName")
+        assert holds(dep, consistent)
+
+    def test_violated_by_phantom_member(self, consistent):
+        d1 = Oid("Dept", 1)
+        dept = DictValue(
+            dict(consistent["Dept"].items())
+            | {d1: Row(DName="D1", DProjs=frozenset({"Phantom"}))}
+        )
+        consistent["Dept"] = dept
+        consistent["depts"] = consistent["depts"] | {d1}
+        dep = member_foreign_key("ric", "depts", "DProjs", "Proj", "PName")
+        assert not holds(dep, consistent)
+
+
+class TestInverseRelationship:
+    def test_pair_holds(self, consistent):
+        for dep in inverse_relationship(
+            "INV", "depts", "DProjs", "Proj", "PName", "PDept", "DName"
+        ):
+            assert holds(dep, consistent), dep.name
+
+    def test_forward_violated(self, consistent):
+        # a project claims membership in D0 but points elsewhere
+        consistent["Proj"] = frozenset(
+            {Row(PName="P1", PDept="D9"), Row(PName="P2", PDept="D0")}
+        )
+        inv1 = inverse_relationship(
+            "INV", "depts", "DProjs", "Proj", "PName", "PDept", "DName"
+        )[0]
+        assert not holds(inv1, consistent)
+
+
+class TestInclusionAndNonempty:
+    def test_inclusion(self, consistent):
+        from repro.query.paths import Dom, SName
+
+        dep = inclusion("inc", Dom(SName("Dept")), SName("depts"))
+        assert holds(dep, consistent)
+        dep_rev = inclusion("inc2", SName("depts"), Dom(SName("Dept")))
+        assert holds(dep_rev, consistent)
+
+    def test_nonempty_entries(self, consistent):
+        assert holds(nonempty_entries("ne", "SI"), consistent)
+        consistent["SI"] = DictValue({"D0": frozenset(), "X": frozenset({Row(A=1)})})
+        assert not holds(nonempty_entries("ne", "SI"), consistent)
+
+
+class TestCheckAll:
+    def test_reports_only_failures(self, consistent):
+        deps = [
+            key_constraint("good", "Proj", "PName"),
+            foreign_key("alsogood", "Proj", "PDept", "depts", "DName"),
+        ]
+        assert check_all(deps, consistent) == []
+        consistent["Proj"] = consistent["Proj"] | {Row(PName="P9", PDept="Nowhere")}
+        failures = check_all(deps, consistent)
+        assert [name for name, _ in failures] == ["alsogood"]
+
+    def test_egd_checking(self, consistent):
+        # EGD with equality conclusion over premise env
+        from repro.query.parser import parse_constraint
+
+        dep = parse_constraint(
+            "forall (p in Proj, q in Proj) where p.PName = q.PName -> p = q", "key"
+        )
+        assert holds(dep, consistent)

@@ -1,0 +1,148 @@
+"""Unit tests for the chase engine."""
+
+import pytest
+
+from repro.chase.chase import (
+    ChaseEngine,
+    apply_chase_step,
+    chase,
+    chase_once,
+    conclusion_satisfied,
+    find_applicable_hom,
+)
+from repro.chase.congruence import build_congruence
+from repro.errors import ChaseNonTermination
+from repro.query.parser import parse_constraint, parse_query
+
+
+class TestChaseStep:
+    def test_section3_example(self):
+        """The displayed chase step of section 3: Q chased with dJI."""
+
+        q = parse_query(
+            "select struct(PN = s, PB = p.Budg, DN = d.DName) "
+            "from depts d, d.DProjs s, Proj p "
+            'where s = p.PName and p.CustName = "CitiBank"'
+        )
+        dji = parse_constraint(
+            "forall (d in depts, s in d.DProjs, p in Proj) where s = p.PName "
+            "-> exists (j in JI) j.DOID = d and j.PN = p.PName",
+            "dJI",
+        )
+        result = chase(q, [dji])
+        assert len(result.steps) == 1
+        chased = result.query
+        assert len(chased.bindings) == 4
+        assert "JI" in chased.schema_names()
+        # the new conditions of the paper's displayed result
+        text = str(chased)
+        assert ".DOID = d" in text
+        assert ".PN = p.PName" in text
+
+    def test_step_not_applied_when_satisfied(self):
+        q = parse_query(
+            "select struct(A = r.A) from R r, V v where v.A = r.A"
+        )
+        cv = parse_constraint(
+            "forall (r in R) -> exists (v in V) v.A = r.A", "cV"
+        )
+        result = chase(q, [cv])
+        assert result.steps == []
+        assert result.query is q
+
+    def test_egd_adds_condition(self):
+        q = parse_query(
+            "select struct(A = d.DName) from depts d, d.DProjs s, Proj p "
+            "where s = p.PName"
+        )
+        inv1 = parse_constraint(
+            "forall (d in depts, s in d.DProjs, p in Proj) where s = p.PName "
+            "-> p.PDept = d.DName",
+            "INV1",
+        )
+        result = chase(q, [inv1])
+        assert len(result.steps) == 1
+        assert any("PDept" in str(c) for c in result.query.conditions)
+        # re-chasing is a fixpoint
+        assert chase(result.query, [inv1]).steps == []
+
+    def test_premise_conditions_respected(self):
+        q = parse_query("select struct(A = r.A) from R r, S s")  # no join cond
+        cv = parse_constraint(
+            "forall (r in R, s in S) where r.B = s.B -> exists (v in V) v.A = r.A",
+            "cV",
+        )
+        assert chase(q, [cv]).steps == []
+
+    def test_inverse_pair_terminates(self):
+        q = parse_query("select struct(A = r.A) from R r")
+        cv = parse_constraint(
+            "forall (r in R) -> exists (v in V) v.A = r.A", "cV"
+        )
+        cv_inv = parse_constraint(
+            "forall (v in V) -> exists (r in R) v.A = r.A", "cV'"
+        )
+        result = chase(q, [cv, cv_inv])
+        # cV fires once; cV' is then satisfied by the original r
+        assert [s.constraint for s in result.steps] == ["cV"]
+
+    def test_chase_deterministic(self):
+        q = parse_query("select struct(A = r.A) from R r")
+        deps = [
+            parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cV"),
+            parse_constraint("forall (r in R) -> exists (w in W) w.A = r.A", "cW"),
+        ]
+        a = chase(q, deps).query
+        b = chase(q, deps).query
+        assert str(a) == str(b)
+        assert [s.constraint for s in chase(q, deps).steps] == ["cV", "cW"]
+
+    def test_nontermination_detected(self):
+        # x in R generates y in R with y.P = x ... fresh every time (not full)
+        q = parse_query("select struct(A = r.A) from R r")
+        bad = parse_constraint(
+            "forall (x in R) -> exists (y in R) y.Parent = x", "loop"
+        )
+        with pytest.raises(ChaseNonTermination):
+            chase(q, [bad], max_steps=10)
+
+
+class TestApplicability:
+    def test_find_applicable_hom(self):
+        q = parse_query("select struct(A = r.A) from R r")
+        cv = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cV")
+        cc = build_congruence(q)
+        hom = find_applicable_hom(cv, q, cc)
+        assert hom is not None
+        chased, step = apply_chase_step(q, cv, hom)
+        assert step.constraint == "cV"
+        assert len(chased.bindings) == 2
+        cc2 = build_congruence(chased)
+        assert conclusion_satisfied(cv, hom, chased, cc2)
+
+    def test_chase_once_none_at_fixpoint(self):
+        q = parse_query("select struct(A = r.A) from R r, V v where v.A = r.A")
+        cv = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cV")
+        assert chase_once(q, [cv]) is None
+
+
+class TestChaseEngine:
+    def test_cache_hit_on_isomorphic_queries(self):
+        cv = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cV")
+        engine = ChaseEngine([cv])
+        a = parse_query("select struct(A = r.A) from R r")
+        b = parse_query("select struct(A = zz.A) from R zz")
+        engine.chase(a)
+        misses = engine.cache_misses
+        engine.chase(b)
+        assert engine.cache_misses == misses
+        assert engine.cache_hits >= 1
+
+    def test_chase_with_cc_shared(self):
+        cv = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cV")
+        engine = ChaseEngine([cv])
+        q = parse_query("select struct(A = r.A) from R r")
+        chased1, cc1 = engine.chase_with_cc(q)
+        chased2, cc2 = engine.chase_with_cc(q)
+        assert chased1 is chased2
+        assert cc1 is cc2

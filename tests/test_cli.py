@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_constraints, main
+from repro.model.ddl import PROJDEPT_DDL
+
+
+@pytest.fixture
+def files(tmp_path):
+    query = tmp_path / "q.oql"
+    query.write_text("select r.A from R r where r.B = 5\n")
+    constraints = tmp_path / "c.epcd"
+    constraints.write_text(
+        "# secondary index on R.B\n"
+        "SB1: forall (r in R) -> exists (k in dom(SB), t in SB[k]) "
+        "k = r.B and r = t\n"
+        "SB2: forall (k in dom(SB), t in SB[k]) -> exists (r in R) "
+        "k = r.B and r = t\n"
+    )
+    ddl = tmp_path / "schema.ddl"
+    ddl.write_text(PROJDEPT_DDL)
+    return tmp_path, query, constraints, ddl
+
+
+class TestLoadConstraints:
+    def test_named_and_comments(self, files):
+        _, _, constraints, _ = files
+        deps = load_constraints(str(constraints))
+        assert [d.name for d in deps] == ["SB1", "SB2"]
+
+    def test_bad_line_reports_location(self, files, tmp_path):
+        bad = tmp_path / "bad.epcd"
+        bad.write_text("forall banana\n")
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="bad.epcd:1"):
+            load_constraints(str(bad))
+
+
+class TestCommands:
+    def test_optimize(self, files, capsys):
+        _, query, constraints, _ = files
+        code = main(
+            [
+                "optimize",
+                "--query",
+                str(query),
+                "--constraints",
+                str(constraints),
+                "--physical",
+                "R,SB",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "universal plan" in out
+        assert "SB" in out
+
+    def test_chase(self, files, capsys):
+        _, query, constraints, _ = files
+        code = main(
+            ["chase", "--query", str(query), "--constraints", str(constraints)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "universal plan:" in out
+        assert "chase[SB1]" in out
+
+    def test_minimize(self, files, tmp_path, capsys):
+        redundant = tmp_path / "m.oql"
+        redundant.write_text(
+            "select struct(A = p.A, B = r.B) from R p, R q, R r "
+            "where p.B = q.A and q.B = r.B\n"
+        )
+        code = main(["minimize", "--query", str(redundant)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count(" R ") == 2 or "R p, R q" in out.replace("\n", " ")
+
+    def test_check_with_ddl(self, files, capsys):
+        _, _, constraints, ddl = files
+        code = main(
+            ["check", "--ddl", str(ddl), "--constraints", str(constraints)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "constraints OK" in out
+        assert "EGD" in out and "TGD" in out
+
+    def test_check_with_class_encoding(self, files, capsys):
+        _, _, _, ddl = files
+        main(["check", "--ddl", str(ddl)])
+        base = capsys.readouterr().out
+        main(["check", "--ddl", str(ddl), "--encode-classes"])
+        extended = capsys.readouterr().out
+        assert int(extended.split()[-3]) > int(base.split()[-3])
+
+    def test_missing_file_is_error(self, capsys):
+        code = main(["optimize", "--query", "/nonexistent/q.oql"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_is_error(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.oql"
+        bad.write_text("select from nothing\n")
+        code = main(["minimize", "--query", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

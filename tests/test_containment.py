@@ -1,0 +1,137 @@
+"""Unit tests for containment, equivalence and implication."""
+
+from repro.chase.containment import (
+    implies,
+    is_contained_in,
+    is_equivalent,
+    is_trivial,
+)
+from repro.query.parser import parse_constraint, parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestClassicalContainment:
+    def test_extra_binding_is_more_restrictive(self):
+        q1 = q("select struct(A = r.A) from R r, S s where r.B = s.B")
+        q2 = q("select struct(A = r.A) from R r")
+        assert is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_selection_containment(self):
+        q1 = q("select struct(A = r.A) from R r where r.B = 5")
+        q2 = q("select struct(A = r.A) from R r")
+        assert is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_different_constants_incomparable(self):
+        q1 = q("select struct(A = r.A) from R r where r.B = 5")
+        q2 = q("select struct(A = r.A) from R r where r.B = 6")
+        assert not is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_chandra_merlin_folding(self):
+        # the redundant self-join is contained both ways
+        q1 = q(
+            "select struct(A = p.A) from R p, R q where p.B = q.B"
+        )
+        q2 = q("select struct(A = p.A) from R p")
+        # q1 ⊑ q2 always; q2 ⊑ q1 by folding q onto p
+        assert is_contained_in(q1, q2)
+        assert is_contained_in(q2, q1)
+        assert is_equivalent(q1, q2)
+
+    def test_output_must_match(self):
+        q1 = q("select struct(A = r.A) from R r")
+        q2 = q("select struct(A = r.B) from R r")
+        assert not is_contained_in(q1, q2)
+
+    def test_inconsistent_query_contained_in_everything(self):
+        q1 = q('select struct(A = r.A) from R r where r.B = 1 and r.B = 2')
+        q2 = q("select struct(A = s.A) from S s")
+        assert is_contained_in(q1, q2)
+
+
+class TestContainmentUnderConstraints:
+    def test_view_rewriting_equivalence(self):
+        deps = [
+            parse_constraint(
+                "forall (r in R, s in S) where r.B = s.B -> exists (v in V) v.A = r.A and v.C = s.C",
+                "cV",
+            ),
+            parse_constraint(
+                "forall (v in V) -> exists (r in R, s in S) r.B = s.B and v.A = r.A and v.C = s.C",
+                "cV'",
+            ),
+        ]
+        join = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        view_scan = q("select struct(A = v.A, C = v.C) from V v")
+        assert is_equivalent(join, view_scan, deps)
+        assert not is_equivalent(join, view_scan, [])  # needs the constraints
+
+    def test_ric_join_elimination(self):
+        deps = [
+            parse_constraint(
+                "forall (p in Proj) -> exists (d in depts) p.PDept = d.DName",
+                "RIC",
+            ),
+        ]
+        with_join = q(
+            "select struct(N = p.PName) from Proj p, depts d where p.PDept = d.DName"
+        )
+        without = q("select struct(N = p.PName) from Proj p")
+        assert is_equivalent(with_join, without, deps)
+        assert not is_contained_in(without, with_join, [])
+
+    def test_dependent_binding_containment(self):
+        q1 = q("select struct(X = s) from depts d, d.DProjs s")
+        q2 = q("select struct(X = t) from depts e, e.DProjs t")
+        assert is_equivalent(q1, q2)
+
+
+class TestImplication:
+    def test_transitive_key_implication(self):
+        key = parse_constraint(
+            "forall (x in R, y in R) where x.A = y.A -> x = y", "key"
+        )
+        derived = parse_constraint(
+            "forall (x in R, y in R) where x.A = y.A -> x.B = y.B", "weaker"
+        )
+        assert implies(derived, [key])
+        assert not implies(key, [derived])
+
+    def test_view_constraint_implies_inclusion(self):
+        cv = parse_constraint(
+            "forall (r in R, s in S) where r.B = s.B -> exists (v in V) v.A = r.A",
+            "cV",
+        )
+        # the section-4 inclusion V(A) ⊇ ... instance: joining pairs appear in V
+        weaker = parse_constraint(
+            "forall (r in R, s in S) where r.B = s.B -> exists (v in V) true",
+            "nonempty",
+        )
+        assert implies(weaker, [cv])
+
+    def test_trivial_constraints(self):
+        triv = parse_constraint(
+            "forall (p in R, q in R) where p.B = q.A "
+            "-> exists (r in R) p.B = q.A and r = q",
+            "triv",
+        )
+        assert is_trivial(triv)
+        nontriv = parse_constraint(
+            "forall (p in R) -> exists (q in S) p.A = q.A", "nontriv"
+        )
+        assert not is_trivial(nontriv)
+
+    def test_section3_trivial_constraint(self):
+        """The paper's displayed trivial constraint justifying minimization."""
+
+        triv = parse_constraint(
+            "forall (p in R, q in R) where p.B = q.A "
+            "-> exists (r in R) p.B = q.A and q.B = r.B",
+            "c",
+        )
+        assert is_trivial(triv)

@@ -1,0 +1,137 @@
+"""Unit tests for the cost model, statistics and join reordering."""
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.values import DictValue, Row
+from repro.optimizer.cost import (
+    CostModel,
+    estimate_cost,
+    estimated_output_cardinality,
+)
+from repro.optimizer.reorder import reorder_bindings
+from repro.optimizer.statistics import Statistics
+from repro.query.parser import parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+@pytest.fixture
+def stats():
+    s = Statistics()
+    s.set_card("Proj", 1000).set_card("SI", 50).set_card("Dept", 20).set_card("JI", 1000)
+    s.entry_cardinality["SI"] = 20.0
+    s.set_ndv("Proj", "CustName", 50).set_ndv("Proj", "PName", 1000)
+    s.fanout["Dept.DProjs"] = 50.0
+    return s
+
+
+class TestStatistics:
+    def test_from_instance(self):
+        inst = Instance(
+            {
+                "R": frozenset({Row(A=1, B="x"), Row(A=2, B="x")}),
+                "M": DictValue({"x": frozenset({Row(A=1, B="x"), Row(A=2, B="x")})}),
+            }
+        )
+        s = Statistics.from_instance(inst)
+        assert s.card("R") == 2
+        assert s.card("M") == 1
+        assert s.entry_card("M") == 2
+        assert s.distinct("R", "A") == 2
+        assert s.distinct("R", "B") == 1
+
+    def test_defaults(self):
+        s = Statistics()
+        assert s.card("unknown") == s.default_cardinality
+        assert s.distinct("unknown", "A") == s.default_ndv
+
+    def test_fanout_from_class_dict(self):
+        from repro.model.values import Oid
+
+        oid = Oid("D", 0)
+        inst = Instance(
+            {"D": DictValue({oid: Row(DName="a", DProjs=frozenset({"x", "y"}))})}
+        )
+        inst.register_class("D", "D")
+        s = Statistics.from_instance(inst)
+        assert s.attr_fanout("D", "DProjs") == 2.0
+
+
+class TestCostModel:
+    def test_selective_index_beats_scan(self, stats):
+        scan = q('select struct(PN = p.PName) from Proj p where p.CustName = "C"')
+        index = q('select struct(PN = t.PName) from SI{"C"} t')
+        assert estimate_cost(index, stats) < estimate_cost(scan, stats)
+
+    def test_guarded_index_beats_scan(self, stats):
+        scan = q('select struct(PN = p.PName) from Proj p where p.CustName = "C"')
+        guarded = q(
+            'select struct(PN = t.PName) from dom(SI) k, SI[k] t where k = "C"'
+        )
+        assert estimate_cost(guarded, stats) < estimate_cost(scan, stats)
+
+    def test_selectivity_of_const_predicate(self, stats):
+        all_rows = q("select struct(PN = p.PName) from Proj p")
+        filtered = q('select struct(PN = p.PName) from Proj p where p.CustName = "C"')
+        assert estimated_output_cardinality(filtered, stats) < (
+            estimated_output_cardinality(all_rows, stats)
+        )
+
+    def test_probe_cost_charged(self, stats):
+        no_probe = q("select struct(PN = j.PN) from JI j")
+        with_probe = q("select struct(PB = I[j.PN].Budg) from JI j")
+        assert estimate_cost(with_probe, stats) > estimate_cost(no_probe, stats)
+
+    def test_contradictory_constants_cost_zero_output(self, stats):
+        query = q('select struct(PN = p.PName) from Proj p where "a" = "b"')
+        assert estimated_output_cardinality(query, stats) == 0.0
+
+    def test_cost_model_tunable(self, stats):
+        query = q("select struct(PB = I[j.PN].Budg) from JI j")
+        cheap_probes = CostModel(probe_cost=0.0)
+        pricey_probes = CostModel(probe_cost=100.0)
+        assert estimate_cost(query, stats, cheap_probes) < estimate_cost(
+            query, stats, pricey_probes
+        )
+
+
+class TestReorder:
+    def test_selective_binding_moved_first(self, stats):
+        # scanning SI's dom (50) before Proj (1000) is better
+        query = q(
+            "select struct(PN = p.PName) from Proj p, dom(SI) k "
+            'where k = "C" and k = p.CustName'
+        )
+        reordered = reorder_bindings(query, stats)
+        assert reordered.binding_vars()[0] == "k"
+
+    def test_dependencies_respected(self, stats):
+        query = q(
+            "select struct(PN = s) from depts d, d.DProjs s, Proj p where s = p.PName"
+        )
+        reordered = reorder_bindings(query, stats)
+        order = reordered.binding_vars()
+        assert order.index("d") < order.index("s")
+
+    def test_never_worse(self, stats):
+        query = q(
+            'select struct(PN = p.PName) from Proj p, JI j where j.PN = p.PName'
+        )
+        reordered = reorder_bindings(query, stats)
+        assert estimate_cost(reordered, stats) <= estimate_cost(query, stats)
+
+    def test_equivalent_results(self, stats):
+        inst = Instance(
+            {
+                "R": frozenset({Row(A=1, B=2)}),
+                "S": frozenset({Row(B=2, C=3), Row(B=9, C=4)}),
+            }
+        )
+        from repro.query.evaluator import evaluate
+
+        query = q("select struct(A = r.A, C = s.C) from S s, R r where r.B = s.B")
+        reordered = reorder_bindings(query, Statistics.from_instance(inst))
+        assert evaluate(query, inst) == evaluate(reordered, inst)

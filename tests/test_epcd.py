@@ -1,0 +1,120 @@
+"""Unit tests for EPCD constraints."""
+
+import pytest
+
+from repro.constraints.epcd import EPCD, egd
+from repro.errors import ConstraintError
+from repro.query.ast import Binding, Eq
+from repro.query.parser import parse_constraint
+from repro.query.paths import Attr, Dom, Lookup, SName, Var
+
+
+class TestClassification:
+    def test_egd(self):
+        dep = parse_constraint(
+            "forall (x in R, y in R) where x.A = y.A -> x = y", "key"
+        )
+        assert dep.is_egd()
+        assert not dep.is_tgd()
+
+    def test_tgd(self):
+        dep = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cv")
+        assert dep.is_tgd()
+        assert not dep.is_egd()
+
+    def test_full_dependency(self):
+        dep = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cv")
+        assert dep.is_full()
+
+    def test_non_full_dependency(self):
+        # conclusion binding over a path mentioning an existential variable
+        dep = parse_constraint(
+            "forall (d in depts) -> exists (e in dom(Dept), m in Dept[e].DProjs) d = e",
+            "dd",
+        )
+        assert not dep.is_full()
+
+    def test_trivial_shape(self):
+        dep = parse_constraint(
+            "forall (x in R, y in R) where x.A = y.A -> x.A = y.A", "t"
+        )
+        assert dep.is_trivial_shape()
+
+
+class TestValidation:
+    def test_duplicate_universal_rejected(self):
+        with pytest.raises(ConstraintError):
+            EPCD(
+                name="bad",
+                premise_bindings=(
+                    Binding("x", SName("R")),
+                    Binding("x", SName("S")),
+                ),
+            )
+
+    def test_unbound_premise_path_rejected(self):
+        with pytest.raises(ConstraintError):
+            EPCD(
+                name="bad",
+                premise_bindings=(Binding("m", Attr(Var("ghost"), "S")),),
+            )
+
+    def test_unbound_conclusion_condition_rejected(self):
+        with pytest.raises(ConstraintError):
+            EPCD(
+                name="bad",
+                premise_bindings=(Binding("x", SName("R")),),
+                conclusion_conditions=(Eq(Var("x"), Var("ghost")),),
+            )
+
+    def test_conclusion_may_use_earlier_existentials(self):
+        # k in dom(SI), t in SI[k] — the second source uses the first var
+        dep = EPCD(
+            name="ok",
+            premise_bindings=(Binding("p", SName("Proj")),),
+            conclusion_bindings=(
+                Binding("k", Dom(SName("SI"))),
+                Binding("t", Lookup(SName("SI"), Var("k"))),
+            ),
+        )
+        assert dep.is_tgd()
+
+
+class TestStructure:
+    def test_vars_and_names(self):
+        dep = parse_constraint(
+            "forall (p in Proj) -> exists (i in dom(I)) i = p.PName and I[i] = p",
+            "pi1",
+        )
+        assert dep.universal_vars() == ("p",)
+        assert dep.existential_vars() == ("i",)
+        assert dep.schema_names() == frozenset({"Proj", "I"})
+
+    def test_premise_query(self):
+        dep = parse_constraint(
+            "forall (x in R, y in S) where x.B = y.B -> x.A = y.C", "e"
+        )
+        pq = dep.premise_query()
+        assert pq.binding_vars() == ("x", "y")
+        assert len(pq.conditions) == 1
+
+    def test_rename_avoids_capture(self):
+        dep = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cv")
+        renamed = dep.rename("_1")
+        assert renamed.universal_vars() == ("r_1",)
+        assert renamed.existential_vars() == ("v_1",)
+        assert "r_1.A" in str(renamed.conclusion_conditions[0])
+
+    def test_egd_constructor(self):
+        dep = egd(
+            "k",
+            (Binding("x", SName("R")), Binding("y", SName("R"))),
+            (Eq(Attr(Var("x"), "A"), Attr(Var("y"), "A")),),
+            (Eq(Var("x"), Var("y")),),
+        )
+        assert dep.is_egd()
+
+    def test_str_renders(self):
+        dep = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A", "cv")
+        text = str(dep)
+        assert "forall" in text and "exists" in text and text.startswith("cv:")

@@ -1,0 +1,145 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.errors import QueryExecutionError
+from repro.model.instance import Instance
+from repro.model.values import DictValue, Oid, Row
+from repro.query.evaluator import count_bindings_visited, eval_path, evaluate
+from repro.query.parser import parse_path, parse_query
+
+
+@pytest.fixture
+def instance():
+    proj = frozenset(
+        {
+            Row(PName="P1", CustName="CitiBank", PDept="D0", Budg=100),
+            Row(PName="P2", CustName="Acme", PDept="D0", Budg=200),
+            Row(PName="P3", CustName="CitiBank", PDept="D1", Budg=300),
+        }
+    )
+    d0, d1 = Oid("Dept", 0), Oid("Dept", 1)
+    dept = DictValue(
+        {
+            d0: Row(DName="D0", DProjs=frozenset({"P1", "P2"})),
+            d1: Row(DName="D1", DProjs=frozenset({"P3"})),
+        }
+    )
+    si = DictValue(
+        {
+            "CitiBank": frozenset(
+                {
+                    Row(PName="P1", CustName="CitiBank", PDept="D0", Budg=100),
+                    Row(PName="P3", CustName="CitiBank", PDept="D1", Budg=300),
+                }
+            ),
+            "Acme": frozenset(
+                {Row(PName="P2", CustName="Acme", PDept="D0", Budg=200)}
+            ),
+        }
+    )
+    inst = Instance({"Proj": proj, "Dept": dept, "SI": si, "depts": frozenset({d0, d1})})
+    inst.register_class("Dept", "Dept")
+    return inst
+
+
+class TestPathEvaluation:
+    def test_const_and_sname(self, instance):
+        assert eval_path(parse_path('"x"'), {}, instance) == "x"
+        assert len(eval_path(parse_path("Proj"), {}, instance)) == 3
+
+    def test_attr_on_row(self, instance):
+        row = Row(A=1)
+        assert eval_path(parse_path("r.A", scope={"r"}), {"r": row}, instance) == 1
+
+    def test_attr_on_oid_derefs(self, instance):
+        oid = Oid("Dept", 0)
+        result = eval_path(parse_path("d.DName", scope={"d"}), {"d": oid}, instance)
+        assert result == "D0"
+
+    def test_dom(self, instance):
+        assert eval_path(parse_path("dom(SI)"), {}, instance) == frozenset(
+            {"CitiBank", "Acme"}
+        )
+
+    def test_lookup_and_failure(self, instance):
+        assert len(eval_path(parse_path('SI["CitiBank"]'), {}, instance)) == 2
+        with pytest.raises(QueryExecutionError):
+            eval_path(parse_path('SI["Nobody"]'), {}, instance)
+
+    def test_nonfailing_lookup(self, instance):
+        assert eval_path(parse_path('SI{"Nobody"}'), {}, instance) == frozenset()
+
+    def test_unbound_variable(self, instance):
+        with pytest.raises(QueryExecutionError):
+            eval_path(parse_path("x", scope={"x"}), {}, instance)
+
+
+class TestQueryEvaluation:
+    def test_projection(self, instance):
+        result = evaluate(parse_query("select p.PName from Proj p"), instance)
+        assert result == frozenset({"P1", "P2", "P3"})
+
+    def test_selection(self, instance):
+        result = evaluate(
+            parse_query(
+                'select p.PName from Proj p where p.CustName = "CitiBank"'
+            ),
+            instance,
+        )
+        assert result == frozenset({"P1", "P3"})
+
+    def test_dependent_join(self, instance):
+        result = evaluate(
+            parse_query("select struct(D = d.DName, P = s) from depts d, d.DProjs s"),
+            instance,
+        )
+        assert Row(D="D0", P="P1") in result
+        assert len(result) == 3
+
+    def test_paper_query(self, instance):
+        result = evaluate(
+            parse_query(
+                "select struct(PN = s, PB = p.Budg, DN = d.DName) "
+                "from depts d, d.DProjs s, Proj p "
+                'where s = p.PName and p.CustName = "CitiBank"'
+            ),
+            instance,
+        )
+        assert result == frozenset(
+            {Row(PN="P1", PB=100, DN="D0"), Row(PN="P3", PB=300, DN="D1")}
+        )
+
+    def test_set_semantics_dedupes(self, instance):
+        result = evaluate(parse_query("select p.PDept from Proj p"), instance)
+        assert result == frozenset({"D0", "D1"})
+
+    def test_lookup_plan(self, instance):
+        result = evaluate(
+            parse_query('select struct(PN = t.PName) from SI{"CitiBank"} t'),
+            instance,
+        )
+        assert result == frozenset({Row(PN="P1"), Row(PN="P3")})
+
+    def test_empty_condition_short_circuit(self, instance):
+        result = evaluate(
+            parse_query('select p.PName from Proj p where "a" = "b"'), instance
+        )
+        assert result == frozenset()
+
+    def test_binding_over_scalar_raises(self, instance):
+        query = parse_query("select x from depts d, d.DName x")
+        with pytest.raises(QueryExecutionError):
+            evaluate(query, instance)
+
+    def test_count_bindings_visited(self, instance):
+        query = parse_query("select p.PName from Proj p")
+        assert count_bindings_visited(query, instance) == 3
+
+    def test_conditions_fire_early(self, instance):
+        # The selective condition must prune before the second loop.
+        query = parse_query(
+            'select struct(PN = p.PName, D = d.DName) from Proj p, depts d '
+            'where p.CustName = "Nobody"'
+        )
+        assert count_bindings_visited(query, instance) == 0

@@ -1,0 +1,133 @@
+"""Unit tests for the execution engine (operators, planner, engine)."""
+
+import pytest
+
+from repro.errors import QueryExecutionError
+from repro.exec.engine import execute, explain
+from repro.exec.operators import Counters, HashJoinBind, ScanBind, Singleton
+from repro.exec.planner import compile_query
+from repro.model.instance import Instance
+from repro.model.values import DictValue, Row
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_path, parse_query
+from repro.query.paths import Attr, SName, Var
+
+
+def q(text):
+    return parse_query(text)
+
+
+@pytest.fixture
+def instance():
+    return Instance(
+        {
+            "R": frozenset({Row(A=1, B=10), Row(A=2, B=20), Row(A=3, B=10)}),
+            "S": frozenset({Row(B=10, C="x"), Row(B=20, C="y"), Row(B=30, C="z")}),
+            "IS": DictValue(
+                {
+                    10: frozenset({Row(B=10, C="x")}),
+                    20: frozenset({Row(B=20, C="y")}),
+                    30: frozenset({Row(B=30, C="z")}),
+                }
+            ),
+        }
+    )
+
+
+class TestOperators:
+    def test_scan_counts_tuples(self, instance):
+        counters = Counters()
+        op = ScanBind(Singleton(counters), "r", SName("R"), counters)
+        rows = list(op.rows(instance))
+        assert len(rows) == 3
+        assert counters.tuples == 3
+
+    def test_hash_join(self, instance):
+        counters = Counters()
+        left = ScanBind(Singleton(counters), "r", SName("R"), counters)
+        join = HashJoinBind(
+            left,
+            "s",
+            SName("S"),
+            parse_path("s.B", scope={"s"}),
+            parse_path("r.B", scope={"r"}),
+            counters,
+        )
+        rows = list(join.rows(instance))
+        assert len(rows) == 3  # each R row finds exactly one partner
+        assert counters.hash_builds == 3
+        assert counters.probes == 3
+
+    def test_filter_counts(self, instance):
+        counters = Counters()
+        plan = compile_query(q("select r.A from R r where r.B = 10"), counters)
+        results = frozenset(plan.results(instance))
+        assert results == frozenset({1, 3})
+        assert counters.filtered == 1
+
+
+class TestPlanner:
+    def test_pipeline_explain(self):
+        text = explain(q("select struct(A = r.A) from R r, S s where r.B = s.B"))
+        assert "scan R as r" in text
+        assert "filter" in text
+
+    def test_hash_join_detected(self):
+        text = explain(
+            q("select struct(A = r.A) from R r, S s where r.B = s.B"),
+            use_hash_joins=True,
+        )
+        assert "hash-join S as s" in text
+
+    def test_hash_join_not_used_for_dependent_scan(self):
+        text = explain(
+            q("select struct(X = m) from depts d, d.DProjs m"),
+            use_hash_joins=True,
+        )
+        assert "hash-join" not in text
+
+    def test_index_scan_compiles(self):
+        text = explain(q('select struct(C = t.C) from IS{10} t'))
+        assert "scan IS{10} as t" in text
+
+
+class TestEngine:
+    def test_agrees_with_reference(self, instance):
+        queries = [
+            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+            "select r.A from R r where r.B = 10",
+            "select struct(C = t.C) from dom(IS) k, IS[k] t where k = 10",
+            "select struct(C = t.C) from IS{10} t",
+            "select struct(C = t.C) from IS{999} t",
+        ]
+        for text in queries:
+            query = q(text)
+            assert execute(query, instance).results == evaluate(query, instance)
+
+    def test_hash_join_agrees(self, instance):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        nested = execute(query, instance, use_hash_joins=False)
+        hashed = execute(query, instance, use_hash_joins=True)
+        assert nested.results == hashed.results
+
+    def test_hash_join_fewer_tuples_scanned(self, instance):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        nested = execute(query, instance, use_hash_joins=False)
+        hashed = execute(query, instance, use_hash_joins=True)
+        assert hashed.counters.tuples < nested.counters.tuples
+
+    def test_index_probe_counted(self, instance):
+        query = q("select struct(C = t.C) from R r, IS{r.B} t")
+        result = execute(query, instance)
+        assert result.counters.probes >= 3
+
+    def test_failing_lookup_raises(self, instance):
+        query = q("select struct(C = t.C) from IS[999] t")
+        with pytest.raises(QueryExecutionError):
+            execute(query, instance)
+
+    def test_execution_result_metadata(self, instance):
+        result = execute(q("select r.A from R r"), instance)
+        assert len(result) == 3
+        assert result.elapsed_seconds >= 0
+        assert "scan R" in result.plan_text

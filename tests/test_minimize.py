@@ -1,0 +1,89 @@
+"""Unit tests for generalized tableau minimization."""
+
+from repro.backchase.minimize import minimize, minimize_all
+from repro.chase.containment import is_equivalent
+from repro.query.parser import parse_constraint, parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestClassicalMinimization:
+    def test_paper_example(self):
+        query = q(
+            "select struct(A = p.A, B = r.B) from R p, R q, R r "
+            "where p.B = q.A and q.B = r.B"
+        )
+        minimal = minimize(query)
+        assert len(minimal.bindings) == 2
+        assert is_equivalent(minimal, query)
+
+    def test_idempotent(self):
+        query = q(
+            "select struct(A = p.A, B = r.B) from R p, R q, R r "
+            "where p.B = q.A and q.B = r.B"
+        )
+        once = minimize(query)
+        twice = minimize(once)
+        assert once.canonical_key() == twice.canonical_key()
+
+    def test_minimal_query_unchanged(self):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        assert minimize(query).canonical_key() == query.canonical_key()
+
+    def test_cartesian_self_join_folds(self):
+        query = q("select struct(A = p.A) from R p, R q")
+        minimal = minimize(query)
+        assert len(minimal.bindings) == 1
+
+    def test_fold_needs_compatible_conditions(self):
+        query = q("select struct(A = p.A) from R p, R q where q.B = 5")
+        minimal = minimize(query)
+        # q cannot fold onto p (p is not filtered) nor p onto q (output)...
+        # actually p CAN fold onto q: output A = q.A under p = q? No: folding
+        # requires q.B = 5 to imply nothing about p. Removing p needs p ≡ q
+        # which is not implied. Removing q loses the filter.
+        assert len(minimal.bindings) == 2
+
+
+class TestSemanticMinimization:
+    def test_ric_join_elimination(self):
+        deps = [
+            parse_constraint(
+                "forall (p in Proj) -> exists (d in depts) p.PDept = d.DName",
+                "RIC",
+            )
+        ]
+        query = q(
+            "select struct(N = p.PName) from Proj p, depts d where p.PDept = d.DName"
+        )
+        minimal = minimize(query, deps)
+        assert minimal.binding_vars() == ("p",)
+        assert is_equivalent(minimal, query, deps)
+
+    def test_key_based_self_join_elimination(self):
+        deps = [
+            parse_constraint(
+                "forall (x in R, y in R) where x.K = y.K -> x = y", "KEY"
+            )
+        ]
+        query = q(
+            "select struct(A = x.A, B = y.B) from R x, R y where x.K = y.K"
+        )
+        minimal = minimize(query, deps)
+        assert len(minimal.bindings) == 1
+        # without the key constraint the join is genuinely needed
+        assert len(minimize(query).bindings) == 2
+
+    def test_minimize_all_returns_each_form(self):
+        deps = [
+            parse_constraint("forall (r in R) -> exists (s in S) r.A = s.A", "i1"),
+            parse_constraint("forall (s in S) -> exists (r in R) s.A = r.A", "i2"),
+        ]
+        query = q("select struct(A = r.A) from R r, S s where r.A = s.A")
+        forms = minimize_all(query, deps)
+        # both the R-only and the S-only forms are minimal
+        assert len(forms) == 2
+        sources = {f.bindings[0].source for f in forms}
+        assert len(sources) == 2

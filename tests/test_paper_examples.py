@@ -1,0 +1,182 @@
+"""End-to-end reproduction of the paper's worked examples (E1, E2).
+
+These are the flagship integration tests: the ProjDept scenario of
+sections 1–3 must yield the paper's plans P1–P4 (in the forms discussed in
+EXPERIMENTS.md), the displayed universal plan, and agreeing results on
+generated instances.
+"""
+
+import pytest
+
+from repro.chase.chase import chase
+from repro.chase.containment import is_equivalent
+from repro.exec.engine import execute
+from repro.optimizer.optimizer import Optimizer
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.query.paths import NFLookup
+
+
+@pytest.fixture(scope="module")
+def optimized(request):
+    wl = request.getfixturevalue("projdept")
+    opt = Optimizer(
+        wl.constraints,
+        physical_names=wl.physical_names,
+        statistics=wl.statistics,
+    )
+    return wl, opt.optimize(wl.query)
+
+
+class TestUniversalPlan:
+    def test_mentions_every_access_structure(self, optimized):
+        wl, result = optimized
+        names = result.universal_plan.schema_names()
+        assert {"depts", "Proj", "Dept", "I", "SI", "JI"} <= names
+
+    def test_original_bindings_retained(self, optimized):
+        """The universal plan extends Q — chase only adds loops/conditions."""
+
+        wl, result = optimized
+        u_vars = set(result.universal_plan.binding_vars())
+        assert set(wl.query.binding_vars()) <= u_vars
+
+    def test_universal_plan_equivalent_to_query(self, optimized):
+        wl, result = optimized
+        assert evaluate(result.universal_plan, wl.instance) == evaluate(
+            wl.query, wl.instance
+        )
+
+    def test_chase_trace_names_constraints(self, optimized):
+        _, result = optimized
+        used = {s.constraint for s in result.chase_steps}
+        assert "JI_cv" in used
+        assert any(name.startswith("I_pi") for name in used)
+        assert any(name.startswith("SI_si") for name in used)
+
+
+class TestPaperPlans:
+    """P1–P4 of section 1 (see EXPERIMENTS.md E1 for the exact forms)."""
+
+    def test_p2_direct_scan_found(self, optimized):
+        wl, result = optimized
+        p2 = parse_query(
+            "select struct(PN = p.PName, PB = p.Budg, DN = p.PDept) "
+            'from Proj p where "CitiBank" = p.CustName'
+        )
+        keys = {p.query.canonical_key() for p in result.plans}
+        assert p2.canonical_key() in keys
+
+    def test_p3_nonfailing_secondary_index_found(self, optimized):
+        wl, result = optimized
+        p3 = [
+            p
+            for p in result.plans
+            if any(
+                isinstance(b.source, NFLookup)
+                and "SI" in str(b.source)
+                and "CitiBank" in str(b.source)
+                for b in p.query.bindings
+            )
+        ]
+        assert p3
+
+    def test_p4_join_index_plan_found(self, optimized):
+        wl, result = optimized
+        p4 = [
+            p
+            for p in result.plans
+            if "JI" in p.query.schema_names()
+            and len(p.query.bindings) == 1
+        ]
+        assert p4
+        # guard-free primary-index lookups proven safe by the chase
+        assert any("I[" in str(p.query) for p in p4)
+
+    def test_p1_class_dictionary_plan_found(self, optimized):
+        wl, result = optimized
+        p1ish = [
+            p
+            for p in result.plans
+            if "Dept" in p.query.schema_names()
+            and any("dom(Dept)" in str(b.source) for b in p.query.bindings)
+        ]
+        assert p1ish
+
+    def test_all_plans_equivalent_under_constraints(self, optimized):
+        """Chase-based equivalence applies to the PC (unrefined) plans;
+        refined plans use non-failing lookups, which sit outside the PC
+        fragment (their soundness is a property of the rewrite itself and
+        is checked by evaluation below and in test_refine.py)."""
+
+        wl, result = optimized
+        unrefined = [p for p in result.plans if not p.refined]
+        assert unrefined
+        for plan in unrefined[:4]:
+            assert is_equivalent(plan.query, wl.query, wl.constraints), str(plan)
+
+    def test_all_plans_agree_on_instance(self, optimized):
+        wl, result = optimized
+        reference = evaluate(wl.query, wl.instance)
+        for plan in result.plans:
+            assert evaluate(plan.query, wl.instance) == reference, str(plan)
+
+    def test_executor_agrees_on_physical_plans(self, optimized):
+        wl, result = optimized
+        reference = evaluate(wl.query, wl.instance)
+        for plan in result.physical_plans():
+            assert execute(plan.query, wl.instance).results == reference, str(plan)
+
+    def test_best_plan_is_selective_index(self, optimized):
+        """With selective CitiBank share, P3 (refined) must win (section 1:
+        'depending on the cost model ... either one of P2, P3, P4 may be
+        cheaper'; our statistics make SI the winner)."""
+
+        _, result = optimized
+        assert result.best.refined
+        assert "SI{" in str(result.best.query)
+
+
+class TestP1WithoutExtraStructures:
+    """Chasing with the class encoding only (no I/SI/JI) produces exactly
+    the paper's P1 — with the full structure set P1 is non-minimal because
+    the primary index subsumes the Proj scan (EXPERIMENTS.md E1)."""
+
+    @staticmethod
+    def _shape(query):
+        """Order- and name-insensitive plan fingerprint: the multiset of
+        binding-source shapes (variables anonymized) plus binding count."""
+
+        from repro.query.paths import Var as _Var
+
+        anon = {v: _Var("?") for v in query.binding_vars()}
+        sources = sorted(
+            str(__import__("repro.query.paths", fromlist=["substitute"]).substitute(b.source, anon))
+            for b in query.bindings
+        )
+        return (tuple(sources), len(query.bindings))
+
+    def test_p1_exact_form(self, projdept):
+        deps = (
+            projdept.class_encoding.constraints()
+        )
+        opt = Optimizer(deps, physical_names=projdept.physical_names, reorder=False)
+        result = opt.optimize(projdept.query)
+        p1 = parse_query(
+            "select struct(PN = s, PB = p.Budg, DN = d.DName) "
+            "from dom(Dept) d, d.DProjs s, Proj p "
+            'where s = p.PName and "CitiBank" = p.CustName'
+        )
+        matches = [
+            p
+            for p in result.plans
+            if self._shape(p.query) == self._shape(p1)
+        ]
+        assert matches, [str(p.query) for p in result.plans]
+        assert is_equivalent(matches[0].query, p1, deps)
+
+    def test_reference_p1_equivalent(self, projdept):
+        deps = projdept.class_encoding.constraints()
+        assert is_equivalent(
+            projdept.reference_plans["P1"], projdept.query, deps
+        )

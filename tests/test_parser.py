@@ -1,0 +1,152 @@
+"""Unit tests for the OQL-ish parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import StructOutput
+from repro.query.parser import parse_constraint, parse_path, parse_query
+from repro.query.paths import (
+    Attr,
+    Const,
+    Dom,
+    Lookup,
+    NFLookup,
+    SName,
+    Var,
+)
+
+
+class TestQueryParsing:
+    def test_paper_query(self):
+        query = parse_query(
+            'select struct(PN = s, PB = p.Budg, DN = d.DName) '
+            'from depts d, d.DProjs s, Proj p '
+            'where s = p.PName and p.CustName = "CitiBank"'
+        )
+        assert query.binding_vars() == ("d", "s", "p")
+        assert query.binding_of("s").source == Attr(Var("d"), "DProjs")
+        assert len(query.conditions) == 2
+        assert isinstance(query.output, StructOutput)
+
+    def test_in_binding_style(self):
+        a = parse_query("select struct(A = p.A) from p in Proj")
+        b = parse_query("select struct(A = p.A) from Proj p")
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_path_output(self):
+        query = parse_query("select r.C from R r")
+        assert str(query.output) == "r.C"
+
+    def test_dom_and_lookup(self):
+        query = parse_query(
+            "select struct(A = t.A) from dom(SI) k, SI[k] t where k = 5"
+        )
+        assert query.binding_of("k").source == Dom(SName("SI"))
+        assert query.binding_of("t").source == Lookup(SName("SI"), Var("k"))
+
+    def test_nonfailing_lookup(self):
+        query = parse_query('select struct(A = t.A) from SI{"x"} t')
+        assert query.binding_of("t").source == NFLookup(SName("SI"), Const("x"))
+
+    def test_constants(self):
+        query = parse_query(
+            'select struct(A = r.A) from R r '
+            'where r.S = "str" and r.I = 42 and r.F = 4.5 and r.B = true'
+        )
+        consts = {c.right.value for c in query.conditions if isinstance(c.right, Const)}
+        assert consts == {"str", 42, 4.5, True}
+
+    def test_select_referencing_later_bindings(self):
+        # The output mentions variables bound in the from clause.
+        query = parse_query("select struct(X = s.B) from R r, S s")
+        assert "s.B" in str(query.output)
+
+    def test_distinct_keyword_accepted(self):
+        query = parse_query("select distinct struct(A = r.A) from R r")
+        assert query.binding_vars() == ("r",)
+
+
+class TestQueryErrors:
+    def test_missing_from(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select struct(A = x.A)")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select struct(A = r.A) from R r, S r")
+
+    def test_garbage_trailing(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select struct(A = r.A) from R r banana loose")
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select struct(A = r.A) from R r where r.A = @")
+
+    def test_unclosed_bracket(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select struct(A = t.A) from dom(SI k, SI[k] t")
+
+
+class TestPathParsing:
+    def test_parse_path_with_scope(self):
+        path = parse_path("Dept[d].DName", scope={"d"})
+        assert path == Attr(Lookup(SName("Dept"), Var("d")), "DName")
+
+    def test_parse_path_without_scope_makes_snames(self):
+        path = parse_path("R.A")
+        assert path == Attr(SName("R"), "A")
+
+    def test_parenthesized(self):
+        assert parse_path("(R).A") == Attr(SName("R"), "A")
+
+
+class TestConstraintParsing:
+    def test_tgd(self):
+        dep = parse_constraint(
+            "forall (p in Proj) -> exists (i in dom(I)) i = p.PName and I[i] = p",
+            "PI1",
+        )
+        assert dep.name == "PI1"
+        assert dep.is_tgd()
+        assert len(dep.conclusion_conditions) == 2
+
+    def test_egd(self):
+        dep = parse_constraint(
+            "forall (d in depts, d2 in depts) where d.DName = d2.DName -> d = d2",
+            "KEY",
+        )
+        assert dep.is_egd()
+        assert len(dep.premise_conditions) == 1
+
+    def test_nonemptiness(self):
+        dep = parse_constraint(
+            "forall (k in dom(SI)) -> exists (t in SI[k]) true", "SI3"
+        )
+        assert dep.is_tgd()
+        assert dep.conclusion_conditions == ()
+
+    def test_conclusion_where_optional(self):
+        a = parse_constraint("forall (r in R) -> exists (v in V) v.A = r.A")
+        b = parse_constraint("forall (r in R) -> exists (v in V) where v.A = r.A")
+        assert a.conclusion_conditions == b.conclusion_conditions
+
+    def test_missing_arrow(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_constraint("forall (r in R) exists (v in V) v.A = r.A")
+
+
+class TestRoundTrip:
+    def test_query_str_reparses(self):
+        text = (
+            "select struct(PN = s, PB = p.Budg) from depts d, d.DProjs s, Proj p "
+            'where s = p.PName and p.CustName = "CitiBank"'
+        )
+        query = parse_query(text)
+        again = parse_query(str(query))
+        assert again.canonical_key() == query.canonical_key()
+
+    def test_plan_with_nflookup_reparses(self):
+        text = 'select struct(PN = p.PName) from SI{"CitiBank"} p'
+        query = parse_query(text)
+        assert parse_query(str(query)).canonical_key() == query.canonical_key()

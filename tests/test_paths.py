@@ -1,0 +1,108 @@
+"""Unit tests for path expressions."""
+
+from repro.query import paths as P
+from repro.query.paths import (
+    Attr,
+    Const,
+    Dom,
+    Lookup,
+    NFLookup,
+    Path,
+    SName,
+    Var,
+)
+
+
+class TestConstructionAndInterning:
+    def test_interning_identity(self):
+        assert Var("x") is Var("x")
+        assert Attr(Var("x"), "A") is Attr(Var("x"), "A")
+        assert Lookup(SName("M"), Var("k")) is Lookup(SName("M"), Var("k"))
+
+    def test_distinct_kinds_not_equal(self):
+        assert Var("R") != SName("R")
+        assert Const(1) != Const(True)  # bool/int distinction
+
+    def test_rendering(self):
+        path = Attr(Lookup(SName("Dept"), Var("d")), "DName")
+        assert str(path) == "Dept[d].DName"
+        assert str(Dom(SName("I"))) == "dom(I)"
+        assert str(NFLookup(SName("SI"), Const("CitiBank"))) == 'SI{"CitiBank"}'
+        assert str(Const("x")) == '"x"'
+        assert str(Const(5)) == "5"
+
+
+class TestStructure:
+    def test_children_and_rebuild(self):
+        path = Lookup(SName("M"), Var("k"))
+        kids = P.children(path)
+        assert kids == (SName("M"), Var("k"))
+        rebuilt = P.rebuild(path, (SName("N"), Var("k")))
+        assert rebuilt == Lookup(SName("N"), Var("k"))
+
+    def test_subterms_postorder(self):
+        path = Attr(Var("x"), "A")
+        assert list(P.subterms(path)) == [Var("x"), path]
+
+    def test_free_vars(self):
+        path = Lookup(SName("M"), Attr(Var("k"), "A"))
+        assert P.free_vars(path) == frozenset({"k"})
+        assert P.free_vars(SName("R")) == frozenset()
+
+    def test_schema_names(self):
+        path = Lookup(SName("M"), Attr(Var("k"), "A"))
+        assert P.schema_names(path) == frozenset({"M"})
+
+    def test_size_and_depth(self):
+        path = Attr(Attr(Var("x"), "A"), "B")
+        assert P.size(path) == 3
+        assert P.depth(path) == 3
+
+
+class TestSubstitute:
+    def test_substitute_var(self):
+        path = Attr(Var("x"), "A")
+        result = P.substitute(path, {"x": Var("y")})
+        assert result == Attr(Var("y"), "A")
+
+    def test_substitute_no_hit_returns_same_object(self):
+        path = Attr(Var("x"), "A")
+        assert P.substitute(path, {"z": Var("y")}) is path
+
+    def test_substitute_into_lookup_key(self):
+        path = Lookup(SName("M"), Var("k"))
+        result = P.substitute(path, {"k": Const(5)})
+        assert result == Lookup(SName("M"), Const(5))
+
+    def test_substitute_with_composite(self):
+        path = Attr(Var("x"), "A")
+        result = P.substitute(path, {"x": Lookup(SName("D"), Var("o"))})
+        assert str(result) == "D[o].A"
+
+
+class TestTransform:
+    def test_transform_bottom_up(self):
+        path = Attr(Var("x"), "A")
+
+        def rename(p: Path) -> Path:
+            if isinstance(p, Var):
+                return Var(p.name.upper())
+            return p
+
+        assert P.transform(path, rename) == Attr(Var("X"), "A")
+
+    def test_mentions_var(self):
+        assert P.mentions_var(Attr(Var("x"), "A"), "x")
+        assert not P.mentions_var(SName("R"), "x")
+
+
+class TestOrdering:
+    def test_sort_key_smaller_terms_first(self):
+        small = Var("z")
+        big = Attr(Attr(Var("a"), "X"), "Y")
+        assert sorted([big, small], key=P.path_sort_key)[0] is small
+
+    def test_convenience_constructors(self):
+        assert P.A(P.V("x"), "A", "B") == Attr(Attr(Var("x"), "A"), "B")
+        assert P.N("R") == SName("R")
+        assert P.C(1) == Const(1)

@@ -1,0 +1,99 @@
+"""Unit tests for primary/secondary index structures."""
+
+import pytest
+
+from repro.constraints.checker import check_all, holds
+from repro.errors import InstanceError
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.types import DictType, INT, STRING, SetType, relation
+from repro.model.values import DictValue, Row
+from repro.physical.indexes import PrimaryIndex, SecondaryIndex
+
+
+@pytest.fixture
+def instance():
+    return Instance(
+        {
+            "Proj": frozenset(
+                {
+                    Row(PName="P1", CustName="CitiBank"),
+                    Row(PName="P2", CustName="CitiBank"),
+                    Row(PName="P3", CustName="Acme"),
+                }
+            )
+        }
+    )
+
+
+class TestPrimaryIndex:
+    def test_materialize(self, instance):
+        idx = PrimaryIndex("I", "Proj", "PName")
+        value = idx.materialize(instance)
+        assert isinstance(value, DictValue)
+        assert value["P1"]["CustName"] == "CitiBank"
+        assert len(value) == 3
+
+    def test_duplicate_key_rejected(self, instance):
+        idx = PrimaryIndex("I", "Proj", "CustName")  # CustName is not a key
+        with pytest.raises(InstanceError):
+            idx.materialize(instance)
+
+    def test_constraints_hold_on_materialization(self, instance):
+        idx = PrimaryIndex("I", "Proj", "PName")
+        idx.install(instance)
+        assert check_all(idx.constraints(), instance) == []
+
+    def test_constraints_fail_on_stale_index(self, instance):
+        idx = PrimaryIndex("I", "Proj", "PName")
+        idx.install(instance)
+        instance["Proj"] = instance["Proj"] | {Row(PName="P9", CustName="New")}
+        failures = check_all(idx.constraints(), instance)
+        assert [name for name, _ in failures] == ["I_pi1"]
+
+    def test_schema_type(self, instance):
+        schema = Schema("t").add("Proj", relation(PName=STRING, CustName=STRING))
+        idx = PrimaryIndex("I", "Proj", "PName")
+        idx.install(instance, schema)
+        ty = schema.type_of("I")
+        assert isinstance(ty, DictType)
+        assert ty.key == STRING
+
+
+class TestSecondaryIndex:
+    def test_materialize_groups(self, instance):
+        idx = SecondaryIndex("SI", "Proj", "CustName")
+        value = idx.materialize(instance)
+        assert len(value["CitiBank"]) == 2
+        assert len(value["Acme"]) == 1
+
+    def test_constraints_hold(self, instance):
+        idx = SecondaryIndex("SI", "Proj", "CustName")
+        idx.install(instance)
+        assert check_all(idx.constraints(), instance) == []
+
+    def test_nonemptiness_constraint(self, instance):
+        idx = SecondaryIndex("SI", "Proj", "CustName")
+        idx.install(instance)
+        # manually sabotage with an empty bucket
+        data = dict(instance["SI"].items())
+        data["Ghost"] = frozenset()
+        instance["SI"] = DictValue(data)
+        failures = check_all(idx.constraints(), instance)
+        assert "SI_si3" in [name for name, _ in failures]
+
+    def test_si2_fails_on_foreign_rows(self, instance):
+        idx = SecondaryIndex("SI", "Proj", "CustName")
+        idx.install(instance)
+        data = dict(instance["SI"].items())
+        data["Acme"] = data["Acme"] | {Row(PName="P99", CustName="Acme")}
+        instance["SI"] = DictValue(data)
+        failures = check_all(idx.constraints(), instance)
+        assert "SI_si2" in [name for name, _ in failures]
+
+    def test_schema_type(self, instance):
+        schema = Schema("t").add("Proj", relation(PName=STRING, CustName=STRING))
+        idx = SecondaryIndex("SI", "Proj", "CustName")
+        idx.install(instance, schema)
+        ty = schema.type_of("SI")
+        assert isinstance(ty.value, SetType)

@@ -1,0 +1,110 @@
+"""Property-based end-to-end soundness of the optimizer.
+
+For randomized combinations of physical structures (secondary indexes on
+random attributes, materialized projection/join views) over randomized
+instances, every plan Algorithm 1 emits must return exactly the logical
+query's answer — on the instance the structures were built from (where
+the implementation-mapping constraints hold by construction).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.instance import Instance
+from repro.model.values import Row
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.statistics import Statistics
+from repro.physical.indexes import SecondaryIndex
+from repro.physical.views import MaterializedView
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+
+
+@st.composite
+def scenarios(draw):
+    n_r = draw(st.integers(0, 12))
+    n_s = draw(st.integers(0, 12))
+    r = frozenset(
+        Row(A=draw(st.integers(0, 3)), B=draw(st.integers(0, 3)))
+        for _ in range(n_r)
+    )
+    s = frozenset(
+        Row(B=draw(st.integers(0, 3)), C=draw(st.integers(0, 3)))
+        for _ in range(n_s)
+    )
+    instance = Instance({"R": r, "S": s})
+
+    structures = []
+    if draw(st.booleans()):
+        structures.append(SecondaryIndex("IRA", "R", draw(st.sampled_from(["A", "B"]))))
+    if draw(st.booleans()):
+        structures.append(SecondaryIndex("ISB", "S", "B"))
+    if draw(st.booleans()):
+        structures.append(
+            MaterializedView(
+                "V",
+                parse_query(
+                    "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B"
+                ),
+            )
+        )
+    constraints = []
+    for structure in structures:
+        structure.install(instance)
+        constraints.extend(structure.constraints())
+
+    query_text = draw(
+        st.sampled_from(
+            [
+                "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+                "select r.A from R r where r.B = 2",
+                "select struct(A = r.A, B = s.B) from R r, S s "
+                "where r.B = s.B and r.A = 1",
+                "select s.C from S s where s.B = 0",
+            ]
+        )
+    )
+    return instance, constraints, parse_query(query_text)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenarios())
+def test_every_emitted_plan_is_correct(scenario):
+    instance, constraints, query = scenario
+    optimizer = Optimizer(
+        constraints,
+        statistics=Statistics.from_instance(instance),
+        max_backchase_nodes=5000,
+    )
+    result = optimizer.optimize(query)
+    reference = evaluate(query, instance)
+    for plan in result.plans:
+        assert evaluate(plan.query, instance) == reference, str(plan.query)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenarios())
+def test_best_plan_never_costlier_than_original(scenario):
+    instance, constraints, query = scenario
+    from repro.optimizer.cost import estimate_cost
+
+    stats = Statistics.from_instance(instance)
+    optimizer = Optimizer(constraints, statistics=stats, max_backchase_nodes=5000)
+    result = optimizer.optimize(query)
+    assert result.best.cost <= estimate_cost(query, stats) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenarios())
+def test_rule_based_plans_correct(scenario):
+    instance, constraints, query = scenario
+    from repro.optimizer.rules import RuleBasedOptimizer
+
+    optimizer = RuleBasedOptimizer(
+        constraints,
+        statistics=Statistics.from_instance(instance),
+        strategy="beam",
+        beam_width=3,
+    )
+    reference = evaluate(query, instance)
+    for plan, _cost in optimizer.search(query):
+        assert evaluate(plan, instance) == reference, str(plan)

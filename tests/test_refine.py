@@ -1,0 +1,147 @@
+"""Unit tests for plan normalization and refinement."""
+
+import pytest
+
+from repro.chase.chase import ChaseEngine
+from repro.chase.containment import is_equivalent
+from repro.optimizer.refine import (
+    nonfailing_refinement,
+    normalize_plan,
+    prune_conditions,
+)
+from repro.query.parser import parse_constraint, parse_query
+from repro.query.paths import NFLookup
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestNormalizePlan:
+    def test_output_representative_minimized(self):
+        query = q(
+            "select struct(N = I[i].PDept) from Proj p, dom(I) i "
+            "where i = p.PName and I[i].PDept = p.PDept"
+        )
+        normalized = normalize_plan(query)
+        assert "p.PDept" in str(normalized.output)
+
+    def test_equal_plans_converge(self):
+        a = q("select struct(A = r.A) from R r, S s where r.B = s.B")
+        b = q("select struct(A = r.A) from R r, S s where s.B = r.B")
+        assert (
+            normalize_plan(a).canonical_key() == normalize_plan(b).canonical_key()
+        )
+
+    def test_binding_source_not_replaced_by_var(self):
+        query = q("select struct(A = r.A) from R r, S s where r.B = s.B")
+        normalized = normalize_plan(query)
+        from repro.query.paths import SName
+
+        assert normalized.binding_of("r").source == SName("R")
+
+
+class TestPruneConditions:
+    def test_deps_implied_condition_dropped(self):
+        pi1 = parse_constraint(
+            "forall (p in Proj) -> exists (i in dom(I)) i = p.PName and I[i] = p",
+            "PI1",
+        )
+        query = q(
+            'select struct(PN = p.PName) from Proj p '
+            'where p.CustName = "C" and I[p.PName] = p'
+        )
+        pruned = prune_conditions(query, [pi1])
+        assert len(pruned.conditions) == 1
+        assert "I[" not in str(pruned)
+
+    def test_needed_conditions_kept(self):
+        query = q("select struct(A = r.A) from R r, S s where r.B = s.B")
+        pruned = prune_conditions(query, [])
+        assert len(pruned.conditions) == 1
+
+    def test_result_equivalent(self):
+        pi1 = parse_constraint(
+            "forall (p in Proj) -> exists (i in dom(I)) i = p.PName and I[i] = p",
+            "PI1",
+        )
+        query = q(
+            'select struct(PN = p.PName) from Proj p where I[p.PName] = p'
+        )
+        pruned = prune_conditions(query, [pi1])
+        assert is_equivalent(pruned, query, [pi1])
+
+
+class TestNonFailingRefinement:
+    def test_p3_shape(self):
+        """dom(SI) k, SI[k] t, k = "CitiBank"  →  SI{"CitiBank"} t."""
+
+        query = q(
+            "select struct(PN = t.PName) from dom(SI) k, SI[k] t "
+            'where k = "CitiBank"'
+        )
+        refined = nonfailing_refinement(query)
+        assert refined is not None
+        assert refined.binding_vars() == ("t",)
+        source = refined.binding_of("t").source
+        assert isinstance(source, NFLookup)
+        assert str(source) == 'SI{"CitiBank"}'
+
+    def test_key_from_other_variable(self):
+        """The section 4 shape: IS{r'.B} with the key from another binding."""
+
+        query = q(
+            "select struct(C = t.C) from R r, dom(IS) k, IS[k] t where k = r.B"
+        )
+        refined = nonfailing_refinement(query)
+        assert refined is not None
+        assert "IS{r.B}" in str(refined)
+
+    def test_guard_without_replacement_kept(self):
+        query = q("select struct(PN = t.PName) from dom(SI) k, SI[k] t")
+        assert nonfailing_refinement(query) is None
+
+    def test_guard_var_in_output_rewritten(self):
+        query = q(
+            "select struct(K = k, PN = t.PName) from dom(SI) k, SI[k] t "
+            'where k = "C"'
+        )
+        refined = nonfailing_refinement(query)
+        assert refined is not None
+        assert '"C"' in str(refined.output)
+
+    def test_unsafe_condition_occurrence_blocks(self):
+        # I[k] also appears in a condition: eliminating the guard would make
+        # the condition's lookup failing for absent keys.
+        query = q(
+            "select struct(PN = t.PName) from dom(SI) k, SI[k] t, Proj p "
+            'where k = "C" and SI[k] = SI[p.CustName]'
+        )
+        refined = nonfailing_refinement(query)
+        assert refined is None
+
+    def test_no_dependent_binding_blocks(self):
+        # guard never feeds a binding source: nothing to propagate emptiness
+        query = q(
+            'select struct(K = k) from dom(SI) k, Proj p where k = "C"'
+        )
+        assert nonfailing_refinement(query) is None
+
+    def test_semantics_preserved_on_instance(self):
+        from repro.model.instance import Instance
+        from repro.model.values import DictValue, Row
+        from repro.query.evaluator import evaluate
+
+        query = q(
+            "select struct(PN = t.PName) from dom(SI) k, SI[k] t "
+            'where k = "CitiBank"'
+        )
+        refined = nonfailing_refinement(query)
+        with_key = Instance(
+            {"SI": DictValue({"CitiBank": frozenset({Row(PName="P1")})})}
+        )
+        without_key = Instance(
+            {"SI": DictValue({"Acme": frozenset({Row(PName="P2")})})}
+        )
+        for inst in (with_key, without_key):
+            assert evaluate(query, inst) == evaluate(refined, inst)

@@ -1,0 +1,123 @@
+"""Unit tests for the rule-based optimizer (section 3's implementation)."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimizer.rules import (
+    BackchaseRule,
+    ChaseRule,
+    RuleBasedOptimizer,
+    SearchStats,
+)
+from repro.optimizer.statistics import Statistics
+from repro.query.parser import parse_constraint, parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+@pytest.fixture
+def view_deps():
+    return [
+        parse_constraint(
+            "forall (r in R, s in S) where r.B = s.B -> exists (v in V) "
+            "v.A = r.A and v.C = s.C",
+            "cV",
+        ),
+        parse_constraint(
+            "forall (v in V) -> exists (r in R, s in S) r.B = s.B and "
+            "v.A = r.A and v.C = s.C",
+            "cV'",
+        ),
+    ]
+
+
+class TestRules:
+    def test_chase_rule_steps_once(self, view_deps):
+        rule = ChaseRule(view_deps)
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        results = list(rule.apply(query))
+        assert len(results) == 1
+        assert "V" in results[0].schema_names()
+
+    def test_chase_rule_empty_at_fixpoint(self, view_deps):
+        rule = ChaseRule(view_deps)
+        query = q(
+            "select struct(A = v.A, C = v.C) from R r, S s, V v "
+            "where r.B = s.B and v.A = r.A and v.C = s.C"
+        )
+        assert list(rule.apply(query)) == []
+
+    def test_backchase_rule_yields_candidates(self, view_deps):
+        rule = BackchaseRule(view_deps)
+        saturated = RuleBasedOptimizer(view_deps).saturate(
+            q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        )
+        candidates = list(rule.apply(saturated))
+        assert candidates
+        sizes = {len(c.bindings) for c in candidates}
+        assert all(s == len(saturated.bindings) - 1 for s in sizes)
+
+
+class TestStrategies:
+    def test_exhaustive_matches_algorithm1(self, view_deps):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        opt = RuleBasedOptimizer(view_deps, strategy="exhaustive")
+        ranked = opt.search(query)
+        keys = {plan.canonical_key() for plan, _ in ranked}
+        # both the base join and the view-only plan are normal forms
+        assert query.canonical_key() in keys
+        assert any("V" in plan.schema_names() and len(plan.bindings) == 1
+                   for plan, _ in ranked)
+
+    def test_beam_prunes(self, view_deps):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        stats_full = SearchStats()
+        RuleBasedOptimizer(view_deps, strategy="exhaustive").search(query, stats_full)
+        stats_beam = SearchStats()
+        RuleBasedOptimizer(
+            view_deps, strategy="beam", beam_width=1
+        ).search(query, stats_beam)
+        assert stats_beam.expanded <= stats_full.expanded
+
+    def test_greedy_finds_cheap_view_plan(self, view_deps):
+        stats = Statistics()
+        stats.set_card("R", 1000).set_card("S", 1000).set_card("V", 10)
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        opt = RuleBasedOptimizer(view_deps, statistics=stats, strategy="greedy")
+        best, cost = opt.best(query)
+        assert best.schema_names() == frozenset({"V"})
+
+    def test_chase_precedence(self, view_deps):
+        # saturate must run before any backchase: the search on a
+        # chase-unsaturated query still reaches the view plan.
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        opt = RuleBasedOptimizer(view_deps)
+        ranked = opt.search(query)
+        assert any("V" in plan.schema_names() for plan, _ in ranked)
+
+    def test_unknown_strategy_rejected(self, view_deps):
+        with pytest.raises(OptimizationError):
+            RuleBasedOptimizer(view_deps, strategy="bogus")
+
+    def test_node_budget(self, view_deps):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        opt = RuleBasedOptimizer(view_deps, max_nodes=0)
+        with pytest.raises(OptimizationError):
+            opt.search(query)
+
+
+class TestAgainstAlgorithm1:
+    def test_same_minimal_set_as_backchase(self, view_deps):
+        from repro.backchase.backchase import minimal_subqueries
+        from repro.chase.chase import chase
+
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        universal = chase(query, view_deps).query
+        direct = {f.canonical_key() for f in minimal_subqueries(universal, view_deps)}
+        rule_based = {
+            plan.canonical_key()
+            for plan, _ in RuleBasedOptimizer(view_deps).search(query)
+        }
+        assert direct == rule_based

@@ -1,0 +1,108 @@
+"""Unit tests for schemas and instances."""
+
+import pytest
+
+from repro.errors import InstanceError, SchemaError
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.types import INT, STRING, SetType, relation, struct
+from repro.model.values import DictValue, Oid, Row
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        s = Schema("t").add("R", relation(A=INT))
+        assert "R" in s
+        assert s.type_of("R") == relation(A=INT)
+
+    def test_duplicate_name_rejected(self):
+        s = Schema("t").add("R", relation(A=INT))
+        with pytest.raises(SchemaError):
+            s.add("R", relation(A=STRING))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SchemaError):
+            Schema("t").type_of("missing")
+
+    def test_remove(self):
+        s = Schema("t").add("R", relation(A=INT))
+        s.remove("R")
+        assert "R" not in s
+        with pytest.raises(SchemaError):
+            s.remove("R")
+
+    def test_add_class_registers_extent(self):
+        s = Schema("t")
+        info = s.add_class("Dept", "depts", struct(DName=STRING))
+        assert "depts" in s
+        assert isinstance(s.type_of("depts"), SetType)
+        assert s.class_info("Dept") is info
+        assert s.oid_attr_type(info.oid_type, "DName") == STRING
+
+    def test_duplicate_class_rejected(self):
+        s = Schema("t")
+        s.add_class("Dept", "depts", struct(DName=STRING))
+        with pytest.raises(SchemaError):
+            s.add_class("Dept", "depts2", struct(DName=STRING))
+
+    def test_union_merges_names(self):
+        a = Schema("a").add("R", relation(A=INT))
+        b = Schema("b").add("S", relation(B=INT))
+        merged = a.union(b)
+        assert "R" in merged and "S" in merged
+
+    def test_union_shared_name_must_agree(self):
+        a = Schema("a").add("R", relation(A=INT))
+        b = Schema("b").add("R", relation(A=INT))
+        merged = a.union(b)
+        assert "R" in merged
+        c = Schema("c").add("R", relation(A=STRING))
+        with pytest.raises(SchemaError):
+            a.union(c)
+
+
+class TestInstance:
+    def test_get_set(self):
+        inst = Instance({"R": frozenset()})
+        assert inst["R"] == frozenset()
+        inst["S"] = frozenset({Row(A=1)})
+        assert "S" in inst
+
+    def test_missing_name_raises(self):
+        with pytest.raises(InstanceError):
+            Instance()["missing"]
+
+    def test_class_registry_and_deref(self):
+        oid = Oid("Dept", 0)
+        inst = Instance({"Dept": DictValue({oid: Row(DName="D0")})})
+        inst.register_class("Dept", "Dept")
+        assert inst.deref(oid) == Row(DName="D0")
+
+    def test_register_class_requires_dict_value(self):
+        inst = Instance()
+        with pytest.raises(InstanceError):
+            inst.register_class("Dept", "missing")
+
+    def test_dangling_oid(self):
+        inst = Instance({"Dept": DictValue({})})
+        inst.register_class("Dept", "Dept")
+        with pytest.raises(InstanceError):
+            inst.deref(Oid("Dept", 9))
+
+    def test_validate_reports_missing_and_mistyped(self):
+        schema = Schema("t").add("R", relation(A=INT)).add("S", relation(B=INT))
+        inst = Instance({"R": frozenset({Row(A="oops")})})
+        problems = inst.validate(schema)
+        assert any("S" in p for p in problems)
+        assert any("expected int" in p for p in problems)
+
+    def test_validate_clean(self):
+        schema = Schema("t").add("R", relation(A=INT))
+        inst = Instance({"R": frozenset({Row(A=1)})})
+        assert inst.validate(schema) == []
+
+    def test_copy_is_independent(self):
+        inst = Instance({"R": frozenset()})
+        clone = inst.copy()
+        clone["R"] = frozenset({Row(A=1)})
+        assert inst["R"] == frozenset()

@@ -1,0 +1,113 @@
+"""Unit tests for the type system."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    BaseType,
+    DictType,
+    OidType,
+    SetType,
+    StructType,
+    base_type,
+    dict_of,
+    iter_subtypes,
+    python_base_type,
+    relation,
+    set_of,
+    struct,
+)
+
+
+class TestConstructors:
+    def test_struct_constructor_orders_fields(self):
+        ty = struct(A=STRING, B=INT)
+        assert ty.field_names() == ("A", "B")
+
+    def test_struct_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError):
+            StructType((("A", STRING), ("A", INT)))
+
+    def test_relation_is_set_of_struct(self):
+        ty = relation(A=INT, B=STRING)
+        assert isinstance(ty, SetType)
+        assert isinstance(ty.elem, StructType)
+        assert ty.elem.field("B") == STRING
+
+    def test_dict_of(self):
+        ty = dict_of(STRING, set_of(INT))
+        assert ty.key == STRING
+        assert ty.value == SetType(INT)
+
+
+class TestPredicates:
+    def test_base_predicates(self):
+        assert STRING.is_base()
+        assert OidType("Dept").is_base()
+        assert not set_of(INT).is_base()
+
+    def test_set_struct_dict_predicates(self):
+        assert set_of(INT).is_set()
+        assert struct(A=INT).is_struct()
+        assert dict_of(INT, INT).is_dict()
+
+
+class TestFieldAccess:
+    def test_field_lookup(self):
+        ty = struct(X=INT, Y=FLOAT)
+        assert ty.field("Y") == FLOAT
+        assert ty.has_field("X")
+        assert not ty.has_field("Z")
+
+    def test_missing_field_raises(self):
+        with pytest.raises(SchemaError):
+            struct(X=INT).field("Y")
+
+
+class TestBaseTypes:
+    def test_base_type_canonical(self):
+        assert base_type("string") is STRING
+        assert base_type("int") is INT
+
+    def test_base_type_custom(self):
+        surrogate = base_type("surrogate")
+        assert surrogate == BaseType("surrogate")
+
+    def test_python_base_type(self):
+        assert python_base_type(True) == BOOL
+        assert python_base_type(3) == INT
+        assert python_base_type(3.5) == FLOAT
+        assert python_base_type("x") == STRING
+        assert python_base_type([1]) is None
+
+    def test_bool_is_not_int(self):
+        # bool must map to BOOL despite being an int subclass
+        assert python_base_type(False) == BOOL
+
+
+class TestIterSubtypes:
+    def test_iter_subtypes_nested(self):
+        ty = dict_of(STRING, set_of(struct(A=INT)))
+        found = list(iter_subtypes(ty))
+        assert STRING in found
+        assert INT in found
+        assert set_of(struct(A=INT)) in found
+
+    def test_oid_str(self):
+        assert "Dept" in str(OidType("Dept"))
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert struct(A=INT) == struct(A=INT)
+        assert struct(A=INT) != struct(A=STRING)
+        assert dict_of(INT, INT) == DictType(INT, INT)
+
+    def test_display(self):
+        assert str(set_of(INT)) == "Set<int>"
+        assert "Dict<" in str(dict_of(STRING, INT))
+        assert "Struct{" in str(struct(A=INT))

@@ -1,0 +1,131 @@
+"""Unit tests for query type checking and the PC restrictions."""
+
+import pytest
+
+from repro.errors import QueryValidationError
+from repro.model.schema import Schema
+from repro.model.types import (
+    INT,
+    STRING,
+    DictType,
+    SetType,
+    dict_of,
+    relation,
+    set_of,
+    struct,
+)
+from repro.query.parser import parse_query
+from repro.query.typing import type_of_path, typecheck_query
+from repro.query.parser import parse_path
+
+
+@pytest.fixture
+def schema():
+    s = Schema("t")
+    s.add("Proj", relation(PName=STRING, CustName=STRING, Budg=INT))
+    s.add("I", dict_of(STRING, struct(PName=STRING, CustName=STRING, Budg=INT)))
+    s.add("SI", dict_of(STRING, set_of(struct(PName=STRING, CustName=STRING, Budg=INT))))
+    s.add_class("Dept", "depts", struct(DName=STRING, DProjs=SetType(STRING)))
+    return s
+
+
+class TestPathTyping:
+    def test_sname(self, schema):
+        assert type_of_path(parse_path("Proj"), schema, {}) == schema.type_of("Proj")
+
+    def test_attr_on_struct(self, schema):
+        row_type = schema.type_of("Proj").elem
+        ty = type_of_path(parse_path("p.Budg", scope={"p"}), schema, {"p": row_type})
+        assert ty == INT
+
+    def test_attr_on_oid(self, schema):
+        oid_type = schema.class_info("Dept").oid_type
+        ty = type_of_path(parse_path("d.DName", scope={"d"}), schema, {"d": oid_type})
+        assert ty == STRING
+
+    def test_dom(self, schema):
+        assert type_of_path(parse_path("dom(I)"), schema, {}) == SetType(STRING)
+
+    def test_lookup(self, schema):
+        env = {"k": STRING}
+        ty = type_of_path(parse_path("SI[k]", scope={"k"}), schema, env)
+        assert isinstance(ty, SetType)
+
+    def test_lookup_into_non_dict_rejected(self, schema):
+        with pytest.raises(QueryValidationError):
+            type_of_path(parse_path("Proj[k]", scope={"k"}), schema, {"k": STRING})
+
+    def test_nflookup_requires_set_entries(self, schema):
+        with pytest.raises(QueryValidationError):
+            type_of_path(parse_path('I{"x"}'), schema, {})
+
+    def test_missing_field(self, schema):
+        row_type = schema.type_of("Proj").elem
+        with pytest.raises(QueryValidationError):
+            type_of_path(parse_path("p.Nope", scope={"p"}), schema, {"p": row_type})
+
+
+class TestQueryTyping:
+    def test_paper_query_typechecks(self, schema):
+        query = parse_query(
+            "select struct(PN = s, PB = p.Budg, DN = d.DName) "
+            "from depts d, d.DProjs s, Proj p "
+            'where s = p.PName and p.CustName = "CitiBank"'
+        )
+        typed = typecheck_query(query, schema)
+        assert typed.env["p"] == schema.type_of("Proj").elem
+
+    def test_guarded_lookup_ok(self, schema):
+        query = parse_query(
+            "select struct(PN = t.PName) from dom(SI) k, SI[k] t"
+        )
+        typecheck_query(query, schema)
+
+    def test_unguarded_lookup_rejected_strict(self, schema):
+        query = parse_query(
+            "select struct(B = I[p.PName].Budg) from Proj p"
+        )
+        with pytest.raises(QueryValidationError):
+            typecheck_query(query, schema, strict=True)
+        typecheck_query(query, schema, strict=False)  # plans allowed
+
+    def test_nflookup_rejected_strict(self, schema):
+        query = parse_query('select struct(PN = t.PName) from SI{"x"} t')
+        with pytest.raises(QueryValidationError):
+            typecheck_query(query, schema, strict=True)
+        typecheck_query(query, schema, strict=False)
+
+    def test_set_typed_equality_rejected(self, schema):
+        query = parse_query(
+            "select struct(N = d.DName) from depts d, depts e where d.DProjs = e.DProjs"
+        )
+        with pytest.raises(QueryValidationError):
+            typecheck_query(query, schema, strict=True)
+        typecheck_query(query, schema, strict=False)
+
+    def test_collection_output_rejected_strict(self, schema):
+        query = parse_query("select struct(S = d.DProjs) from depts d")
+        with pytest.raises(QueryValidationError):
+            typecheck_query(query, schema, strict=True)
+
+    def test_binding_over_non_set_rejected(self, schema):
+        query = parse_query("select struct(N = x) from dom(I) k, I[k] x")
+        # I[k] is struct-valued, not a set
+        with pytest.raises(QueryValidationError):
+            typecheck_query(query, schema, strict=False)
+
+    def test_ill_typed_equality_rejected(self, schema):
+        query = parse_query(
+            "select struct(N = d.DName) from depts d, Proj p where d = p"
+        )
+        with pytest.raises(QueryValidationError):
+            typecheck_query(query, schema, strict=False)
+
+    def test_record_equality_allowed(self, schema):
+        # The paper's PI-style record equality I[i] = p
+        query = parse_query(
+            "select struct(PN = p.PName) from Proj p, dom(I) i "
+            "where i = p.PName and I[i] = p"
+        )
+        typed = typecheck_query(query, schema, strict=True)
+        assert typed.output_type is not None

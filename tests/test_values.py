@@ -1,0 +1,148 @@
+"""Unit tests for runtime values."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.model.types import (
+    BOOL,
+    INT,
+    STRING,
+    OidType,
+    dict_of,
+    relation,
+    set_of,
+    struct,
+)
+from repro.model.values import (
+    DictValue,
+    Oid,
+    Row,
+    freeze,
+    row,
+    sort_key,
+    type_check,
+)
+
+
+class TestRow:
+    def test_row_access(self):
+        r = Row(A=1, B="x")
+        assert r["A"] == 1
+        assert r["B"] == "x"
+        with pytest.raises(KeyError):
+            r["C"]
+
+    def test_row_equality_and_hash(self):
+        assert Row(A=1, B=2) == Row(B=2, A=1)
+        assert hash(Row(A=1)) == hash(Row(A=1))
+        assert Row(A=1) != Row(A=2)
+
+    def test_rows_in_frozensets(self):
+        s = frozenset({Row(A=1), Row(A=1), Row(A=2)})
+        assert len(s) == 2
+
+    def test_row_replace(self):
+        r = Row(A=1, B=2)
+        assert r.replace(B=3) == Row(A=1, B=3)
+        assert r["B"] == 2  # original untouched
+
+    def test_row_mapping_protocol(self):
+        r = Row(A=1, B=2)
+        assert sorted(r) == ["A", "B"]
+        assert len(r) == 2
+        assert dict(r) == {"A": 1, "B": 2}
+
+
+class TestOid:
+    def test_oid_identity(self):
+        assert Oid("Dept", 1) == Oid("Dept", 1)
+        assert Oid("Dept", 1) != Oid("Dept", 2)
+        assert Oid("Dept", 1) != Oid("Proj", 1)
+
+    def test_oid_hash_and_order(self):
+        assert hash(Oid("D", 1)) == hash(Oid("D", 1))
+        assert Oid("D", 1) < Oid("D", 2)
+
+
+class TestDictValue:
+    def test_lookup_and_domain(self):
+        d = DictValue({"a": 1, "b": 2})
+        assert d.lookup("a") == 1
+        assert d.domain() == frozenset({"a", "b"})
+
+    def test_failing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            DictValue({}).lookup("missing")
+
+    def test_nonfailing_lookup(self):
+        d = DictValue({"a": frozenset({1})})
+        assert d.nonfailing_lookup("a") == frozenset({1})
+        assert d.nonfailing_lookup("zzz") == frozenset()
+
+    def test_mapping_protocol(self):
+        d = DictValue({"a": 1})
+        assert "a" in d
+        assert len(d) == 1
+        assert d.get("zzz", 42) == 42
+
+
+class TestFreeze:
+    def test_freeze_nested(self):
+        v = freeze({"A": [1, 2], "B": {"C": 3}})
+        assert isinstance(v, Row)
+        assert v["A"] == frozenset({1, 2})
+        assert v["B"] == Row(C=3)
+
+    def test_row_helper(self):
+        r = row(A=1, Tags={"x", "y"})
+        assert r["Tags"] == frozenset({"x", "y"})
+
+    def test_freeze_rejects_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            freeze(object())
+
+
+class TestTypeCheck:
+    def test_base_values(self):
+        type_check("x", STRING)
+        type_check(3, INT)
+        type_check(True, BOOL)
+
+    def test_bool_not_int(self):
+        with pytest.raises(TypeMismatchError):
+            type_check(True, INT)
+        with pytest.raises(TypeMismatchError):
+            type_check(1, BOOL)
+
+    def test_struct_check(self):
+        type_check(Row(A=1), struct(A=INT))
+        with pytest.raises(TypeMismatchError):
+            type_check(Row(A=1, B=2), struct(A=INT))
+        with pytest.raises(TypeMismatchError):
+            type_check(Row(A="x"), struct(A=INT))
+
+    def test_relation_check(self):
+        type_check(frozenset({Row(A=1)}), relation(A=INT))
+        with pytest.raises(TypeMismatchError):
+            type_check([Row(A=1)], relation(A=INT))
+
+    def test_dict_check(self):
+        ty = dict_of(STRING, set_of(INT))
+        type_check(DictValue({"a": frozenset({1})}), ty)
+        with pytest.raises(TypeMismatchError):
+            type_check(DictValue({1: frozenset({1})}), ty)
+
+    def test_oid_check(self):
+        type_check(Oid("Dept", 1), OidType("Dept"))
+        with pytest.raises(TypeMismatchError):
+            type_check(Oid("Proj", 1), OidType("Dept"))
+
+
+class TestSortKey:
+    def test_sort_key_total_order(self):
+        values = [Row(A=1), "z", 3, Oid("D", 1), frozenset({1}), True]
+        ordered = sorted(values, key=sort_key)
+        assert len(ordered) == len(values)
+
+    def test_sort_key_deterministic(self):
+        assert sort_key(Row(A=1)) == sort_key(Row(A=1))

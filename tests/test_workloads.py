@@ -1,0 +1,69 @@
+"""Tests for the workload generators: consistency and shape."""
+
+from repro.constraints.checker import check_all
+from repro.query.evaluator import evaluate
+from repro.query.typing import typecheck_query
+
+
+class TestProjDept:
+    def test_instance_satisfies_all_constraints(self, projdept):
+        assert check_all(projdept.constraints, projdept.instance) == []
+
+    def test_instance_well_typed(self, projdept):
+        assert projdept.instance.validate(projdept.combined) == []
+
+    def test_query_typechecks(self, projdept):
+        typed = typecheck_query(projdept.query, projdept.combined, strict=True)
+        assert typed.output_type is not None
+
+    def test_reference_plans_agree(self, projdept):
+        reference = evaluate(projdept.query, projdept.instance)
+        for name, plan in projdept.reference_plans.items():
+            assert evaluate(plan, projdept.instance) == reference, name
+
+    def test_citibank_share_controls_selectivity(self):
+        from repro.workloads.projdept import build_projdept
+
+        few = build_projdept(n_depts=10, projs_per_dept=5, citibank_share=0.05, seed=1)
+        many = build_projdept(n_depts=10, projs_per_dept=5, citibank_share=0.9, seed=1)
+
+        def citibank_count(wl):
+            return sum(1 for r in wl.instance["Proj"] if r["CustName"] == "CitiBank")
+
+        assert citibank_count(few) < citibank_count(many)
+
+    def test_statistics_collected(self, projdept):
+        assert projdept.statistics.card("Proj") == len(projdept.instance["Proj"])
+        assert projdept.statistics.card("SI") >= 1
+
+    def test_deterministic_by_seed(self):
+        from repro.workloads.projdept import build_projdept
+
+        a = build_projdept(n_depts=3, projs_per_dept=2, seed=42)
+        b = build_projdept(n_depts=3, projs_per_dept=2, seed=42)
+        assert a.instance["Proj"] == b.instance["Proj"]
+
+
+class TestRabc:
+    def test_constraints_hold(self, rabc):
+        assert check_all(rabc.constraints, rabc.instance) == []
+
+    def test_shapes(self, rabc):
+        assert rabc.statistics.card("R") == 300
+        assert "SA" in rabc.instance and "SB" in rabc.instance
+        assert rabc.query.binding_vars() == ("r",)
+
+    def test_query_typechecks(self, rabc):
+        typecheck_query(rabc.query, rabc.schema, strict=True)
+
+
+class TestRs:
+    def test_constraints_hold(self, rs_workload):
+        assert check_all(rs_workload.constraints, rs_workload.instance) == []
+
+    def test_view_is_small(self, rs_workload):
+        # the scenario requires |V| << |R ⋈ S| for the view plan to pay off
+        assert len(rs_workload.instance["V"]) <= len(rs_workload.instance["R"])
+
+    def test_query_typechecks(self, rs_workload):
+        typecheck_query(rs_workload.query, rs_workload.schema, strict=True)
