@@ -1,0 +1,25 @@
+# Make-style entry points for the test and benchmark suites.
+#
+#   make test         tier-1 suite (what CI gates on)
+#   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json)
+#   make bench-e12    the full E12 pruning benchmark
+#   make bench        every benchmark file
+#
+# The python toolchain is assumed baked into the environment; everything
+# runs against the in-tree sources via PYTHONPATH=src.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test bench bench-smoke bench-e12
+
+test:
+	$(PYTEST) -x -q
+
+bench-smoke:
+	$(PYTEST) -q -m bench_smoke tests/test_bench_smoke.py
+
+bench-e12:
+	$(PYTEST) -q benchmarks/bench_e12_pruning.py
+
+bench:
+	$(PYTEST) -q benchmarks/bench_*.py

@@ -14,10 +14,12 @@ from repro.query.paths import NFLookup
 
 def test_e1_end_to_end_optimization(benchmark, projdept_small):
     wl = projdept_small
+    # Full enumeration: the P1-P4 inventory below is a completeness check.
     opt = Optimizer(
         wl.constraints,
         physical_names=wl.physical_names,
         statistics=wl.statistics,
+        strategy="full",
     )
     result = benchmark.pedantic(opt.optimize, args=(wl.query,), rounds=1, iterations=1)
 

@@ -17,10 +17,13 @@ from repro.query.parser import parse_query
 
 
 def _optimize(rabc_workload):
+    # Full enumeration: E4 compares the scan plan against the index plans,
+    # and the pruned strategy (correctly) drops the dominated scan.
     opt = Optimizer(
         rabc_workload.constraints,
         physical_names=rabc_workload.physical_names,
         statistics=rabc_workload.statistics,
+        strategy="full",
     )
     return opt.optimize(rabc_workload.query)
 

@@ -19,8 +19,13 @@ from repro.query.paths import Lookup, NFLookup
 
 
 def _optimize(wl):
+    # Full enumeration: E5 asserts the (dominated) navigation plan and the
+    # paper's intermediate P appear in the plan space, not just the winner.
     opt = Optimizer(
-        wl.constraints, physical_names=wl.physical_names, statistics=wl.statistics
+        wl.constraints,
+        physical_names=wl.physical_names,
+        statistics=wl.statistics,
+        strategy="full",
     )
     return opt.optimize(wl.query)
 

@@ -21,10 +21,12 @@ def projdept_medium():
 
 @pytest.fixture(scope="session")
 def projdept_optimized(projdept_small):
+    # Full enumeration: E1 asserts the complete P1-P4 plan inventory.
     opt = Optimizer(
         projdept_small.constraints,
         physical_names=projdept_small.physical_names,
         statistics=projdept_small.statistics,
+        strategy="full",
     )
     return projdept_small, opt.optimize(projdept_small.query)
 

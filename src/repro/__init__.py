@@ -22,10 +22,12 @@ Typical usage::
 """
 
 from repro.backchase.backchase import (
+    BackchaseStats,
     is_minimal,
     minimal_subqueries,
     try_remove_binding,
 )
+from repro.backchase.pruned import pruned_minimal_subqueries
 from repro.backchase.bottomup import (
     bottom_up_minimal_plans,
     restrict_to_bindings,
@@ -161,6 +163,8 @@ __all__ = [
     "is_minimal",
     "is_trivial",
     "minimal_subqueries",
+    "pruned_minimal_subqueries",
+    "BackchaseStats",
     "minimize",
     "minimize_all",
     "parse_constraint",

@@ -32,7 +32,6 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.chase.chase import ChaseEngine
 from repro.chase.congruence import CongruenceClosure, build_congruence
-from repro.chase.containment import is_contained_in
 from repro.constraints.epcd import EPCD
 from repro.errors import BackchaseError
 from repro.query import paths as P
@@ -63,8 +62,12 @@ def toposort_bindings(query: PCQuery) -> PCQuery:
                 del remaining[i]
                 break
         else:
+            # Deterministic report: the offending bindings in sorted
+            # variable order, independent of the clause order we got stuck in.
+            cycle = sorted(remaining, key=lambda b: b.var)
             raise BackchaseError(
-                f"cyclic binding dependencies: {[str(b) for b in remaining]}"
+                "cyclic binding dependencies: "
+                + ", ".join(f"{b.var} in {b.source}" for b in cycle)
             )
     return PCQuery(query.output, tuple(ordered), query.conditions)
 
@@ -190,21 +193,16 @@ def _surviving_conditions(
     return conditions
 
 
-def try_remove_binding(
-    query: PCQuery,
-    var: str,
-    deps: Sequence[EPCD],
-    engine: Optional[ChaseEngine] = None,
-    check: bool = True,
-) -> Optional[PCQuery]:
-    """One backchase step: remove binding ``var`` if conditions (1)-(3) hold.
+def build_candidate(query: PCQuery, var: str) -> Optional[PCQuery]:
+    """Construct the candidate of removing ``var`` (conditions (1)-(2) only).
 
     Returns the reduced (simplified, reordered) query, or ``None`` when the
-    step does not apply.  ``check=False`` skips the (expensive) condition
-    (3) equivalence test — used by tests that verify the check separately.
+    removal fails syntactically — the output or a dependent binding cannot
+    be rewritten away from ``var``.  Condition (3), the chase-decided
+    equivalence test, is *not* run; callers that need it use
+    :func:`try_remove_binding` or check against their search root.
     """
 
-    engine = engine or ChaseEngine(list(deps))
     if not query.has_var(var):
         return None
     banned = frozenset((var,))
@@ -237,6 +235,30 @@ def try_remove_binding(
         return None
     candidate = quick_simplify_conditions(candidate)
     candidate.validate()
+    return candidate
+
+
+def try_remove_binding(
+    query: PCQuery,
+    var: str,
+    deps: Sequence[EPCD],
+    engine: Optional[ChaseEngine] = None,
+    check: bool = True,
+    stats: Optional["BackchaseStats"] = None,
+) -> Optional[PCQuery]:
+    """One backchase step: remove binding ``var`` if conditions (1)-(3) hold.
+
+    Returns the reduced (simplified, reordered) query, or ``None`` when the
+    step does not apply.  ``check=False`` skips the (expensive) condition
+    (3) equivalence test — used by tests that verify the check separately.
+    """
+
+    engine = engine or ChaseEngine(list(deps))
+    candidate = build_candidate(query, var)
+    if candidate is None:
+        return None
+    if stats is not None:
+        stats.candidates_explored += 1
 
     if check:
         # Condition (3): equivalence under the dependencies, decided by
@@ -245,9 +267,9 @@ def try_remove_binding(
         # output are all congruent images of the query's own, so the
         # identity is a containment mapping.  (PARANOID_CHECKS verifies
         # this in the test suite.)  Only candidate ⊑ query needs the chase.
-        if not is_contained_in(candidate, query, deps, engine):
+        if not engine.contained_in(candidate, query):
             return None
-        if PARANOID_CHECKS and not is_contained_in(query, candidate, deps, engine):
+        if PARANOID_CHECKS and not engine.contained_in(query, candidate):
             raise BackchaseError(
                 f"construction invariant violated: query ⋢ candidate after "
                 f"removing {var!r} from {query}"
@@ -257,12 +279,40 @@ def try_remove_binding(
 
 @dataclass
 class BackchaseStats:
-    """Instrumentation for the enumeration (used by benchmarks)."""
+    """Instrumentation for the enumeration (used by benchmarks).
+
+    Every counter is monotone non-decreasing over the lifetime of the
+    object: searches only ever add to them, so a stats instance can be
+    threaded through several enumerations to accumulate totals.
+
+    * ``candidates_explored`` — candidate subqueries constructed and
+      considered (conditions (1)-(2) succeeded);
+    * ``candidates_pruned`` — branches cut by the cost bound before
+      expansion (pruned strategy only);
+    * ``cache_hits`` / ``cache_misses`` — containment-cache traffic
+      observed by this search (condition (3) verdicts reused vs computed).
+    """
 
     nodes_visited: int = 0
     steps_attempted: int = 0
     steps_applied: int = 0
     normal_forms: int = 0
+    candidates_explored: int = 0
+    candidates_pruned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nodes_visited": self.nodes_visited,
+            "steps_attempted": self.steps_attempted,
+            "steps_applied": self.steps_applied,
+            "normal_forms": self.normal_forms,
+            "candidates_explored": self.candidates_explored,
+            "candidates_pruned": self.candidates_pruned,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
 
 
 def minimal_subqueries(
@@ -271,16 +321,48 @@ def minimal_subqueries(
     engine: Optional[ChaseEngine] = None,
     max_nodes: int = 10_000,
     stats: Optional[BackchaseStats] = None,
+    strategy: str = "full",
+    **pruned_options,
 ) -> List[PCQuery]:
-    """All normal forms of backchasing ``query`` (Theorem 2: the minimal
-    equivalent subqueries).
+    """Normal forms of backchasing ``query``.
 
-    Explores every backchase sequence with memoization on canonical query
-    forms; deterministic output order (by size, then canonical text).
+    With ``strategy="full"`` (the default here) this explores every
+    backchase sequence with memoization on canonical query forms and
+    returns *all* normal forms — exactly the minimal equivalent subqueries
+    (Theorem 2); deterministic output order (by size, then canonical
+    text).  With ``strategy="pruned"`` the cost-bounded branch-and-bound
+    search of :mod:`repro.backchase.pruned` runs instead: it may return
+    only a subset of the normal forms, but the subset always contains one
+    of minimal estimated cost (the :class:`Optimizer` defaults to it).
+    Extra keyword options (``statistics``, ``cost_model``, ``plan_cost``,
+    ``cost_floor``) configure the pruned search and are rejected for the
+    full one.
     """
+
+    if strategy == "pruned":
+        from repro.backchase.pruned import pruned_minimal_subqueries
+
+        return pruned_minimal_subqueries(
+            query,
+            deps,
+            engine=engine,
+            max_nodes=max_nodes,
+            stats=stats,
+            **pruned_options,
+        )
+    if strategy != "full":
+        raise BackchaseError(
+            f"unknown backchase strategy {strategy!r} (expected 'full' or 'pruned')"
+        )
+    if pruned_options:
+        raise BackchaseError(
+            f"options {sorted(pruned_options)} apply only to strategy='pruned'"
+        )
 
     engine = engine or ChaseEngine(list(deps))
     stats = stats if stats is not None else BackchaseStats()
+    cache_hits0 = engine.containment.hits
+    cache_misses0 = engine.containment.misses
     visited: Set[str] = set()
     normal_forms: Dict[str, PCQuery] = {}
     stack: List[PCQuery] = [quick_simplify_conditions(query)]
@@ -299,7 +381,7 @@ def minimal_subqueries(
         reduced_any = False
         for var in current.binding_vars():
             stats.steps_attempted += 1
-            candidate = try_remove_binding(current, var, deps, engine)
+            candidate = try_remove_binding(current, var, deps, engine, stats=stats)
             if candidate is not None:
                 stats.steps_applied += 1
                 reduced_any = True
@@ -310,6 +392,8 @@ def minimal_subqueries(
                 normal_forms[key] = current
                 stats.normal_forms += 1
 
+    stats.cache_hits += engine.containment.hits - cache_hits0
+    stats.cache_misses += engine.containment.misses - cache_misses0
     results = list(normal_forms.values())
     results.sort(key=lambda q: (len(q.bindings), q.canonical_key()))
     return results

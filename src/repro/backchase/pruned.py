@@ -1,0 +1,173 @@
+"""Cost-bounded backchase: branch-and-bound over the removal search.
+
+The full enumeration of :func:`repro.backchase.backchase.minimal_subqueries`
+realizes Theorem 2 — every normal form, hence every minimal equivalent
+subquery — at a worst-case exponential node count.  Algorithm 1 only needs
+the *cheapest* plan, so this module threads the cost model through the
+search and cuts every branch that provably cannot beat the best complete
+plan found so far:
+
+* each node carries a **lower bound** (:func:`plan_cost_floor`) on the
+  cost of every subquery reachable from it, its own normalized and refined
+  variants included; a branch whose bound exceeds the best complete plan is
+  never expanded;
+* the **bound** is tightened only by complete plans (normal forms) that the
+  caller deems eligible (``plan_cost`` returns ``None`` for ineligible
+  ones, e.g. plans outside the physical schema), so the plan the
+  :class:`Optimizer` would pick from the full enumeration is never pruned;
+* backchase condition (3) is decided **once per distinct candidate shape**:
+  every node of the search is equivalent to the root (each accepted step
+  preserves equivalence), so ``candidate ≡ current`` holds iff
+  ``candidate ⊑ root`` — a verdict that depends on the candidate alone and
+  memoizes perfectly in the engine's containment cache, where the full
+  enumeration pays a fresh chase + containment mapping per (parent, var)
+  re-derivation.
+
+The search is exact with respect to cost: the returned subset of normal
+forms always contains one of minimal eligible ``plan_cost`` (the
+property-test harness exercises this against the full enumeration on
+randomly generated queries and constraint sets).  It is *not* complete in
+the Theorem 2 sense — dominated normal forms may be absent — which is why
+the full strategy is retained for the completeness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.backchase.backchase import (
+    BackchaseStats,
+    build_candidate,
+    quick_simplify_conditions,
+)
+from repro.chase.chase import ChaseEngine
+from repro.constraints.epcd import EPCD
+from repro.errors import BackchaseError
+from repro.optimizer.cost import CostModel, estimate_cost, plan_cost_floor
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+
+PlanCost = Callable[[PCQuery], Optional[float]]
+CostFloor = Callable[[PCQuery], float]
+
+
+def pruned_minimal_subqueries(
+    query: PCQuery,
+    deps: Sequence[EPCD],
+    engine: Optional[ChaseEngine] = None,
+    max_nodes: int = 10_000,
+    stats: Optional[BackchaseStats] = None,
+    statistics: Optional[Statistics] = None,
+    cost_model: Optional[CostModel] = None,
+    plan_cost: Optional[PlanCost] = None,
+    cost_floor: Optional[CostFloor] = None,
+) -> List[PCQuery]:
+    """Backchase normal forms, cost-bounded.
+
+    ``plan_cost`` maps a complete plan (normal form) to the cost the caller
+    will rank it by, or ``None`` when the plan cannot win (ineligible);
+    ``cost_floor`` maps any node to a lower bound on ``plan_cost`` over the
+    node's whole subtree.  The defaults use :func:`estimate_cost` /
+    :func:`plan_cost_floor` with the given catalog.  The returned list is a
+    subset of the full enumeration's normal forms that always contains one
+    of minimal eligible cost; ordering matches the full enumeration (by
+    size, then canonical text).
+    """
+
+    engine = engine or ChaseEngine(list(deps))
+    stats = stats if stats is not None else BackchaseStats()
+    catalog = statistics or Statistics()
+    model = cost_model or CostModel()
+    if plan_cost is None:
+        plan_cost = lambda q: estimate_cost(q, catalog, model)  # noqa: E731
+    if cost_floor is None:
+        cost_floor = lambda q: plan_cost_floor(q, catalog, model)  # noqa: E731
+
+    cache_hits0 = engine.containment.hits
+    cache_misses0 = engine.containment.misses
+
+    root = quick_simplify_conditions(query)
+    root_key = root.canonical_key()
+
+    def equivalent_to_root(candidate: PCQuery, parent: PCQuery) -> bool:
+        """Condition (3), decided once per distinct candidate shape.
+
+        Every node of the search is equivalent to the root (each accepted
+        step preserves equivalence), so ``candidate ⊑ parent`` holds iff
+        ``candidate ⊑ root`` — the verdict depends on the candidate alone
+        and is cached under the (candidate, root) pair.  The actual chase +
+        containment mapping runs against the *parent*, whose binding list
+        is as small as the candidate's; matching the full root every time
+        would cost an order of magnitude more per miss.
+        """
+
+        from repro.chase.containment import is_contained_in
+
+        key = (candidate.canonical_key(), root_key)
+        cached = engine.containment.get(key)
+        if cached is not None:
+            return cached
+        return engine.containment.put(
+            key, is_contained_in(candidate, parent, deps, engine)
+        )
+    best: Optional[float] = None
+    visited: Set[str] = set()
+    floors: Dict[str, float] = {root_key: cost_floor(root)}
+    normal_forms: Dict[str, PCQuery] = {}
+    stack: List[PCQuery] = [root]
+
+    while stack:
+        current = stack.pop()
+        key = current.canonical_key()
+        if key in visited:
+            continue
+        visited.add(key)
+        if best is not None and floors[key] > best:
+            # The bound tightened since this node was queued.
+            stats.candidates_pruned += 1
+            continue
+        stats.nodes_visited += 1
+        if stats.nodes_visited > max_nodes:
+            raise BackchaseError(f"backchase search exceeded {max_nodes} nodes")
+
+        reduced_any = False
+        children: List[Tuple[float, str, PCQuery]] = []
+        for var in current.binding_vars():
+            stats.steps_attempted += 1
+            candidate = build_candidate(current, var)
+            if candidate is None:
+                continue
+            stats.candidates_explored += 1
+            if not equivalent_to_root(candidate, current):
+                continue
+            stats.steps_applied += 1
+            reduced_any = True
+            ckey = candidate.canonical_key()
+            if ckey in visited or ckey in floors:
+                continue
+            floor = cost_floor(candidate)
+            floors[ckey] = floor
+            if best is not None and floor > best:
+                stats.candidates_pruned += 1
+                continue
+            children.append((floor, ckey, candidate))
+
+        if not reduced_any:
+            if key not in normal_forms:
+                normal_forms[key] = current
+                stats.normal_forms += 1
+                cost = plan_cost(current)
+                if cost is not None and (best is None or cost < best):
+                    best = cost
+        else:
+            # Most promising child on top of the stack: depth-first toward
+            # cheap complete plans tightens the bound early.
+            children.sort(key=lambda entry: (-entry[0], entry[1]))
+            for _, _, child in children:
+                stack.append(child)
+
+    stats.cache_hits += engine.containment.hits - cache_hits0
+    stats.cache_misses += engine.containment.misses - cache_misses0
+    results = list(normal_forms.values())
+    results.sort(key=lambda q: (len(q.bindings), q.canonical_key()))
+    return results

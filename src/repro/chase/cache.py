@@ -1,0 +1,59 @@
+"""Memoized containment verdicts for the backchase hot path.
+
+Backchase condition (3) decides, for every candidate subquery, whether it
+is still equivalent to the plan being minimized — a chase of the candidate
+plus a containment-mapping search per check.  The same candidate *shape*
+(canonical form) is re-derived along many removal orders, and the same
+(query, constraint-set) pair recurs across the search, the condition
+pruner and the completeness tests.  This cache keys verdicts on
+canonicalized (sub-query, super-query) pairs; the constraint set is fixed
+per owning :class:`~repro.chase.chase.ChaseEngine`, so it does not appear
+in the key.
+
+Verdicts are pure functions of the canonical pair and the engine's
+dependency set, so caching is exact: a hit returns precisely what the
+uncached decision procedure would (asserted by the regression tests on
+the paper's E1/E5 examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+Key = Tuple[str, str]
+
+
+@dataclass
+class ContainmentCache:
+    """Verdict store for ``q1 ⊑ q2`` checks under one constraint set."""
+
+    verdicts: Dict[Key, bool] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    @staticmethod
+    def key_for(q1, q2) -> Key:
+        return (q1.canonical_key(), q2.canonical_key())
+
+    def get(self, key: Key) -> Optional[bool]:
+        """Cached verdict for ``key``, counting the probe."""
+
+        verdict = self.verdicts.get(key)
+        if verdict is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return verdict
+
+    def put(self, key: Key, verdict: bool) -> bool:
+        self.verdicts[key] = verdict
+        return verdict
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
+
+    def clear(self) -> None:
+        self.verdicts.clear()
+        self.hits = 0
+        self.misses = 0

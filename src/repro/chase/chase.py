@@ -165,16 +165,38 @@ class ChaseEngine:
 
     The backchase performs many containment checks, each of which chases a
     candidate subquery with the same constraint set; caching by canonical
-    form removes the repeated work.
+    form removes the repeated work.  On top of the chase-result cache the
+    engine memoizes whole containment *verdicts* keyed on canonicalized
+    (sub-query, super-query) pairs (:meth:`contained_in`), so backchase
+    condition (3) is decided once per distinct candidate shape.
     """
 
     def __init__(self, deps: Sequence[EPCD], max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        from repro.chase.cache import ContainmentCache
+
         self.deps = list(deps)
         self.max_steps = max_steps
         self._cache: Dict[str, PCQuery] = {}
         self._cc_cache: Dict[str, "CongruenceClosure"] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.containment = ContainmentCache()
+
+    def contained_in(self, q1: PCQuery, q2: PCQuery) -> bool:
+        """Decide ``q1 ⊑ q2`` under this engine's dependencies (cached).
+
+        Returns exactly what
+        :func:`repro.chase.containment.is_contained_in` would; the verdict
+        is a pure function of the canonical pair and ``self.deps``.
+        """
+
+        from repro.chase.containment import is_contained_in
+
+        key = self.containment.key_for(q1, q2)
+        cached = self.containment.get(key)
+        if cached is not None:
+            return cached
+        return self.containment.put(key, is_contained_in(q1, q2, self.deps, self))
 
     def chase(self, query: PCQuery) -> PCQuery:
         """Chase the canonical form of ``query`` (cached)."""

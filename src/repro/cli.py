@@ -4,6 +4,7 @@ Usage::
 
     python -m repro optimize --query q.oql [--ddl schema.ddl]
                              [--constraints extra.epcd] [--physical R,S,I]
+                             [--strategy full|pruned]
     python -m repro chase    --query q.oql --constraints c.epcd
     python -m repro minimize --query q.oql [--constraints c.epcd]
     python -m repro check    --constraints c.epcd   (syntax check)
@@ -86,6 +87,7 @@ def cmd_optimize(args) -> int:
         physical_names=physical,
         max_chase_steps=args.max_chase_steps,
         max_backchase_nodes=args.max_backchase_nodes,
+        strategy=args.strategy,
     )
     result = optimizer.optimize(query)
     print(result.report())
@@ -149,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--physical", help="comma-separated physical schema names (plan filter)"
     )
     p_opt.add_argument("--max-backchase-nodes", type=int, default=20_000)
+    p_opt.add_argument(
+        "--strategy",
+        choices=("full", "pruned"),
+        default="pruned",
+        help="backchase strategy: 'pruned' (cost-bounded, default) or "
+        "'full' (complete enumeration, Theorem 2)",
+    )
     p_opt.set_defaults(func=cmd_optimize)
 
     p_chase = sub.add_parser("chase", help="chase to the universal plan")

@@ -25,6 +25,7 @@ from repro.query.paths import (
     NFLookup,
     Path,
     SName,
+    Var,
 )
 
 
@@ -150,6 +151,172 @@ def estimate_cost(
     out_probes = sum(_count_probes(p) for p in query.output.paths())
     cost += multiplicity * (1.0 + out_probes * model.probe_cost)
     return cost
+
+
+# -- lower bound for the cost-bounded backchase ------------------------------
+#
+# The pruned backchase cuts a branch when no subquery reachable from it can
+# beat the best complete plan found so far.  Reachable subqueries keep a
+# subset of the branch's binding variables, re-sourced to congruent terms
+# (images of class members under equals-for-equals substitution), with
+# conditions drawn from the restricted congruence.  The floor below is a
+# provable lower bound on `estimate_cost` of every such subquery — including
+# the branch head itself and its normalized / condition-pruned / non-failing
+# refined / reordered variants:
+#
+#   cost >= scan_startup                                  (always charged)
+#         + m0 * n_first * tuple_cost                     (first-loop rows)
+#
+# where `n_first` ranges over the cheapest groundable congruent source any
+# binding could take, and `m0` discounts for ground equality conditions a
+# subquery could state at level 0 (at most one spanning equality per extra
+# distinct ground term in a class, each at least `s_min` selective).  Every
+# other term of the estimator is nonnegative.  Estimates of substituted
+# sources are floored at the cheapest statistic on record, so the bound
+# holds for arbitrary catalogs, and is tight enough to bite exactly when a
+# branch has lost access to cheap (index) sources.
+
+_GROUND_COUNT_CAP = 8
+
+
+def _stat_floor(stats: Statistics) -> float:
+    """The cheapest cardinality any source estimate can produce."""
+
+    values = [stats.default_cardinality, stats.default_fanout]
+    values.extend(stats.cardinality.values())
+    values.extend(stats.entry_cardinality.values())
+    values.extend(stats.fanout.values())
+    return min(values)
+
+
+def _min_selectivity(stats: Statistics) -> float:
+    """The most selective factor any equality condition can contribute."""
+
+    s = DEFAULT_SELECTIVITY
+    if stats.default_ndv > 0:
+        s = min(s, 1.0 / stats.default_ndv)
+    for ndv in stats.ndv.values():
+        if ndv > 0:
+            s = min(s, 1.0 / ndv)
+    return s
+
+
+def _ground_term_counts(cc) -> Dict[Path, int]:
+    """Per congruence class: how many distinct ground terms it can contain.
+
+    Counts explicit variable-free members plus ground *images* of composite
+    members whose variables are all rewritable to ground terms (one image
+    per combination of the variables' ground representatives, capped).
+    Computed as a monotone fixpoint so transitive groundability is seen.
+    Overcounting is safe — it only weakens the resulting bound.
+    """
+
+    classes = [(cc.find(members[0]), members) for members in cc.classes()]
+    counts: Dict[Path, int] = {root: 0 for root, _ in classes}
+
+    def class_count(var: str) -> int:
+        term = Var(var)
+        if term not in cc:
+            return 0
+        return counts.get(cc.find(term), 0)
+
+    changed = True
+    while changed:
+        changed = False
+        for root, members in classes:
+            total = 0
+            for m in members:
+                fv = P.free_vars(m)
+                if not fv:
+                    total += 1
+                elif P.children(m):  # composite: images are new ground terms
+                    images = 1
+                    for v in fv:
+                        images *= min(class_count(v), _GROUND_COUNT_CAP)
+                        if images == 0:
+                            break
+                    total += images
+                # bare variables: their images collapse into this class's
+                # own ground representatives, already counted above
+                if total >= _GROUND_COUNT_CAP:
+                    total = _GROUND_COUNT_CAP
+                    break
+            if total > counts[root]:
+                counts[root] = total
+                changed = True
+    return counts
+
+
+def plan_cost_floor(
+    query: PCQuery,
+    stats: Statistics,
+    model: Optional[CostModel] = None,
+) -> float:
+    """Lower bound on the estimated cost of ``query`` and of every subquery
+    reachable from it by backchase steps (congruent re-sourcing, condition
+    restriction, non-failing refinement and reordering included).
+
+    Used by the pruned backchase to cut branches that provably cannot beat
+    the best complete plan found so far; see the derivation above.
+    """
+
+    from repro.chase.congruence import build_congruence
+
+    model = model or CostModel()
+    if not query.bindings:
+        return model.scan_startup
+    cc = build_congruence(query)
+    if cc.inconsistent:
+        # Unsatisfiable subqueries cost as little as the startup charge.
+        return model.scan_startup
+
+    ground_counts = _ground_term_counts(cc)
+
+    def groundable(term: Path) -> bool:
+        fv = P.free_vars(term)
+        if not fv:
+            return True
+        return all(
+            Var(v) in cc and ground_counts.get(cc.find(Var(v)), 0) > 0 for v in fv
+        )
+
+    # A subquery whose output can be rewritten ground may shed every
+    # binding; only the startup charge survives.
+    if all(groundable(path) for path in query.output.paths()):
+        return model.scan_startup
+
+    # Cheapest first loop: the leading binding of any subquery has a ground
+    # source, drawn from the groundable congruent sources of some binding.
+    floor_stat = _stat_floor(stats)
+    n_first = None
+    for binding in query.bindings:
+        for member in cc.members(binding.source):
+            if not groundable(member):
+                continue
+            estimate = _source_cardinality(member, stats)
+            if P.free_vars(member):
+                # a ground image may re-root the term onto any recorded
+                # statistic; floor at the cheapest one
+                estimate = min(estimate, floor_stat)
+            if n_first is None or estimate < n_first:
+                n_first = estimate
+    if n_first is None:  # no groundable source at all: only startup is safe
+        return model.scan_startup
+
+    # Ground (level-0) conditions a subquery could state: one spanning
+    # equality per extra distinct ground term in a class.  A class whose
+    # count saturated the fixpoint cap may hold arbitrarily many ground
+    # terms; the discount below would then *under*count (raising the
+    # floor), so give up and return the trivial bound instead.
+    s_min = _min_selectivity(stats)
+    m0 = 1.0
+    for root, count in ground_counts.items():
+        if count >= _GROUND_COUNT_CAP:
+            return model.scan_startup
+        if count >= 2:
+            m0 *= s_min ** (count - 1)
+
+    return model.scan_startup + m0 * n_first * model.tuple_cost
 
 
 def estimated_output_cardinality(query: PCQuery, stats: Statistics) -> float:

@@ -13,9 +13,27 @@
     4.     keep cheapest plan so far
 
 Our chase is deterministic, so step 1 yields the single universal plan;
-step 2 enumerates all backchase normal forms (complete, Theorem 2); each
-normal form is normalized, condition-pruned, refined with non-failing
-lookups, join-reordered (step 3) and costed (step 4).
+step 2 enumerates backchase normal forms; each normal form is normalized,
+condition-pruned, refined with non-failing lookups, join-reordered
+(step 3) and costed (step 4).
+
+Two backchase **strategies** drive step 2:
+
+* ``"full"`` — the complete enumeration (Theorem 2): every normal form,
+  i.e. every minimal equivalent subquery, appears in ``result.plans``.
+  Exponential in the number of redundant bindings; retained for the
+  completeness tests and for callers that need the whole plan space.
+* ``"pruned"`` (the default) — the cost-bounded branch-and-bound search of
+  :mod:`repro.backchase.pruned`.  Steps 3-4 are pushed *into* the
+  backchase: every complete plan is costed through the same
+  normalize/prune/refine/reorder pipeline as it is discovered, and any
+  branch whose cost lower bound (:func:`plan_cost_floor`) exceeds the best
+  eligible complete plan so far is cut.  ``result.plans`` may omit
+  dominated normal forms, but ``result.best`` always has the same cost as
+  the full enumeration's winner — when a physical-schema filter is
+  installed, only physical plans tighten the bound, so the filtered
+  winner is preserved too.  Completeness in the Theorem 2 sense is *not*
+  preserved; cost-optimality of the returned best plan is.
 """
 
 from __future__ import annotations
@@ -60,7 +78,12 @@ class Plan:
 
 @dataclass
 class OptimizationResult:
-    """Universal plan, all candidate plans (cost-ranked) and the winner."""
+    """Universal plan, candidate plans (cost-ranked) and the winner.
+
+    Under the ``"full"`` strategy ``plans`` covers every backchase normal
+    form; under ``"pruned"`` dominated forms may be absent but ``best``
+    has the same cost either way.
+    """
 
     query: PCQuery
     universal_plan: PCQuery
@@ -68,15 +91,21 @@ class OptimizationResult:
     plans: List[Plan]
     best: Plan
     backchase_stats: BackchaseStats
+    strategy: str = "full"
 
     def physical_plans(self) -> List[Plan]:
         return [p for p in self.plans if p.physical_only]
 
     def report(self) -> str:
+        stats = self.backchase_stats
         lines = [
             f"query: {self.query}",
             f"universal plan ({len(self.universal_plan.bindings)} bindings): "
             f"{self.universal_plan}",
+            f"backchase[{self.strategy}]: "
+            f"{stats.candidates_explored} candidates explored, "
+            f"{stats.candidates_pruned} pruned, "
+            f"{stats.cache_hits} containment cache hits",
             f"{len(self.plans)} candidate plans:",
         ]
         for plan in self.plans:
@@ -88,6 +117,8 @@ class OptimizationResult:
 class Optimizer:
     """The chase & backchase optimizer (Algorithm 1)."""
 
+    STRATEGIES = ("full", "pruned")
+
     def __init__(
         self,
         constraints: Sequence[EPCD],
@@ -97,7 +128,12 @@ class Optimizer:
         max_chase_steps: int = 200,
         max_backchase_nodes: int = 20_000,
         reorder: bool = True,
+        strategy: str = "pruned",
     ) -> None:
+        if strategy not in self.STRATEGIES:
+            raise OptimizationError(
+                f"unknown strategy {strategy!r} (expected one of {self.STRATEGIES})"
+            )
         self.constraints = list(constraints)
         self.physical_names = frozenset(physical_names) if physical_names else None
         self.statistics = statistics or Statistics()
@@ -105,6 +141,11 @@ class Optimizer:
         self.max_chase_steps = max_chase_steps
         self.max_backchase_nodes = max_backchase_nodes
         self.reorder = reorder
+        self.strategy = strategy
+        # Per-optimize() memos shared between the pruned search's bounding
+        # coster and the final plan assembly.
+        self._pipeline_cache: Dict[str, List[Tuple[PCQuery, bool]]] = {}
+        self._plan_cache: Dict[Tuple[str, bool], Plan] = {}
 
     # -- phases --------------------------------------------------------------
 
@@ -114,16 +155,104 @@ class Optimizer:
         return chase(query, self.constraints, self.max_chase_steps)
 
     def minimal_plans(
-        self, universal: PCQuery, stats: Optional[BackchaseStats] = None
+        self,
+        universal: PCQuery,
+        stats: Optional[BackchaseStats] = None,
+        strategy: Optional[str] = None,
+        engine: Optional[ChaseEngine] = None,
     ) -> List[PCQuery]:
-        """Phase 2: all backchase normal forms of the universal plan."""
+        """Phase 2: backchase normal forms of the universal plan.
 
+        With the ``"pruned"`` strategy the search is bounded by the cost of
+        the best complete plan (run through the same costing pipeline the
+        optimizer ranks plans with); with ``"full"`` every normal form is
+        returned.
+        """
+
+        strategy = strategy or self.strategy
+        engine = engine or ChaseEngine(self.constraints, self.max_chase_steps)
+        options = {}
+        if strategy == "pruned":
+            options = dict(
+                statistics=self.statistics,
+                cost_model=self.cost_model,
+                plan_cost=self._bounding_cost(engine),
+            )
         return minimal_subqueries(
             universal,
             self.constraints,
+            engine=engine,
             max_nodes=self.max_backchase_nodes,
             stats=stats,
+            strategy=strategy,
+            **options,
         )
+
+    # -- the costing pipeline (Algorithm 1 steps 3-4) --------------------------
+
+    def _variants(
+        self, form: PCQuery, engine: ChaseEngine
+    ) -> List[Tuple[PCQuery, bool]]:
+        """Normalized and (when applicable) non-failing-refined variants.
+
+        Memoized per normal-form shape on the engine's lifetime so the
+        pruned search and the final plan assembly share the work.
+        """
+
+        cache = self._pipeline_cache
+        key = form.canonical_key()
+        got = cache.get(key)
+        if got is None:
+            cleaned = normalize_plan(form)
+            cleaned = prune_conditions(cleaned, self.constraints, engine)
+            cleaned = normalize_plan(cleaned)
+            got = [(cleaned, False)]
+            refined = nonfailing_refinement(cleaned)
+            if refined is not None:
+                got.append((refined, True))
+            cache[key] = got
+        return got
+
+    def _costed(self, plan_query: PCQuery, refined: bool) -> Plan:
+        # Keyed on (shape, refined): the same plan shape can surface both as
+        # a cleaned variant of one form and a refined variant of another,
+        # and the flag on the returned Plan must match the caller's pair.
+        cache = self._plan_cache
+        key = (plan_query.canonical_key(), refined)
+        plan = cache.get(key)
+        if plan is None:
+            execution_query = plan_query
+            if self.reorder:
+                execution_query = reorder_bindings(
+                    plan_query, self.statistics, self.cost_model
+                )
+            cost = estimate_cost(execution_query, self.statistics, self.cost_model)
+            plan = Plan(
+                query=execution_query,
+                cost=cost,
+                physical_only=self._is_physical(execution_query),
+                refined=refined,
+            )
+            cache[key] = plan
+        return plan
+
+    def _bounding_cost(self, engine: ChaseEngine):
+        """The pruned search's ``plan_cost``: a normal form's best *eligible*
+        cost through the full costing pipeline, or ``None`` when no variant
+        could be picked as the final answer (so it must not tighten the
+        bound)."""
+
+        physical_filter = self.physical_names is not None
+
+        def plan_cost(form: PCQuery) -> Optional[float]:
+            costs = [
+                self._costed(variant, refined).cost
+                for variant, refined in self._variants(form, engine)
+                if not physical_filter or self._costed(variant, refined).physical_only
+            ]
+            return min(costs) if costs else None
+
+        return plan_cost
 
     # -- Algorithm 1 -----------------------------------------------------------
 
@@ -131,9 +260,12 @@ class Optimizer:
         chase_result = self.universal_plan(query)
         universal = chase_result.query
         bc_stats = BackchaseStats()
-        normal_forms = self.minimal_plans(universal, bc_stats)
+        self._pipeline_cache: Dict[str, List[Tuple[PCQuery, bool]]] = {}
+        self._plan_cache: Dict[Tuple[str, bool], Plan] = {}
 
         engine = ChaseEngine(self.constraints, self.max_chase_steps)
+        normal_forms = self.minimal_plans(universal, bc_stats, engine=engine)
+
         candidates: Dict[str, Tuple[PCQuery, bool]] = {}
 
         def add(plan: PCQuery, refined: bool) -> None:
@@ -142,30 +274,13 @@ class Optimizer:
                 candidates[key] = (plan, refined)
 
         for form in normal_forms:
-            cleaned = normalize_plan(form)
-            cleaned = prune_conditions(cleaned, self.constraints, engine)
-            cleaned = normalize_plan(cleaned)
-            add(cleaned, refined=False)
-            refined = nonfailing_refinement(cleaned)
-            if refined is not None:
-                add(refined, refined=True)
+            for variant, refined in self._variants(form, engine):
+                add(variant, refined=refined)
 
-        plans: List[Plan] = []
-        for plan_query, refined in candidates.values():
-            execution_query = plan_query
-            if self.reorder:
-                execution_query = reorder_bindings(
-                    plan_query, self.statistics, self.cost_model
-                )
-            cost = estimate_cost(execution_query, self.statistics, self.cost_model)
-            plans.append(
-                Plan(
-                    query=execution_query,
-                    cost=cost,
-                    physical_only=self._is_physical(execution_query),
-                    refined=refined,
-                )
-            )
+        plans: List[Plan] = [
+            self._costed(plan_query, refined)
+            for plan_query, refined in candidates.values()
+        ]
         if not plans:
             raise OptimizationError("backchase produced no plans")
         plans.sort(key=lambda p: (p.cost, p.query.canonical_key()))
@@ -179,6 +294,7 @@ class Optimizer:
             plans=plans,
             best=best,
             backchase_stats=bc_stats,
+            strategy=self.strategy,
         )
 
     def _is_physical(self, query: PCQuery) -> bool:

@@ -27,7 +27,6 @@ from typing import List, Optional, Sequence
 from repro.backchase.backchase import simplify_conditions, toposort_bindings
 from repro.chase.chase import ChaseEngine
 from repro.chase.congruence import build_congruence
-from repro.chase.containment import is_contained_in
 from repro.constraints.epcd import EPCD
 from repro.errors import BackchaseError
 from repro.query import paths as P
@@ -105,7 +104,7 @@ def prune_conditions(
             trial = conditions[:i] + conditions[i + 1 :]
             candidate = PCQuery(query.output, query.bindings, tuple(trial))
             reference = PCQuery(query.output, query.bindings, tuple(conditions))
-            if is_contained_in(candidate, reference, deps, engine):
+            if engine.contained_in(candidate, reference):
                 conditions = trial
                 changed = True
                 break

@@ -46,6 +46,46 @@ class TestToposort:
         with pytest.raises(BackchaseError):
             toposort_bindings(cyclic)
 
+    def test_cycle_reported_deterministically(self):
+        """The offending cycle is listed in sorted variable order, whatever
+        the clause order the search got stuck in."""
+
+        from repro.query.ast import Binding, PCQuery, PathOutput
+        from repro.query.paths import Attr, Var
+
+        forward = (
+            Binding("a", Attr(Var("b"), "X")),
+            Binding("b", Attr(Var("a"), "Y")),
+        )
+        messages = []
+        for bindings in (forward, tuple(reversed(forward))):
+            cyclic = PCQuery(PathOutput(Var("a")), bindings)
+            with pytest.raises(BackchaseError) as excinfo:
+                toposort_bindings(cyclic)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+        assert messages[0] == (
+            "cyclic binding dependencies: a in b.X, b in a.Y"
+        )
+
+    def test_cycle_report_skips_resolvable_bindings(self):
+        """Bindings that toposort *can* place never appear in the report."""
+
+        from repro.query.ast import Binding, PCQuery, PathOutput
+        from repro.query.paths import Attr, SName, Var
+
+        cyclic = PCQuery(
+            PathOutput(Var("ok")),
+            (
+                Binding("z", Attr(Var("y"), "X")),
+                Binding("y", Attr(Var("z"), "Y")),
+                Binding("ok", SName("R")),
+            ),
+        )
+        with pytest.raises(BackchaseError, match="y in z.Y, z in y.X") as excinfo:
+            toposort_bindings(cyclic)
+        assert "ok" not in str(excinfo.value)
+
 
 class TestSimplify:
     def test_drops_congruence_implied(self):

@@ -1,0 +1,61 @@
+"""Tier-1 smoke run of the E12 pruning benchmark (1 repetition).
+
+Keeps the benchmark harness honest without inflating suite runtime: the
+two smallest E8 scaling workloads are optimized once under both
+strategies, the E12 acceptance criteria are asserted, and the measured
+counters are emitted to ``BENCH_e12.json`` at the repo root (the artifact
+``make bench-smoke`` / CI pick up).
+
+Marked ``bench_smoke`` so it can be selected (``-m bench_smoke``) or
+excluded (``-m "not bench_smoke"``) independently of the unit suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_OUT = REPO_ROOT / "BENCH_e12.json"
+
+
+def _load_bench_module():
+    path = REPO_ROOT / "benchmarks" / "bench_e12_pruning.py"
+    spec = importlib.util.spec_from_file_location("bench_e12_pruning", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_e12_smoke_and_emit_json():
+    bench = _load_bench_module()
+    workloads = [(2, 1), (1, 2)]
+    results = [bench.run_comparison(n, k) for n, k in workloads]
+
+    # (2,1) is large enough for the cost bound to bite: full criteria.
+    bench.assert_pruning_wins(results[0])
+    # (1,2) at minimum must agree on cost and never do more work.
+    for result in results:
+        assert result["equal_cost"], result
+        assert (
+            result["pruned"]["candidates_explored"]
+            <= result["full"]["candidates_explored"]
+        ), result
+        assert result["pruned"]["cache_misses"] < result["full"]["cache_misses"]
+
+    BENCH_OUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "e12_pruning",
+                "repetitions": 1,
+                "workloads": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert BENCH_OUT.exists()

@@ -57,6 +57,34 @@ class TestCommands:
         assert "universal plan" in out
         assert "SB" in out
 
+    def test_optimize_strategy_flag(self, files, capsys):
+        _, query, constraints, _ = files
+        reports = {}
+        for strategy in ("pruned", "full"):
+            code = main(
+                [
+                    "optimize",
+                    "--query",
+                    str(query),
+                    "--constraints",
+                    str(constraints),
+                    "--physical",
+                    "R,SB",
+                    "--strategy",
+                    strategy,
+                ]
+            )
+            assert code == 0
+            reports[strategy] = capsys.readouterr().out
+        assert "backchase[pruned]" in reports["pruned"]
+        assert "backchase[full]" in reports["full"]
+        # both strategies must surface the same winner (the '->' line)
+        best = {
+            s: next(l for l in out.splitlines() if " -> " in l)
+            for s, out in reports.items()
+        }
+        assert best["pruned"] == best["full"]
+
     def test_chase(self, files, capsys):
         _, query, constraints, _ = files
         code = main(

@@ -116,7 +116,8 @@ class TestConstraintSemantics:
         wl = build_projdept(n_depts=3, projs_per_dept=2, seed=1)
         ddl = parse_ddl(PROJDEPT_DDL)
         deps = ddl.constraints + ddl.encoding_for("Dept").constraints()
-        opt = Optimizer(deps, physical_names={"Dept", "Proj"})
+        # full enumeration: P2 need not win, it must merely be *present*
+        opt = Optimizer(deps, physical_names={"Dept", "Proj"}, strategy="full")
         result = opt.optimize(wl.query)
         # P2 (scan Proj) is reachable purely from DDL constraints
         assert any(

@@ -99,11 +99,13 @@ class TestFullPipeline:
         _, instance, _, constraints = pipeline
         query = parse_query('select o.Total from Orders o where o.Cust = "C3"')
         stats = Statistics.from_instance(instance)
+        # full enumeration: the count comparison below needs every normal form
         direct = Optimizer(
             constraints,
             physical_names={"Orders", "Customers", "ByCust"},
             statistics=stats,
             reorder=False,
+            strategy="full",
         ).optimize(query)
         rule_based = RuleBasedOptimizer(constraints, statistics=stats)
         ranked = rule_based.search(query)

@@ -13,10 +13,13 @@ def workload():
 
 @pytest.fixture(scope="module")
 def optimized(workload):
+    # Full enumeration: the tests below assert specific (non-winning)
+    # plans are present, which the pruned default does not guarantee.
     opt = Optimizer(
         workload.constraints,
         physical_names=workload.physical_names,
         statistics=workload.statistics,
+        strategy="full",
     )
     return opt.optimize(workload.query)
 

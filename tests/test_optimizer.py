@@ -11,10 +11,13 @@ from repro.query.paths import Dom, Lookup, NFLookup
 @pytest.fixture(scope="module")
 def rabc_result(request):
     rabc = request.getfixturevalue("rabc")
+    # Full enumeration: these tests assert on the complete plan set
+    # (Theorem 2), which the pruned strategy deliberately does not produce.
     opt = Optimizer(
         rabc.constraints,
         physical_names=rabc.physical_names,
         statistics=rabc.statistics,
+        strategy="full",
     )
     return rabc, opt.optimize(rabc.query)
 
@@ -22,8 +25,12 @@ def rabc_result(request):
 @pytest.fixture(scope="module")
 def rs_result(request):
     rs = request.getfixturevalue("rs_workload")
+    # Full enumeration: several tests assert non-winning plans are present.
     opt = Optimizer(
-        rs.constraints, physical_names=rs.physical_names, statistics=rs.statistics
+        rs.constraints,
+        physical_names=rs.physical_names,
+        statistics=rs.statistics,
+        strategy="full",
     )
     return rs, opt.optimize(rs.query)
 

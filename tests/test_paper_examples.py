@@ -20,10 +20,14 @@ from repro.query.paths import NFLookup
 @pytest.fixture(scope="module")
 def optimized(request):
     wl = request.getfixturevalue("projdept")
+    # P1-P4 must *all* be found: that is a completeness property, so these
+    # flagship tests run the full enumeration (the pruned default may drop
+    # dominated plans).
     opt = Optimizer(
         wl.constraints,
         physical_names=wl.physical_names,
         statistics=wl.statistics,
+        strategy="full",
     )
     return wl, opt.optimize(wl.query)
 

@@ -1,0 +1,194 @@
+"""Regression tests for the cost-bounded backchase and containment cache.
+
+Covers: monotone `BackchaseStats` counters, containment-cache verdict
+parity with the uncached decision procedure on the paper's E1 (ProjDept)
+and E5 (R ⋈ S with views) examples, pruned-vs-full agreement on the
+workload scenarios, and the strategy plumbing.
+"""
+
+import pytest
+
+from repro.backchase.backchase import (
+    BackchaseStats,
+    minimal_subqueries,
+)
+from repro.backchase.pruned import pruned_minimal_subqueries
+from repro.chase.chase import ChaseEngine, chase
+from repro.chase.containment import is_contained_in
+from repro.errors import BackchaseError, OptimizationError
+from repro.optimizer.cost import estimate_cost
+from repro.optimizer.optimizer import Optimizer
+from repro.query.parser import parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+REDUNDANT = (
+    "select struct(A = p.A, B = r.B) from R p, R q, R r "
+    "where p.B = q.A and q.B = r.B"
+)
+
+
+class TestStatsCounters:
+    def test_counters_monotone_across_searches(self):
+        """A stats object threaded through several enumerations only ever
+        accumulates: every counter is non-decreasing run over run."""
+
+        stats = BackchaseStats()
+        previous = stats.as_dict()
+        for _ in range(3):
+            minimal_subqueries(q(REDUNDANT), [], stats=stats)
+            current = stats.as_dict()
+            for name, value in current.items():
+                assert value >= previous[name], name
+            previous = current
+
+    def test_counter_invariants_full(self):
+        stats = BackchaseStats()
+        minimal_subqueries(q(REDUNDANT), [], stats=stats)
+        assert stats.nodes_visited >= 1
+        assert stats.normal_forms >= 1
+        assert stats.steps_attempted >= stats.candidates_explored
+        assert stats.candidates_explored >= stats.steps_applied
+        assert stats.candidates_pruned == 0  # full mode never prunes
+        assert min(stats.as_dict().values()) >= 0
+
+    def test_counter_invariants_pruned(self):
+        stats = BackchaseStats()
+        pruned_minimal_subqueries(q(REDUNDANT), [], stats=stats)
+        assert stats.nodes_visited >= 1
+        assert stats.normal_forms >= 1
+        assert stats.steps_attempted >= stats.candidates_explored
+        assert stats.candidates_explored >= stats.steps_applied
+        assert min(stats.as_dict().values()) >= 0
+
+    def test_pruned_never_explores_more(self):
+        full_stats, pruned_stats = BackchaseStats(), BackchaseStats()
+        minimal_subqueries(q(REDUNDANT), [], stats=full_stats)
+        pruned_minimal_subqueries(q(REDUNDANT), [], stats=pruned_stats)
+        assert (
+            pruned_stats.candidates_explored <= full_stats.candidates_explored
+        )
+        assert pruned_stats.nodes_visited <= full_stats.nodes_visited
+
+
+class TestContainmentCacheParity:
+    """The cache must return exactly the uncached verdicts (E1 and E5)."""
+
+    def _assert_parity(self, workload):
+        deps = workload.constraints
+        engine = ChaseEngine(deps)
+        universal = chase(workload.query, deps).query
+        forms = minimal_subqueries(universal, deps, engine)
+        assert forms
+        pairs = [(form, universal) for form in forms]
+        pairs += [(universal, form) for form in forms]
+        pairs.append((workload.query, universal))
+        # `is_contained_in` is the raw decision procedure: it shares the
+        # engine's chase memo but never consults the verdict cache.
+        for q1, q2 in pairs:
+            first = engine.contained_in(q1, q2)
+            hits_before = engine.containment.hits
+            second = engine.contained_in(q1, q2)  # cached
+            assert engine.containment.hits == hits_before + 1
+            uncached = is_contained_in(q1, q2, deps, engine)
+            assert first == second == uncached, f"{q1} vs {q2}"
+
+    def test_e1_projdept_verdicts(self, projdept):
+        self._assert_parity(projdept)
+
+    def test_e5_views_verdicts(self, rs_workload):
+        self._assert_parity(rs_workload)
+
+
+class TestPrunedAgainstFull:
+    @pytest.mark.parametrize("workload", ["projdept", "rabc", "rs_workload"])
+    def test_equal_best_cost_on_workloads(self, workload, request):
+        wl = request.getfixturevalue(workload)
+        results = {}
+        for strategy in ("full", "pruned"):
+            opt = Optimizer(
+                wl.constraints,
+                physical_names=wl.physical_names,
+                statistics=wl.statistics,
+                strategy=strategy,
+            )
+            results[strategy] = opt.optimize(wl.query)
+        full, pruned = results["full"], results["pruned"]
+        assert pruned.best.cost == pytest.approx(full.best.cost)
+        assert pruned.best.physical_only == full.best.physical_only
+        full_keys = {p.query.canonical_key() for p in full.plans}
+        pruned_keys = {p.query.canonical_key() for p in pruned.plans}
+        assert pruned_keys <= full_keys
+        assert (
+            pruned.backchase_stats.candidates_explored
+            <= full.backchase_stats.candidates_explored
+        )
+
+    def test_unbounded_pruned_search_is_the_full_enumeration(self, rs_workload):
+        """With no eligible complete plan the bound never tightens and the
+        pruned search must return every normal form."""
+
+        wl = rs_workload
+        universal = chase(wl.query, wl.constraints).query
+        full = minimal_subqueries(universal, wl.constraints)
+        unbounded = pruned_minimal_subqueries(
+            universal, wl.constraints, plan_cost=lambda form: None
+        )
+        assert [f.canonical_key() for f in unbounded] == [
+            f.canonical_key() for f in full
+        ]
+
+    def test_pruned_keeps_a_cheapest_form(self, rs_workload):
+        wl = rs_workload
+        universal = chase(wl.query, wl.constraints).query
+        full = minimal_subqueries(universal, wl.constraints)
+        pruned = pruned_minimal_subqueries(
+            universal, wl.constraints, statistics=wl.statistics
+        )
+        best_full = min(estimate_cost(f, wl.statistics) for f in full)
+        best_pruned = min(estimate_cost(f, wl.statistics) for f in pruned)
+        assert best_pruned == pytest.approx(best_full)
+
+
+class TestStrategyPlumbing:
+    def test_minimal_subqueries_dispatches(self):
+        query = q(REDUNDANT)
+        full = minimal_subqueries(query, [], strategy="full")
+        pruned = minimal_subqueries(query, [], strategy="pruned")
+        assert {f.canonical_key() for f in pruned} <= {
+            f.canonical_key() for f in full
+        }
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(BackchaseError, match="unknown backchase strategy"):
+            minimal_subqueries(q(REDUNDANT), [], strategy="greedy")
+        with pytest.raises(OptimizationError, match="unknown strategy"):
+            Optimizer([], strategy="greedy")
+
+    def test_pruned_options_rejected_for_full(self):
+        with pytest.raises(BackchaseError, match="strategy='pruned'"):
+            minimal_subqueries(
+                q(REDUNDANT), [], strategy="full", plan_cost=lambda f: None
+            )
+
+    def test_node_budget_enforced_in_pruned_mode(self):
+        query = q(
+            "select struct(A = a.A) from R a, R b, R c, R d "
+            "where a.A = b.A and b.A = c.A and c.A = d.A"
+        )
+        with pytest.raises(BackchaseError, match="exceeded"):
+            pruned_minimal_subqueries(query, [], max_nodes=1)
+
+    def test_optimizer_reports_strategy(self, rabc):
+        opt = Optimizer(
+            rabc.constraints,
+            physical_names=rabc.physical_names,
+            statistics=rabc.statistics,
+        )
+        result = opt.optimize(rabc.query)
+        assert result.strategy == "pruned"
+        assert "backchase[pruned]" in result.report()
+        assert "candidates explored" in result.report()

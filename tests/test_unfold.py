@@ -103,8 +103,12 @@ class TestEquivalenceByUnfolding:
         from repro.query.paths import Lookup, NFLookup
 
         wl = rs_workload
+        # full enumeration: the scan below wants the whole plan space
         opt = Optimizer(
-            wl.constraints, physical_names=wl.physical_names, statistics=wl.statistics
+            wl.constraints,
+            physical_names=wl.physical_names,
+            statistics=wl.statistics,
+            strategy="full",
         )
         result = opt.optimize(wl.query)
         checked = 0
