@@ -1,8 +1,10 @@
 # Make-style entry points for the test and benchmark suites.
 #
 #   make test         tier-1 suite (what CI gates on)
-#   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json)
+#   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json
+#                     and BENCH_e13.json)
 #   make bench-e12    the full E12 pruning benchmark
+#   make bench-e13    the full E13 semantic-cache benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -10,7 +12,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-smoke bench-e12
+.PHONY: test bench bench-smoke bench-e12 bench-e13
 
 test:
 	$(PYTEST) -x -q
@@ -20,6 +22,9 @@ bench-smoke:
 
 bench-e12:
 	$(PYTEST) -q benchmarks/bench_e12_pruning.py
+
+bench-e13:
+	$(PYTEST) -q benchmarks/bench_e13_semcache.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

@@ -1,0 +1,169 @@
+"""E13 — semantic result cache: cold vs warm on repeated workloads.
+
+Repeated-workload mixes over the paper's E1 (ProjDept) and E5 (R ⋈ S with
+views) scenarios, run twice through the same :class:`CachedSession` front
+end: once with the cache disabled (every query executes cold) and once
+enabled (results registered, repeats served exact, contained variants
+served by backchase rewrites onto cached extents).  The acceptance
+criteria: identical answer sets query-for-query, a measured warm-path
+speedup, and nonzero exact **and** rewrite hits on the E5 mix.
+
+``run_repeated_workload`` is importable — the tier-1 smoke test
+(``tests/test_bench_smoke.py``) runs one repetition per mix and emits
+``BENCH_e13.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+from repro.query.parser import parse_query
+from repro.semcache import CachedSession
+from repro.workloads.projdept import build_projdept
+from repro.workloads.relational import build_rs
+
+# Each mix is a base list of queries; a "repetition" runs the whole list
+# once, so round 1 is all-cold and later rounds exercise the hit paths.
+
+E5_MIX = [
+    # the join itself: repeats become exact hits
+    "select struct(A = r.A, B = s.B, C = s.C) from R r, S s where r.B = s.B",
+    # contained variants: answered by rewrites onto the cached join
+    "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B and s.C = 3",
+    "select struct(A = r.A) from R r, S s where r.B = s.B and s.C = 7",
+    "select struct(B = s.B, C = s.C) from R r, S s where r.B = s.B and r.A = 11",
+]
+
+E1_MIX = [
+    # the paper's query Q (3-way navigation join)
+    'select struct(PN = s, PB = p.Budg, DN = d.DName) '
+    "from depts d, d.DProjs s, Proj p where s = p.PName "
+    'and p.CustName = "CitiBank"',
+    # a wide projection scan and a variant contained in it
+    "select struct(PN = p.PName, PB = p.Budg, CN = p.CustName) from Proj p",
+    'select struct(PN = p.PName, PB = p.Budg) from Proj p '
+    'where p.CustName = "CitiBank"',
+]
+
+
+def build_workload(which: str, scale: str):
+    """(instance, query mix) for one E13 arm at ``smoke`` or ``full`` scale."""
+
+    if which == "e5_rs":
+        sizes = dict(smoke=(300, 300, 60), full=(1500, 1500, 200))[scale]
+        n_r, n_s, b_values = sizes
+        wl = build_rs(n_r=n_r, n_s=n_s, b_values=b_values, seed=5)
+        return wl.instance, [parse_query(text) for text in E5_MIX]
+    if which == "e1_projdept":
+        sizes = dict(smoke=(25, 15), full=(80, 40))[scale]
+        n_depts, projs_per_dept = sizes
+        wl = build_projdept(n_depts=n_depts, projs_per_dept=projs_per_dept, seed=9)
+        return wl.instance, [parse_query(text) for text in E1_MIX]
+    raise ValueError(f"unknown E13 workload {which!r}")
+
+
+def _run_mix(session: CachedSession, mix: List[PCQuery], repetitions: int):
+    """Run ``repetitions`` rounds of the mix; per-query answers + wall time."""
+
+    answers = []
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        for query in mix:
+            answers.append(session.run(query))
+    return answers, time.perf_counter() - start
+
+
+def run_repeated_workload(
+    which: str, repetitions: int = 3, scale: str = "smoke"
+) -> Dict:
+    """One E13 arm, cold vs warm; returns the counters and timings the
+    acceptance criteria are asserted on."""
+
+    instance, mix = build_workload(which, scale)
+    statistics = Statistics.from_instance(instance)
+
+    cold_session = CachedSession(instance, enabled=False)
+    cold_answers, cold_seconds = _run_mix(cold_session, mix, repetitions)
+
+    warm_session = CachedSession(instance, statistics=statistics)
+    warm_answers, warm_seconds = _run_mix(warm_session, mix, repetitions)
+    warm_session.close()
+
+    answers_equal = all(
+        cold.results == warm.results
+        for cold, warm in zip(cold_answers, warm_answers)
+    )
+    sources: Dict[str, int] = {"cold": 0, "exact": 0, "rewrite": 0}
+    for answer in warm_answers:
+        sources[answer.source] += 1
+
+    return {
+        "workload": which,
+        "scale": scale,
+        "repetitions": repetitions,
+        "queries_per_repetition": len(mix),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "answers_equal": answers_equal,
+        "warm_sources": sources,
+        "cache": warm_session.stats.as_dict(),
+        "cached_views": len(warm_session.cache),
+        "cached_tuples": warm_session.cache.total_tuples(),
+    }
+
+
+def assert_cache_effective(result: Dict) -> None:
+    """The deterministic E13 criteria: correct answers, real hit traffic.
+
+    Timing is asserted separately (:func:`assert_warm_wins`) so the
+    tier-1 smoke run can gate on structure without racing the wall clock.
+    """
+
+    assert result["answers_equal"], result
+    cache = result["cache"]
+    assert cache["exact_hits"] > 0, result
+    assert cache["misses"] < result["repetitions"] * result["queries_per_repetition"], result
+    # nothing the policy admitted ever went stale (no mutations here)
+    assert cache["invalidations"] == 0, result
+
+
+def assert_warm_wins(result: Dict) -> None:
+    """The full E13 acceptance criteria for one workload arm."""
+
+    assert_cache_effective(result)
+    assert result["warm_seconds"] < result["cold_seconds"], result
+
+
+def test_e13_rs_warm_beats_cold(benchmark):
+    result = benchmark.pedantic(
+        run_repeated_workload, args=("e5_rs",), kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_warm_wins(result)
+    # the E5 mix must exercise the rewrite tier, not just exact repeats
+    assert result["cache"]["rewrite_hits"] > 0, result
+
+
+def test_e13_projdept_warm_beats_cold(benchmark):
+    result = benchmark.pedantic(
+        run_repeated_workload, args=("e1_projdept",), kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_warm_wins(result)
+
+
+def test_e13_speedup_grows_with_repetitions(benchmark):
+    def sweep():
+        return [
+            run_repeated_workload("e5_rs", repetitions=2, scale="full"),
+            run_repeated_workload("e5_rs", repetitions=5, scale="full"),
+        ]
+
+    few, many = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert_warm_wins(few)
+    assert_warm_wins(many)
+    assert many["speedup"] > few["speedup"]

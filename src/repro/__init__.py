@@ -75,6 +75,14 @@ from repro.physical.indexes import PrimaryIndex, SecondaryIndex
 from repro.physical.joinindex import JoinIndex
 from repro.physical.views import MaterializedView
 from repro.query.ast import Binding, Eq, PathOutput, PCQuery, StructOutput
+from repro.semcache import (
+    CachedSession,
+    CachedView,
+    CacheStats,
+    CostBenefitPolicy,
+    SemanticCache,
+    SessionResult,
+)
 from repro.query.evaluator import evaluate
 from repro.query.parser import parse_constraint, parse_path, parse_query
 from repro.query.paths import (
@@ -165,6 +173,12 @@ __all__ = [
     "minimal_subqueries",
     "pruned_minimal_subqueries",
     "BackchaseStats",
+    "CacheStats",
+    "CachedSession",
+    "CachedView",
+    "CostBenefitPolicy",
+    "SemanticCache",
+    "SessionResult",
     "minimize",
     "minimize_all",
     "parse_constraint",

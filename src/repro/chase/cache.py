@@ -14,41 +14,82 @@ Verdicts are pure functions of the canonical pair and the engine's
 dependency set, so caching is exact: a hit returns precisely what the
 uncached decision procedure would (asserted by the regression tests on
 the paper's E1/E5 examples).
+
+The store is **bounded**: at most ``max_size`` verdicts are retained,
+evicted least-recently-used (every probe refreshes recency).  Long-running
+sessions — the semantic-cache REPL keeps one engine alive across requests
+— therefore hold the cache at a fixed footprint; an eviction only ever
+costs a re-computation, never a wrong answer.  ``max_size=None`` disables
+the bound.  :meth:`cache_info` reports the counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 Key = Tuple[str, str]
 
+DEFAULT_MAX_SIZE = 8192
 
-@dataclass
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A point-in-time snapshot of the cache counters (lru_cache-style)."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: Optional[int]
+    evictions: int
+
+
 class ContainmentCache:
-    """Verdict store for ``q1 ⊑ q2`` checks under one constraint set."""
+    """LRU verdict store for ``q1 ⊑ q2`` checks under one constraint set."""
 
-    verdicts: Dict[Key, bool] = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
+    def __init__(self, max_size: Optional[int] = DEFAULT_MAX_SIZE) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be >= 1 or None, got {max_size}")
+        self.verdicts: "OrderedDict[Key, bool]" = OrderedDict()
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key_for(q1, q2) -> Key:
         return (q1.canonical_key(), q2.canonical_key())
 
     def get(self, key: Key) -> Optional[bool]:
-        """Cached verdict for ``key``, counting the probe."""
+        """Cached verdict for ``key``, counting the probe and refreshing
+        its recency."""
 
         verdict = self.verdicts.get(key)
         if verdict is None:
             self.misses += 1
         else:
             self.hits += 1
+            self.verdicts.move_to_end(key)
         return verdict
 
     def put(self, key: Key, verdict: bool) -> bool:
         self.verdicts[key] = verdict
+        self.verdicts.move_to_end(key)
+        if self.max_size is not None:
+            while len(self.verdicts) > self.max_size:
+                self.verdicts.popitem(last=False)
+                self.evictions += 1
         return verdict
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self.verdicts),
+            max_size=self.max_size,
+            evictions=self.evictions,
+        )
 
     def __len__(self) -> int:
         return len(self.verdicts)
@@ -57,3 +98,4 @@ class ContainmentCache:
         self.verdicts.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

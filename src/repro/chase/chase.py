@@ -171,8 +171,17 @@ class ChaseEngine:
     condition (3) is decided once per distinct candidate shape.
     """
 
-    def __init__(self, deps: Sequence[EPCD], max_steps: int = DEFAULT_MAX_STEPS) -> None:
-        from repro.chase.cache import ContainmentCache
+    #: default-bound marker for ``containment_cache_size`` (``None`` means
+    #: an unbounded verdict store).
+    DEFAULT_CACHE_SIZE = "default"
+
+    def __init__(
+        self,
+        deps: Sequence[EPCD],
+        max_steps: int = DEFAULT_MAX_STEPS,
+        containment_cache_size=DEFAULT_CACHE_SIZE,
+    ) -> None:
+        from repro.chase.cache import DEFAULT_MAX_SIZE, ContainmentCache
 
         self.deps = list(deps)
         self.max_steps = max_steps
@@ -180,7 +189,15 @@ class ChaseEngine:
         self._cc_cache: Dict[str, "CongruenceClosure"] = {}
         self.cache_hits = 0
         self.cache_misses = 0
-        self.containment = ContainmentCache()
+        if containment_cache_size == self.DEFAULT_CACHE_SIZE:
+            containment_cache_size = DEFAULT_MAX_SIZE
+        self.containment = ContainmentCache(max_size=containment_cache_size)
+
+    def cache_info(self):
+        """The containment cache's counters (see
+        :meth:`repro.chase.cache.ContainmentCache.cache_info`)."""
+
+        return self.containment.cache_info()
 
     def contained_in(self, q1: PCQuery, q2: PCQuery) -> bool:
         """Decide ``q1 ⊑ q2`` under this engine's dependencies (cached).

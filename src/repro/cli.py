@@ -4,10 +4,18 @@ Usage::
 
     python -m repro optimize --query q.oql [--ddl schema.ddl]
                              [--constraints extra.epcd] [--physical R,S,I]
-                             [--strategy full|pruned]
+                             [--strategy full|pruned] [--verbose]
+                             [--cache] [--query q2.oql ...]
     python -m repro chase    --query q.oql --constraints c.epcd
     python -m repro minimize --query q.oql [--constraints c.epcd]
     python -m repro check    --constraints c.epcd   (syntax check)
+    python -m repro serve-repl [--workload rs|rabc|projdept] [--no-cache]
+
+``optimize`` accepts ``--query`` repeatedly; with ``--cache`` each
+optimized query is registered in a plan-level semantic cache so later
+queries in the same invocation can be rewritten onto earlier results.
+``serve-repl`` starts an interactive caching query service over a built-in
+workload instance (type ``.help`` at the prompt).
 
 Constraint files hold one EPCD per non-empty, non-comment line, optionally
 prefixed by ``name:``::
@@ -74,8 +82,13 @@ def _read_query(args):
         return parse_query(handle.read())
 
 
+def _print_verbose_stats(result) -> None:
+    print("backchase counters:")
+    for counter, value in result.backchase_stats.as_dict().items():
+        print(f"  {counter}: {value}")
+
+
 def cmd_optimize(args) -> int:
-    query = _read_query(args)
     constraints = _gather_constraints(args)
     physical = (
         frozenset(name.strip() for name in args.physical.split(","))
@@ -89,8 +102,43 @@ def cmd_optimize(args) -> int:
         max_backchase_nodes=args.max_backchase_nodes,
         strategy=args.strategy,
     )
-    result = optimizer.optimize(query)
-    print(result.report())
+    cache = None
+    if args.cache:
+        from repro.semcache import SemanticCache
+
+        cache = SemanticCache(
+            constraints,
+            strategy=args.strategy,
+            max_chase_steps=args.max_chase_steps,
+            max_backchase_nodes=args.max_backchase_nodes,
+        )
+    for query_path in args.query:
+        if len(args.query) > 1:
+            print(f"=== {query_path} ===")
+        with open(query_path) as handle:
+            query = parse_query(handle.read())
+        if cache is not None:
+            cache.record_lookup()
+            rewrite = cache.plan_rewrite(query)
+            if rewrite is not None:
+                print(
+                    "semantic cache: rewritten onto "
+                    + ", ".join(rewrite.view_names())
+                )
+                print(rewrite.result.report())
+                if args.verbose:
+                    _print_verbose_stats(rewrite.result)
+                continue
+            cache.record_miss()
+            cache.register(query)
+        result = optimizer.optimize(query)
+        print(result.report())
+        if args.verbose:
+            _print_verbose_stats(result)
+    if cache is not None and args.verbose:
+        print("cache counters:")
+        for counter, value in cache.stats.as_dict().items():
+            print(f"  {counter}: {value}")
     return 0
 
 
@@ -114,6 +162,94 @@ def cmd_minimize(args) -> int:
     return 0
 
 
+REPL_WORKLOADS = ("rs", "rabc", "projdept")
+
+REPL_HELP = """\
+Enter one PC query per line, e.g.:
+  select struct(A = r.A) from R r, S s where r.B = s.B
+Commands:
+  .stats   cache and session counters
+  .views   cached views (name, size, hits)
+  .help    this message
+  .quit    exit (EOF works too)"""
+
+
+def _build_repl_workload(name: str):
+    if name == "rs":
+        from repro.workloads.relational import build_rs
+
+        return build_rs()
+    if name == "rabc":
+        from repro.workloads.relational import build_rabc
+
+        return build_rabc()
+    if name == "projdept":
+        from repro.workloads.projdept import build_projdept
+
+        return build_projdept()
+    raise ReproError(
+        f"unknown workload {name!r} (expected one of {REPL_WORKLOADS})"
+    )
+
+
+def cmd_serve_repl(args) -> int:
+    from repro.optimizer.statistics import Statistics
+    from repro.semcache import CachedSession
+
+    workload = _build_repl_workload(args.workload)
+    session = CachedSession(
+        workload.instance,
+        constraints=workload.constraints,
+        statistics=Statistics.from_instance(workload.instance),
+        enabled=not args.no_cache,
+    )
+    cache_state = "disabled" if args.no_cache else "enabled"
+    print(
+        f"serving workload {args.workload!r} "
+        f"({', '.join(sorted(workload.instance.names()))}); "
+        f"semantic cache {cache_state}.  .help for commands"
+    )
+    stream = sys.stdin
+    while True:
+        print("> ", end="", flush=True)
+        line = stream.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line in (".quit", ".exit"):
+            break
+        if line == ".help":
+            print(REPL_HELP)
+            continue
+        if line == ".stats":
+            print(session.stats.report())
+            continue
+        if line == ".views":
+            for view in session.cache.views():
+                print(f"  {view}")
+            if not session.cache.views():
+                print("  (no cached views)")
+            continue
+        try:
+            query = parse_query(line)
+            result = session.run(query)
+        except ReproError as exc:
+            print(f"error: {exc}")
+            continue
+        via = result.source
+        if result.view_names:
+            via += f" via {', '.join(result.view_names)}"
+        print(
+            f"{len(result)} rows [{via}] "
+            f"in {result.elapsed_seconds * 1000:.1f} ms"
+        )
+    session.close()
+    print("bye")
+    return 0
+
+
 def cmd_check(args) -> int:
     constraints = _gather_constraints(args)
     for dep in constraints:
@@ -131,9 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, query_required=True):
+    def common(p, query_required=True, multi_query=False):
         if query_required:
-            p.add_argument("--query", required=True, help="file with one PC query")
+            if multi_query:
+                p.add_argument(
+                    "--query",
+                    required=True,
+                    action="append",
+                    help="file with one PC query (repeatable)",
+                )
+            else:
+                p.add_argument("--query", required=True, help="file with one PC query")
         p.add_argument("--ddl", help="ODL-ish schema file (adds its constraints)")
         p.add_argument(
             "--constraints", help="EPCD file (one constraint per line)"
@@ -146,7 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-chase-steps", type=int, default=200)
 
     p_opt = sub.add_parser("optimize", help="run Algorithm 1")
-    common(p_opt)
+    common(p_opt, multi_query=True)
     p_opt.add_argument(
         "--physical", help="comma-separated physical schema names (plan filter)"
     )
@@ -157,6 +301,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="pruned",
         help="backchase strategy: 'pruned' (cost-bounded, default) or "
         "'full' (complete enumeration, Theorem 2)",
+    )
+    p_opt.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print the full backchase counters "
+        "(explored/pruned/containment-cache traffic)",
+    )
+    p_opt.add_argument(
+        "--cache",
+        action="store_true",
+        help="register each optimized query in a plan-level semantic cache "
+        "so later --query files can be rewritten onto earlier results",
     )
     p_opt.set_defaults(func=cmd_optimize)
 
@@ -171,6 +327,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="parse/classify constraint files")
     common(p_check, query_required=False)
     p_check.set_defaults(func=cmd_check)
+
+    p_repl = sub.add_parser(
+        "serve-repl",
+        help="interactive caching query service over a built-in workload",
+    )
+    p_repl.add_argument(
+        "--workload",
+        choices=REPL_WORKLOADS,
+        default="rs",
+        help="instance to serve (default: rs — R ⋈ S with view and indexes)",
+    )
+    p_repl.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the semantic cache (every query executes cold)",
+    )
+    p_repl.set_defaults(func=cmd_serve_repl)
 
     return parser
 

@@ -8,7 +8,7 @@ dereference (``d.DName`` in OQL) evaluates as the dictionary lookup
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.errors import InstanceError, TypeMismatchError
 from repro.model.schema import Schema
@@ -16,12 +16,20 @@ from repro.model.values import DictValue, Oid, Row, type_check
 
 
 class Instance:
-    """A mapping from schema names to values, with oid dereferencing."""
+    """A mapping from schema names to values, with oid dereferencing.
+
+    Mutations (``instance[name] = value``) can be observed: listeners
+    registered with :meth:`subscribe` are called with the mutated schema
+    name after each assignment.  The semantic result cache uses this to
+    invalidate views whose source relations changed; :meth:`copy` does not
+    carry listeners over (a copy is a fresh, unobserved database).
+    """
 
     def __init__(self, data: Optional[Dict[str, Any]] = None) -> None:
         self._data: Dict[str, Any] = dict(data or {})
         # class name -> dictionary schema name implementing the class
         self._class_dicts: Dict[str, str] = {}
+        self._listeners: List[Callable[[str], None]] = []
 
     # -- mapping interface ---------------------------------------------------
 
@@ -33,6 +41,27 @@ class Instance:
 
     def __setitem__(self, name: str, value: Any) -> None:
         self._data[name] = value
+        for listener in tuple(self._listeners):
+            listener(name)
+
+    # -- mutation listeners ---------------------------------------------------
+
+    def subscribe(self, listener: Callable[[str], None]) -> Callable[[str], None]:
+        """Call ``listener(name)`` after every ``instance[name] = value``.
+
+        Returns the listener so callers can keep it for :meth:`unsubscribe`.
+        """
+
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[str], None]) -> None:
+        """Remove a listener registered with :meth:`subscribe` (idempotent)."""
+
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def __contains__(self, name: str) -> bool:
         return name in self._data
@@ -60,6 +89,11 @@ class Instance:
                 f"cannot register class {class_name!r}: no value for {dict_name!r}"
             )
         self._class_dicts[class_name] = dict_name
+
+    def class_dict_names(self) -> frozenset:
+        """Every dictionary schema name registered as a class implementation."""
+
+        return frozenset(self._class_dicts.values())
 
     def class_dict_name(self, class_name: str) -> str:
         try:

@@ -256,7 +256,38 @@ class Optimizer:
 
     # -- Algorithm 1 -----------------------------------------------------------
 
-    def optimize(self, query: PCQuery) -> OptimizationResult:
+    #: sentinel distinguishing "keep the optimizer's physical filter" from an
+    #: explicit override (including ``None`` = no filter).
+    _KEEP = object()
+
+    def optimize(
+        self,
+        query: PCQuery,
+        *,
+        extra_constraints: Optional[Sequence[EPCD]] = None,
+        physical_names=_KEEP,
+        statistics: Optional[Statistics] = None,
+    ) -> OptimizationResult:
+        """Run Algorithm 1 on ``query``.
+
+        The keyword arguments set up an **ephemeral** optimization context
+        for this one call — the semantic result cache injects each cached
+        view's ``cV``/``c'V`` pair (plus view cardinalities and a view-only
+        physical filter) per request this way.  ``extra_constraints`` are
+        appended to the optimizer's constraint set without rebuilding it
+        (the existing EPCD objects are shared); ``physical_names`` replaces
+        the plan filter (``None`` disables it); ``statistics`` replaces the
+        catalog.  The optimizer itself is left untouched.
+        """
+
+        if (
+            extra_constraints
+            or physical_names is not self._KEEP
+            or statistics is not None
+        ):
+            return self._ephemeral(
+                extra_constraints, physical_names, statistics
+            ).optimize(query)
         chase_result = self.universal_plan(query)
         universal = chase_result.query
         bc_stats = BackchaseStats()
@@ -294,6 +325,32 @@ class Optimizer:
             plans=plans,
             best=best,
             backchase_stats=bc_stats,
+            strategy=self.strategy,
+        )
+
+    def _ephemeral(
+        self,
+        extra_constraints: Optional[Sequence[EPCD]],
+        physical_names,
+        statistics: Optional[Statistics],
+    ) -> "Optimizer":
+        """A per-request clone with constraints/filter/statistics overlaid.
+
+        Cheap by construction: the constraint list is concatenated (the
+        EPCDs themselves are shared, nothing is re-derived) and the cost
+        model and limits are carried over.
+        """
+
+        return Optimizer(
+            self.constraints + list(extra_constraints or ()),
+            physical_names=(
+                self.physical_names if physical_names is self._KEEP else physical_names
+            ),
+            statistics=statistics or self.statistics,
+            cost_model=self.cost_model,
+            max_chase_steps=self.max_chase_steps,
+            max_backchase_nodes=self.max_backchase_nodes,
+            reorder=self.reorder,
             strategy=self.strategy,
         )
 

@@ -1,0 +1,320 @@
+"""The semantic result cache: prior results as rewrite targets.
+
+Every executed query's result set is registered as a
+:class:`~repro.semcache.view.CachedView` — a materialized view whose
+``cV``/``c'V`` constraint pair (Section 2) is injected, per request, into
+an ephemeral optimization context.  The pruned backchase then does the
+semantic heavy lifting: an incoming query is rewritten onto cached extents
+exactly when containment holds under the base constraints plus the view
+pairs, which is precisely the correctness condition a semantic cache
+needs.  The cache itself only decides *bookkeeping*: which views are
+relevant, when to evict (cost-benefit, :mod:`repro.semcache.policy`) and
+when to invalidate (source mutations, :mod:`repro.semcache.invalidation`).
+
+Lookup is two-tier:
+
+1. **exact** — same canonical form as a cached query: the stored result
+   set is returned as-is, no optimization, no execution;
+2. **rewrite** — :meth:`SemanticCache.plan_rewrite` optimizes the query
+   with the relevant views' constraint pairs and a *view-only* physical
+   filter; a plan survives the filter only if it reads nothing but cached
+   extents, so a hit is always answerable without touching base relations.
+
+Failures on the rewrite path (chase non-termination, node budgets) degrade
+to misses — the cache can be slow, never wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.constraints.epcd import EPCD
+from repro.errors import ReproError
+from repro.optimizer.cost import CostModel
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+from repro.semcache.invalidation import InvalidationIndex
+from repro.semcache.policy import CostBenefitPolicy
+from repro.semcache.stats import CacheStats
+from repro.semcache.view import CachedView, make_cached_view
+
+#: default prefix for generated view names (reserved; queries over names
+#: with this prefix are not admitted into the cache)
+NAME_PREFIX = "_SC"
+
+
+@dataclass
+class Rewrite:
+    """A successful cache rewrite: the plan and the views it reads."""
+
+    result: OptimizationResult
+    views: List[CachedView]
+
+    @property
+    def query(self) -> PCQuery:
+        return self.result.best.query
+
+    @property
+    def executable(self) -> bool:
+        """False when a plan-only view is involved (nothing to scan)."""
+
+        return all(not v.plan_only for v in self.views)
+
+    def view_names(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self.views)
+
+
+class SemanticCache:
+    """A bounded pool of executed-query results usable as rewrite targets."""
+
+    def __init__(
+        self,
+        constraints: Sequence[EPCD] = (),
+        statistics: Optional[Statistics] = None,
+        cost_model: Optional[CostModel] = None,
+        policy: Optional[CostBenefitPolicy] = None,
+        max_rewrite_views: int = 8,
+        strategy: str = "pruned",
+        max_chase_steps: int = 200,
+        max_backchase_nodes: int = 20_000,
+        name_prefix: str = NAME_PREFIX,
+    ) -> None:
+        self.statistics = statistics or Statistics()
+        self.cost_model = cost_model or CostModel()
+        self.policy = policy or CostBenefitPolicy()
+        self.max_rewrite_views = max_rewrite_views
+        self.name_prefix = name_prefix
+        self.stats = CacheStats()
+        self._views: Dict[str, CachedView] = {}
+        self._exact: Dict[str, str] = {}  # canonical key -> view name
+        self._index = InvalidationIndex()
+        self._seq = 0
+        self._optimizer = Optimizer(
+            list(constraints),
+            statistics=self.statistics,
+            cost_model=self.cost_model,
+            max_chase_steps=max_chase_steps,
+            max_backchase_nodes=max_backchase_nodes,
+            strategy=strategy,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def views(self) -> List[CachedView]:
+        return list(self._views.values())
+
+    def get(self, name: str) -> Optional[CachedView]:
+        return self._views.get(name)
+
+    def total_tuples(self) -> int:
+        return sum(v.tuples() for v in self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def report(self) -> str:
+        lines = [
+            f"semantic cache: {len(self._views)} views, "
+            f"{self.total_tuples()} cached tuples"
+        ]
+        for view in self._views.values():
+            lines.append(f"  {view}")
+        lines.append(self.stats.report())
+        return "\n".join(lines)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup_exact(self, query: PCQuery) -> Optional[CachedView]:
+        """The cached view holding this exact query's result, if any.
+
+        Counts a lookup; callers that fall through to :meth:`plan_rewrite`
+        and cold execution must not count again.
+        """
+
+        self.stats.lookups += 1
+        name = self._exact.get(query.canonical_key())
+        if name is None:
+            return None
+        view = self._views.get(name)
+        if view is None or view.stale or view.result is None:
+            return None
+        self.stats.exact_hits += 1
+        self._touch(view)
+        return view
+
+    def candidate_views(self, query: PCQuery) -> List[CachedView]:
+        """Relevant live views, most recently useful first, capped at
+        ``max_rewrite_views`` (bounds the per-request chase)."""
+
+        names = query.schema_names()
+        relevant = [v for v in self._views.values() if v.relevant_to(names)]
+        relevant.sort(key=lambda v: (-v.last_used_at, v.name))
+        return relevant[: self.max_rewrite_views]
+
+    def plan_rewrite(
+        self, query: PCQuery, require_executable: bool = False
+    ) -> Optional[Rewrite]:
+        """Rewrite ``query`` onto cached extents, or ``None`` on a miss.
+
+        The ephemeral context is the base constraints plus each candidate
+        view's pair, catalog statistics overlaid with exact extent
+        cardinalities, and a physical filter of the candidate view names —
+        so the winning plan is a hit only when it reads cached data
+        exclusively.
+
+        With ``require_executable`` a rewrite that involves a plan-only
+        view (nothing to scan) is a miss and counts nothing; sessions pass
+        it so a hit is only ever recorded for a request actually served.
+        """
+
+        candidates = self.candidate_views(query)
+        if not candidates:
+            return None
+        self.stats.rewrite_attempts += 1
+        extra: List[EPCD] = []
+        for view in candidates:
+            extra.extend(view.constraints)
+        try:
+            result = self._optimizer.optimize(
+                query,
+                extra_constraints=extra,
+                physical_names=frozenset(v.name for v in candidates),
+                statistics=self._rewrite_statistics(candidates),
+            )
+        except ReproError:
+            self.stats.rewrite_failures += 1
+            return None
+        if not result.best.physical_only:
+            return None
+        used_names = result.best.query.schema_names()
+        used = [v for v in candidates if v.name in used_names]
+        if not used:
+            return None
+        rewrite = Rewrite(result=result, views=used)
+        if require_executable and not rewrite.executable:
+            return None
+        self.stats.rewrite_hits += 1
+        for view in used:
+            view.hits += 1
+            self._touch(view)
+        return rewrite
+
+    def record_lookup(self) -> None:
+        """Count a cache consultation that bypassed :meth:`lookup_exact`
+        (the CLI's plan-only path)."""
+
+        self.stats.lookups += 1
+
+    def record_miss(self) -> None:
+        self.stats.misses += 1
+
+    def _rewrite_statistics(self, candidates: List[CachedView]) -> Statistics:
+        """Catalog statistics with exact cardinalities for cached extents."""
+
+        base = self.statistics
+        stats = Statistics(
+            cardinality=dict(base.cardinality),
+            entry_cardinality=dict(base.entry_cardinality),
+            ndv=dict(base.ndv),
+            fanout=dict(base.fanout),
+            default_cardinality=base.default_cardinality,
+            default_ndv=base.default_ndv,
+            default_fanout=base.default_fanout,
+        )
+        for view in candidates:
+            stats.cardinality[view.name] = float(view.tuples()) if not view.plan_only else 1.0
+        return stats
+
+    def _touch(self, view: CachedView) -> None:
+        self._seq += 1
+        view.last_used_at = self._seq
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        query: PCQuery,
+        results: Optional[FrozenSet] = None,
+        extra_dependencies: FrozenSet[str] = frozenset(),
+    ) -> Optional[CachedView]:
+        """Admit an executed query (``results``) — or with ``results=None``
+        a plan-only shape — into the pool; returns the view or ``None``
+        when rejected (duplicate, or the query reads cache-owned names).
+
+        ``extra_dependencies`` extend the invalidation key set beyond the
+        query's syntactic sources (e.g. class dictionaries read through
+        oid dereference)."""
+
+        key = query.canonical_key()
+        if key in self._exact and self._exact[key] in self._views:
+            existing = self._views[self._exact[key]]
+            if results is not None and existing.result is None:
+                # Upgrade a plan-only entry with real data.
+                self._drop(existing)
+            else:
+                self.stats.rejected += 1
+                return None
+        if any(name.startswith(self.name_prefix) for name in query.schema_names()):
+            self.stats.rejected += 1
+            return None
+        self._seq += 1
+        name = f"{self.name_prefix}{self._seq}"
+        view = make_cached_view(
+            name,
+            query,
+            results,
+            registered_at=self._seq,
+            extra_dependencies=frozenset(extra_dependencies),
+        )
+        self._views[name] = view
+        self._exact[key] = name
+        self._index.add(view)
+        self.stats.registrations += 1
+        self._evict_to_budget()
+        return self._views.get(name)
+
+    def _evict_to_budget(self) -> None:
+        for name in self.policy.victims(
+            self._views, self.statistics, self.cost_model
+        ):
+            view = self._views.get(name)
+            if view is not None:
+                self._drop(view)
+                self.stats.evictions += 1
+
+    def _drop(self, view: CachedView) -> None:
+        self._views.pop(view.name, None)
+        self._index.remove(view)
+        key = view.query.canonical_key()
+        if self._exact.get(key) == view.name:
+            del self._exact[key]
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate_source(self, name: str) -> int:
+        """Drop every view reading schema name ``name``; returns the count.
+
+        Called by the :class:`~repro.semcache.invalidation.InstanceWatcher`
+        on each instance mutation.  Mutations of cache-generated names (a
+        session materializing an extent into an overlay) are ignored.
+        """
+
+        if name.startswith(self.name_prefix):
+            return 0
+        dropped = 0
+        for view_name in self._index.dependents(name):
+            view = self._views.get(view_name)
+            if view is not None:
+                view.stale = True
+                self._drop(view)
+                dropped += 1
+                self.stats.invalidations += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every view (stats are monotone and survive)."""
+
+        for view in list(self._views.values()):
+            self._drop(view)

@@ -1,0 +1,74 @@
+"""Invalidation: dropping cached views when their sources mutate.
+
+A cached view's extent is the exact evaluation of its definition on the
+instance *at registration time*; any later assignment to a source relation
+can silently falsify the ``cV``/``c'V`` pair and turn rewrites into stale
+answers.  Two pieces prevent that:
+
+* :class:`InvalidationIndex` — a reverse map from source schema name to
+  the views reading it, so a mutation touches only its dependents instead
+  of scanning the pool;
+* :class:`InstanceWatcher` — the subscription glue: registers a listener
+  on :meth:`repro.model.instance.Instance.subscribe` and forwards each
+  mutated name to the cache's ``invalidate_source``.  :meth:`close`
+  detaches it (sessions detach on close so a cache can be re-homed onto
+  another instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.model.instance import Instance
+from repro.semcache.view import CachedView
+
+
+class InvalidationIndex:
+    """Reverse dependency map: schema name → dependent view names.
+
+    Indexed on :attr:`CachedView.dependencies` — the syntactic sources
+    plus implicitly read names (class dictionaries) — so a mutation of
+    anything the evaluation touched finds its dependents.
+    """
+
+    def __init__(self) -> None:
+        self._by_source: Dict[str, Set[str]] = {}
+
+    def add(self, view: CachedView) -> None:
+        for source in view.dependencies:
+            self._by_source.setdefault(source, set()).add(view.name)
+
+    def remove(self, view: CachedView) -> None:
+        for source in view.dependencies:
+            dependents = self._by_source.get(source)
+            if dependents is not None:
+                dependents.discard(view.name)
+                if not dependents:
+                    del self._by_source[source]
+
+    def dependents(self, source: str) -> FrozenSet[str]:
+        return frozenset(self._by_source.get(source, ()))
+
+    def sources(self) -> FrozenSet[str]:
+        return frozenset(self._by_source)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_source.values())
+
+
+class InstanceWatcher:
+    """Subscribes a cache to an instance's mutation notifications."""
+
+    def __init__(self, instance: Instance, cache) -> None:
+        self._instance = instance
+        self._cache = cache
+        self._listener = instance.subscribe(self._on_mutation)
+        self._closed = False
+
+    def _on_mutation(self, name: str) -> None:
+        self._cache.invalidate_source(name)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._instance.unsubscribe(self._listener)
+            self._closed = True

@@ -1,0 +1,158 @@
+"""The caching query service: execute → maybe-rewrite → maybe-register.
+
+:class:`CachedSession` is the front end the serving layers (REPL, bench
+harness) talk to.  Each :meth:`run` call walks the two-tier lookup of
+:class:`~repro.semcache.cache.SemanticCache`, falls back to a cold
+execution through :func:`repro.exec.engine.execute`, and feeds the cold
+result back into the pool so later queries can be answered from it.
+Rewritten plans execute against an **overlay** instance — a shallow copy
+of the base instance with the used extents materialized under their view
+names — so the user's instance is never written to and the invalidation
+listener never sees cache-internal writes.
+
+The session subscribes the cache to instance mutations on construction
+(:class:`~repro.semcache.invalidation.InstanceWatcher`); :meth:`close`
+detaches it.  ``enabled=False`` degrades to a plain cold executor with the
+same interface, which is what the cold arms of the benchmarks run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Sequence, Tuple
+
+from repro.constraints.epcd import EPCD
+from repro.exec.engine import execute
+from repro.model.instance import Instance
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+from repro.semcache.cache import SemanticCache
+from repro.semcache.invalidation import InstanceWatcher
+from repro.semcache.stats import CacheStats
+
+#: sources a result can come from
+EXACT, REWRITE, COLD = "exact", "rewrite", "cold"
+
+
+@dataclass
+class SessionResult:
+    """One answered query: the result set plus where it came from."""
+
+    results: FrozenSet[Any]
+    source: str  # EXACT | REWRITE | COLD
+    elapsed_seconds: float
+    plan_text: str = ""
+    view_names: Tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class CachedSession:
+    """A query session over one instance with a semantic result cache."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        constraints: Sequence[EPCD] = (),
+        statistics: Optional[Statistics] = None,
+        cache: Optional[SemanticCache] = None,
+        enabled: bool = True,
+        register_results: bool = True,
+        use_hash_joins: bool = False,
+        **cache_options,
+    ) -> None:
+        self.instance = instance
+        self.enabled = enabled
+        self.register_results = register_results
+        self.use_hash_joins = use_hash_joins
+        self.cache = cache or SemanticCache(
+            constraints, statistics=statistics, **cache_options
+        )
+        self._watcher = InstanceWatcher(instance, self.cache) if enabled else None
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def close(self) -> None:
+        """Detach the invalidation listener (the cache itself survives)."""
+
+        if self._watcher is not None:
+            self._watcher.close()
+            self._watcher = None
+
+    def __enter__(self) -> "CachedSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request path ------------------------------------------------------
+
+    def run(self, query: PCQuery) -> SessionResult:
+        """Answer ``query``: exact hit, cache rewrite, or cold execution."""
+
+        start = time.perf_counter()
+        if not self.enabled:
+            execution = execute(
+                query, self.instance, use_hash_joins=self.use_hash_joins
+            )
+            return SessionResult(
+                results=execution.results,
+                source=COLD,
+                elapsed_seconds=time.perf_counter() - start,
+                plan_text=execution.plan_text,
+            )
+
+        exact = self.cache.lookup_exact(query)
+        if exact is not None:
+            return SessionResult(
+                results=exact.result,
+                source=EXACT,
+                elapsed_seconds=time.perf_counter() - start,
+                view_names=(exact.name,),
+            )
+
+        rewrite = self.cache.plan_rewrite(query, require_executable=True)
+        if rewrite is not None:
+            overlay = self.instance.copy()
+            for view in rewrite.views:
+                overlay[view.name] = view.extent
+            execution = execute(
+                rewrite.query, overlay, use_hash_joins=self.use_hash_joins
+            )
+            if self.register_results:
+                # Promote the rewrite into an exact entry: repeats of this
+                # query skip the per-request optimization entirely.
+                self.cache.register(
+                    query, execution.results, self._implicit_dependencies()
+                )
+            return SessionResult(
+                results=execution.results,
+                source=REWRITE,
+                elapsed_seconds=time.perf_counter() - start,
+                plan_text=execution.plan_text,
+                view_names=rewrite.view_names(),
+            )
+
+        self.cache.record_miss()
+        execution = execute(query, self.instance, use_hash_joins=self.use_hash_joins)
+        if self.register_results:
+            self.cache.register(
+                query, execution.results, self._implicit_dependencies()
+            )
+        return SessionResult(
+            results=execution.results,
+            source=COLD,
+            elapsed_seconds=time.perf_counter() - start,
+            plan_text=execution.plan_text,
+        )
+
+    def _implicit_dependencies(self):
+        """Names every evaluation may read without naming them: the class
+        dictionaries oid dereference goes through.  Registered as extra
+        invalidation dependencies so mutating one drops the view."""
+
+        return self.instance.class_dict_names()

@@ -1,0 +1,72 @@
+"""Instrumentation for the semantic result cache.
+
+Mirrors :class:`repro.backchase.backchase.BackchaseStats`: every counter is
+monotone non-decreasing over the lifetime of the object, so one stats
+instance can be threaded through a whole serving session and only ever
+accumulates.  The counters split the request path the way the cache does:
+
+* ``lookups`` — queries the cache was consulted for;
+* ``exact_hits`` — answered from a stored result with the same canonical
+  form (no optimization, no execution);
+* ``rewrite_hits`` — answered by a backchase rewrite onto cached extents
+  (optimize + scan, no base-relation access);
+* ``misses`` — cold executions against the base instance;
+* ``rewrite_attempts`` / ``rewrite_failures`` — per-request optimizations
+  tried, and the subset that errored or timed out (failures degrade to
+  misses, never to wrong answers);
+* ``registrations`` / ``rejected`` — results admitted into the pool vs
+  declined (duplicates, self-referential queries);
+* ``evictions`` — views dropped by the cost-benefit policy;
+* ``invalidations`` — views dropped because a source relation mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Monotone counters for the semantic cache (hit/miss/maintenance)."""
+
+    lookups: int = 0
+    exact_hits: int = 0
+    rewrite_hits: int = 0
+    misses: int = 0
+    rewrite_attempts: int = 0
+    rewrite_failures: int = 0
+    registrations: int = 0
+    rejected: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.rewrite_hits
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lookups": self.lookups,
+            "exact_hits": self.exact_hits,
+            "rewrite_hits": self.rewrite_hits,
+            "misses": self.misses,
+            "rewrite_attempts": self.rewrite_attempts,
+            "rewrite_failures": self.rewrite_failures,
+            "registrations": self.registrations,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def report(self) -> str:
+        """One line per counter, plus the derived hit rate."""
+
+        lines = [f"{name}: {value}" for name, value in self.as_dict().items()]
+        lines.append(f"hit_rate: {self.hit_rate():.2f}")
+        return "\n".join(lines)

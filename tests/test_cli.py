@@ -124,6 +124,59 @@ class TestCommands:
         extended = capsys.readouterr().out
         assert int(extended.split()[-3]) > int(base.split()[-3])
 
+    def test_optimize_verbose_prints_counters(self, files, capsys):
+        _, query, constraints, _ = files
+        code = main(
+            [
+                "optimize",
+                "--query",
+                str(query),
+                "--constraints",
+                str(constraints),
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backchase counters:" in out
+        for counter in (
+            "nodes_visited",
+            "candidates_explored",
+            "candidates_pruned",
+            "cache_hits",
+            "cache_misses",
+        ):
+            assert counter in out
+
+    def test_optimize_cache_reuses_earlier_query(self, files, tmp_path, capsys):
+        _, query, _, _ = files
+        contained = tmp_path / "q2.oql"
+        contained.write_text("select r.A from R r where r.B = 5 and r.A = 1\n")
+        code = main(
+            [
+                "optimize",
+                "--cache",
+                "--verbose",
+                "--query",
+                str(query),
+                "--query",
+                str(contained),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "semantic cache: rewritten onto _SC" in out
+        assert "cache counters:" in out
+        assert "rewrite_hits: 1" in out
+        assert "lookups: 2" in out
+        assert "misses: 1" in out
+
+    def test_optimize_without_cache_never_mentions_cache(self, files, capsys):
+        _, query, constraints, _ = files
+        main(["optimize", "--query", str(query), "--constraints", str(constraints)])
+        out = capsys.readouterr().out
+        assert "semantic cache" not in out
+
     def test_missing_file_is_error(self, capsys):
         code = main(["optimize", "--query", "/nonexistent/q.oql"])
         assert code == 1
@@ -135,3 +188,52 @@ class TestCommands:
         code = main(["minimize", "--query", str(bad)])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeRepl:
+    def _run(self, monkeypatch, capsys, lines, argv=None):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(l + "\n" for l in lines)))
+        code = main(["serve-repl", "--workload", "rs"] + (argv or []))
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_cold_exact_rewrite_flow(self, monkeypatch, capsys):
+        join = (
+            "select struct(A = r.A, B = s.B, C = s.C) from R r, S s "
+            "where r.B = s.B"
+        )
+        contained = (
+            "select struct(A = r.A) from R r, S s where r.B = s.B and s.C = 3"
+        )
+        out = self._run(
+            monkeypatch, capsys, [join, join, contained, ".stats", ".views", ".quit"]
+        )
+        assert "[cold]" in out
+        assert "[exact via _SC" in out
+        assert "[rewrite via _SC" in out
+        assert "exact_hits: 1" in out
+        assert "rewrite_hits: 1" in out
+        assert "tuples" in out  # .views listing
+        assert out.strip().endswith("bye")
+
+    def test_no_cache_flag_serves_cold_only(self, monkeypatch, capsys):
+        query = "select struct(B = s.B) from S s"
+        out = self._run(monkeypatch, capsys, [query, query], argv=["--no-cache"])
+        assert out.count("[cold]") == 2
+        assert "semantic cache disabled" in out
+
+    def test_bad_query_keeps_serving(self, monkeypatch, capsys):
+        out = self._run(
+            monkeypatch,
+            capsys,
+            ["select banana", "select struct(B = s.B) from S s", ".quit"],
+        )
+        assert "error:" in out
+        assert "[cold]" in out
+
+    def test_help_and_eof(self, monkeypatch, capsys):
+        out = self._run(monkeypatch, capsys, [".help"])
+        assert ".stats" in out
+        assert "bye" in out

@@ -1,0 +1,389 @@
+"""Unit tests for the semantic result cache (repro.semcache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Row, Statistics, evaluate, parse_query
+from repro.chase.cache import ContainmentCache
+from repro.chase.chase import ChaseEngine
+from repro.optimizer.cost import CostModel
+from repro.optimizer.optimizer import Optimizer
+from repro.query.parser import parse_constraint
+from repro.semcache import (
+    COLD,
+    EXACT,
+    REWRITE,
+    CachedSession,
+    CostBenefitPolicy,
+    InvalidationIndex,
+    SemanticCache,
+    make_cached_view,
+    view_definition,
+    view_extent,
+)
+
+
+@pytest.fixture
+def rs_instance_large() -> Instance:
+    r = frozenset(Row(A=i, B=i % 7) for i in range(40))
+    s = frozenset(Row(B=i % 7, C=i) for i in range(30))
+    return Instance({"R": r, "S": s})
+
+
+@pytest.fixture
+def session(rs_instance_large) -> CachedSession:
+    sess = CachedSession(
+        rs_instance_large, statistics=Statistics.from_instance(rs_instance_large)
+    )
+    yield sess
+    sess.close()
+
+
+JOIN = "select struct(A = r.A, B = s.B, C = s.C) from R r, S s where r.B = s.B"
+CONTAINED = (
+    "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B and s.C = 3"
+)
+
+
+class TestViewCapture:
+    def test_struct_query_is_its_own_definition(self):
+        q = parse_query(JOIN)
+        assert view_definition(q) is q
+
+    def test_path_query_wraps_value_field(self):
+        q = parse_query("select r.A from R r where r.B = 5")
+        definition = view_definition(q)
+        assert [name for name, _ in definition.output.fields] == ["value"]
+        extent = view_extent(q, frozenset({1, 2}))
+        assert extent == frozenset({Row(value=1), Row(value=2)})
+
+    def test_cached_view_derives_constraint_pair(self):
+        view = make_cached_view("_SC1", parse_query(JOIN), frozenset(), 1)
+        names = [c.name for c in view.constraints]
+        assert names == ["_SC1_cv", "_SC1_cv'"]
+        assert view.sources == frozenset({"R", "S"})
+
+    def test_plan_only_view(self):
+        view = make_cached_view("_SC1", parse_query(JOIN), None, 1)
+        assert view.plan_only and view.tuples() == 0
+
+
+class TestSessionPaths:
+    def test_cold_then_exact(self, session, rs_instance_large):
+        q = parse_query(JOIN)
+        first = session.run(q)
+        assert first.source == COLD
+        assert first.results == evaluate(q, rs_instance_large)
+        again = session.run(q)
+        assert again.source == EXACT
+        assert again.results == first.results
+        assert again.view_names
+
+    def test_contained_query_rewrites_onto_cache(self, session, rs_instance_large):
+        session.run(parse_query(JOIN))
+        result = session.run(parse_query(CONTAINED))
+        assert result.source == REWRITE
+        assert result.results == evaluate(parse_query(CONTAINED), rs_instance_large)
+        # the plan reads only cache-owned names
+        assert all(name.startswith("_SC") for name in result.view_names)
+
+    def test_rewrite_promotes_to_exact(self, session):
+        session.run(parse_query(JOIN))
+        assert session.run(parse_query(CONTAINED)).source == REWRITE
+        assert session.run(parse_query(CONTAINED)).source == EXACT
+
+    def test_uncachable_query_stays_cold(self, session, rs_instance_large):
+        session.run(parse_query(JOIN))
+        # projects an attribute combination the cached view cannot supply a
+        # proof for under no base constraints: different relation T is absent,
+        # so use a fresh selection on R alone (not contained in the join).
+        q = parse_query("select struct(A = r.A, B = r.B) from R r")
+        result = session.run(q)
+        assert result.source == COLD
+        assert result.results == evaluate(q, rs_instance_large)
+
+    def test_disabled_session_is_plain_executor(self, rs_instance_large):
+        sess = CachedSession(rs_instance_large, enabled=False)
+        q = parse_query(JOIN)
+        assert sess.run(q).source == COLD
+        assert sess.run(q).source == COLD
+        assert len(sess.cache) == 0
+
+    def test_stats_counters_add_up(self, session):
+        session.run(parse_query(JOIN))          # cold
+        session.run(parse_query(JOIN))          # exact
+        session.run(parse_query(CONTAINED))     # rewrite
+        stats = session.stats
+        assert stats.lookups == 3
+        assert stats.exact_hits == 1
+        assert stats.rewrite_hits == 1
+        assert stats.misses == 1
+        assert stats.hits == 2
+        assert 0.0 < stats.hit_rate() <= 1.0
+
+
+class TestInvalidation:
+    def test_mutation_drops_dependent_views(self, session, rs_instance_large):
+        q = parse_query(JOIN)
+        session.run(q)
+        assert len(session.cache) == 1
+        rs_instance_large["R"] = frozenset(Row(A=99, B=0) for _ in range(1))
+        assert len(session.cache) == 0
+        assert session.stats.invalidations == 1
+        fresh = session.run(q)
+        assert fresh.source == COLD
+        assert fresh.results == evaluate(q, rs_instance_large)
+
+    def test_unrelated_mutation_keeps_views(self, session, rs_instance_large):
+        session.run(parse_query("select struct(C = s.C) from S s"))
+        rs_instance_large["R"] = frozenset()
+        assert len(session.cache) == 1
+        assert session.stats.invalidations == 0
+
+    def test_closed_session_stops_listening(self, session, rs_instance_large):
+        session.run(parse_query(JOIN))
+        session.close()
+        rs_instance_large["R"] = frozenset()
+        # no longer subscribed: the (now stale-able) view survives untouched
+        assert len(session.cache) == 1
+
+    def test_class_dict_mutation_invalidates_deref_views(self):
+        """Queries that dereference oids depend on the class dictionary
+        even though it never appears syntactically (review regression)."""
+
+        from repro.workloads.projdept import build_projdept
+
+        wl = build_projdept(n_depts=2, projs_per_dept=2, seed=1)
+        q = parse_query("select struct(DN = d.DName) from depts d")
+        with CachedSession(wl.instance) as sess:
+            first = sess.run(q)
+            assert first.source == COLD
+            view = sess.cache.views()[0]
+            assert "Dept" in view.dependencies
+            assert "Dept" not in view.sources  # relevance stays syntactic
+            # mutate the class dictionary the query reads through oids
+            from repro.model.values import DictValue, Oid, Row as VRow
+
+            wl.instance["Dept"] = DictValue(
+                {
+                    oid: VRow(
+                        DName="RENAMED",
+                        DProjs=row["DProjs"],
+                        MgrName=row["MgrName"],
+                    )
+                    for oid, row in wl.instance["Dept"].items()
+                }
+            )
+            assert len(sess.cache) == 0
+            assert sess.stats.invalidations == 1
+            fresh = sess.run(q)
+            assert fresh.source == COLD
+            assert fresh.results == evaluate(q, wl.instance)
+            assert all(row["DN"] == "RENAMED" for row in fresh.results)
+
+    def test_invalidation_index_bookkeeping(self):
+        index = InvalidationIndex()
+        view = make_cached_view("_SC1", parse_query(JOIN), frozenset(), 1)
+        index.add(view)
+        assert index.dependents("R") == {"_SC1"}
+        assert index.dependents("S") == {"_SC1"}
+        index.remove(view)
+        assert index.dependents("R") == frozenset()
+        assert len(index) == 0
+
+
+class TestEviction:
+    def test_max_views_bound_enforced(self, rs_instance_large):
+        sess = CachedSession(
+            rs_instance_large,
+            statistics=Statistics.from_instance(rs_instance_large),
+            policy=CostBenefitPolicy(max_views=2, max_total_tuples=10_000),
+        )
+        for const in (0, 1, 2, 3):
+            sess.run(parse_query(f"select struct(A = r.A) from R r where r.B = {const}"))
+        assert len(sess.cache) <= 2
+        assert sess.stats.evictions >= 2
+        sess.close()
+
+    def test_hot_views_survive(self, rs_instance_large):
+        sess = CachedSession(
+            rs_instance_large,
+            statistics=Statistics.from_instance(rs_instance_large),
+            policy=CostBenefitPolicy(max_views=2, max_total_tuples=10_000),
+        )
+        hot = parse_query(JOIN)
+        sess.run(hot)
+        for _ in range(5):
+            sess.run(hot)  # exact hits make it sticky
+        sess.run(parse_query("select struct(C = s.C) from S s where s.B = 1"))
+        sess.run(parse_query("select struct(C = s.C) from S s where s.B = 2"))
+        surviving = {v.query.canonical_key() for v in sess.cache.views()}
+        assert hot.canonical_key() in surviving
+        sess.close()
+
+    def test_tuple_budget_keeps_newest(self):
+        instance = Instance({"R": frozenset(Row(A=i, B=0) for i in range(50))})
+        sess = CachedSession(
+            instance,
+            statistics=Statistics.from_instance(instance),
+            policy=CostBenefitPolicy(max_views=10, max_total_tuples=60),
+        )
+        sess.run(parse_query("select struct(A = r.A) from R r"))          # 50 tuples
+        sess.run(parse_query("select struct(A = r.A, B = r.B) from R r"))  # 50 more
+        assert sess.cache.total_tuples() <= 60
+        assert len(sess.cache) == 1
+        sess.close()
+
+
+class TestSemanticCacheUnit:
+    def test_register_rejects_duplicates(self):
+        cache = SemanticCache()
+        q = parse_query(JOIN)
+        assert cache.register(q, frozenset()) is not None
+        assert cache.register(q, frozenset()) is None
+        assert cache.stats.rejected == 1
+
+    def test_register_rejects_cache_owned_names(self):
+        cache = SemanticCache()
+        q = parse_query("select struct(A = v.A) from _SC1 v")
+        assert cache.register(q, frozenset()) is None
+
+    def test_plan_only_rewrite_not_executable(self):
+        cache = SemanticCache()
+        cache.register(parse_query(JOIN))  # no results: plan-only
+        rewrite = cache.plan_rewrite(parse_query(CONTAINED))
+        assert rewrite is not None
+        assert not rewrite.executable
+        assert rewrite.view_names()
+
+    def test_require_executable_skips_plan_only_without_phantom_hit(
+        self, rs_instance_large
+    ):
+        """A session sharing a cache with plan-only entries serves cold and
+        counts exactly one miss — never a rewrite hit it didn't serve
+        (review regression)."""
+
+        cache = SemanticCache(statistics=Statistics.from_instance(rs_instance_large))
+        cache.register(parse_query(JOIN))  # plan-only
+        assert cache.plan_rewrite(
+            parse_query(CONTAINED), require_executable=True
+        ) is None
+        assert cache.stats.rewrite_hits == 0
+        assert cache.get(cache.views()[0].name).hits == 0
+
+        with CachedSession(rs_instance_large, cache=cache) as sess:
+            result = sess.run(parse_query(CONTAINED))
+            assert result.source == COLD
+            assert result.results == evaluate(
+                parse_query(CONTAINED), rs_instance_large
+            )
+        assert cache.stats.rewrite_hits == 0
+        assert cache.stats.misses == 1
+        assert cache.stats.hits + cache.stats.misses <= cache.stats.lookups
+
+    def test_irrelevant_views_are_not_injected(self):
+        cache = SemanticCache()
+        cache.register(
+            parse_query("select struct(A = t.A) from T t"), frozenset()
+        )
+        assert cache.candidate_views(parse_query(JOIN)) == []
+        assert cache.plan_rewrite(parse_query(JOIN)) is None
+
+    def test_rewrite_statistics_use_extent_cardinality(self):
+        cache = SemanticCache(statistics=Statistics().set_card("R", 500))
+        view = cache.register(
+            parse_query("select struct(A = r.A) from R r"),
+            frozenset(Row(A=i) for i in range(7)),
+        )
+        stats = cache._rewrite_statistics([view])
+        assert stats.card(view.name) == 7.0
+        assert stats.card("R") == 500.0
+        # the cache's own statistics are untouched
+        assert view.name not in cache.statistics.cardinality
+
+
+class TestOptimizerEphemeral:
+    def test_extra_constraints_do_not_mutate_optimizer(self):
+        opt = Optimizer([], strategy="pruned")
+        dep = parse_constraint(
+            "forall (r in R) -> exists (s in S) r.B = s.B", "ric"
+        )
+        q = parse_query("select struct(A = r.A) from R r")
+        result = opt.optimize(q, extra_constraints=[dep])
+        assert result.best is not None
+        assert opt.constraints == []
+        assert opt.physical_names is None
+
+    def test_physical_override_is_per_call(self):
+        opt = Optimizer([], physical_names=("R",))
+        q = parse_query("select struct(A = r.A) from R r")
+        filtered = opt.optimize(q, physical_names=frozenset({"Z"}))
+        assert not filtered.best.physical_only
+        assert opt.optimize(q).best.physical_only
+
+
+class TestContainmentCacheLRU:
+    def test_bound_and_eviction_order(self):
+        cache = ContainmentCache(max_size=2)
+        cache.put(("a", "a"), True)
+        cache.put(("b", "b"), False)
+        assert cache.get(("a", "a")) is True  # refreshes 'a'
+        cache.put(("c", "c"), True)           # evicts 'b' (least recent)
+        assert len(cache) == 2
+        assert cache.get(("b", "b")) is None
+        assert cache.get(("a", "a")) is True
+        info = cache.cache_info()
+        assert info.evictions == 1
+        assert info.size == 2
+        assert info.max_size == 2
+
+    def test_unbounded_when_none(self):
+        cache = ContainmentCache(max_size=None)
+        for i in range(100):
+            cache.put((str(i), str(i)), True)
+        assert len(cache) == 100
+        assert cache.cache_info().evictions == 0
+
+    def test_clear_resets_counters(self):
+        cache = ContainmentCache(max_size=1)
+        cache.put(("a", "a"), True)
+        cache.put(("b", "b"), True)
+        cache.get(("b", "b"))
+        cache.clear()
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.size, info.evictions) == (0, 0, 0, 0)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            ContainmentCache(max_size=0)
+
+    def test_engine_exposes_cache_info_and_bound(self):
+        engine = ChaseEngine([], containment_cache_size=3)
+        assert engine.containment.max_size == 3
+        assert engine.cache_info().size == 0
+        default_engine = ChaseEngine([])
+        assert default_engine.containment.max_size is not None
+        unbounded = ChaseEngine([], containment_cache_size=None)
+        assert unbounded.containment.max_size is None
+
+    def test_eviction_only_recomputes_never_corrupts(self):
+        """A bounded engine returns the same verdicts as an unbounded one."""
+
+        deps = [
+            parse_constraint(
+                "forall (r in R) -> exists (s in S) r.B = s.B", "ric_rs"
+            )
+        ]
+        bounded = ChaseEngine(deps, containment_cache_size=1)
+        unbounded = ChaseEngine(deps)
+        queries = [
+            parse_query("select struct(A = r.A) from R r"),
+            parse_query("select struct(A = r.A) from R r, S s where r.B = s.B"),
+            parse_query("select struct(B = s.B) from S s"),
+        ]
+        for q1 in queries:
+            for q2 in queries:
+                assert bounded.contained_in(q1, q2) == unbounded.contained_in(q1, q2)
+        # with bound 1 and 9 distinct pairs, evictions must have happened
+        assert bounded.containment.evictions > 0
