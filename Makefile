@@ -1,10 +1,13 @@
 # Make-style entry points for the test and benchmark suites.
 #
 #   make test         tier-1 suite (what CI gates on)
-#   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json
-#                     and BENCH_e13.json)
+#   make check        the full gate: tier-1 tests, bench smokes, golden suite
+#   make golden       regenerate tests/golden/plans.json (review the diff!)
+#   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json,
+#                     BENCH_e13.json and BENCH_e14.json)
 #   make bench-e12    the full E12 pruning benchmark
 #   make bench-e13    the full E13 semantic-cache benchmark
+#   make bench-e14    the full E14 hybrid view-join-base benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -12,10 +15,22 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-smoke bench-e12 bench-e13
+.PHONY: test check golden bench bench-smoke bench-e12 bench-e13 bench-e14
 
 test:
 	$(PYTEST) -x -q
+
+# The chained gate: unit/integration tests first (excluding the smoke and
+# golden markers so failures localize), then the benchmark smokes, then the
+# cross-strategy golden suite.
+check:
+	$(PYTEST) -x -q -m "not bench_smoke and not golden"
+	$(PYTEST) -q -m bench_smoke tests/test_bench_smoke.py
+	$(PYTEST) -q -m golden tests/test_golden_plans.py
+
+golden:
+	GOLDEN_REGEN=1 $(PYTEST) -q -m golden tests/test_golden_plans.py
+	@git --no-pager diff --stat tests/golden/ || true
 
 bench-smoke:
 	$(PYTEST) -q -m bench_smoke tests/test_bench_smoke.py
@@ -25,6 +40,9 @@ bench-e12:
 
 bench-e13:
 	$(PYTEST) -q benchmarks/bench_e13_semcache.py
+
+bench-e14:
+	$(PYTEST) -q benchmarks/bench_e14_hybrid.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

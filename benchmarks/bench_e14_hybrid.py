@@ -1,0 +1,255 @@
+"""E14 — hybrid view ⋈ base rewrites: cold vs view-only vs hybrid.
+
+Partial-overlap workloads over the paper's E5 (R ⋈ S) and E1 (ProjDept)
+scenarios: the cache is warmed with *selections* — cheap, small results
+covering only part of each later query — and the measured queries join
+those covered parts with base relations the cache has never seen.  The
+all-or-nothing view-only tier (PR 2) can do nothing with such queries;
+the hybrid tier answers them with view ⋈ base plans that scan the cached
+extent and re-resolve the uncovered relations against the live instance.
+
+Three arms run the same query sequence through identical
+:class:`CachedSession` front ends:
+
+* **cold** — cache disabled, every query executes against base data;
+* **view-only** — ``hybrid=False``, partial-overlap queries miss;
+* **hybrid** — ``hybrid=True``, partial-overlap queries become partial hits.
+
+The serving sessions inject only the cached-view constraint pairs (no base
+constraints): partial-overlap rewrites are purely view-driven, and keeping
+the per-request chase small is what makes the warm-up affordable.  (E13
+benchmarks serving *with* base physical-structure constraints.)
+
+Latency is split into the **warm-up** repetition (the first pass, which
+pays cold executions plus per-request optimizations) and the **steady
+state** (every later repetition, where hits dominate) — the regime the
+ROADMAP north star cares about.  The acceptance criteria
+(:func:`assert_hybrid_effective` / :func:`assert_hybrid_wins`): identical
+answer sets query-for-query across all three arms, hybrid answering at
+least 30% of the queries the view-only arm executes cold, nonzero
+``hybrid_hits``, and steady-state hybrid latency at most the view-only
+arm's (within noise) while strictly beating cold.
+
+``run_hybrid_comparison`` is importable — the tier-1 smoke test
+(``tests/test_bench_smoke.py``) runs the smoke scale once and emits
+``BENCH_e14.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+from repro.query.parser import parse_query
+from repro.semcache import CachedSession
+from repro.workloads.projdept import build_projdept
+from repro.workloads.relational import build_rs
+
+#: tolerated wall-clock noise when comparing the hybrid and view-only arms
+NOISE_FACTOR = 1.25
+
+# Each mix is warm queries (selective selections, small results) followed
+# by partial-overlap queries (joins whose covered side is cached and whose
+# other side is base-only).  The warm views *cover* the attributes the
+# partial queries use, so dropping the base loop is provable from the
+# view pair alone.
+
+E5_WARM = [
+    "select struct(A = r.A, B = r.B) from R r where r.A = %d" % k
+    for k in (1, 2, 3)
+]
+E5_PARTIAL = [
+    "select struct(A = r.A, C = s.C) from S s, R r where r.B = s.B and r.A = 1",
+    "select struct(A = r.A, C = s.C) from S s, R r where r.B = s.B and r.A = 2",
+    "select struct(B = r.B, C = s.C) from S s, R r where r.B = s.B and r.A = 3",
+]
+
+E1_WARM_TEMPLATE = (
+    "select struct(PN = p.PName, PD = p.PDept) from Proj p where p.Budg = %d"
+)
+E1_PARTIAL_TEMPLATE = (
+    "select struct(PN = p.PName, DN = d.DName) from depts d, Proj p "
+    "where p.PDept = d.DName and p.Budg = %d"
+)
+
+
+def build_workload(which: str, scale: str):
+    """(instance, warm mix, partial mix) for one E14 arm."""
+
+    if which == "e5_rs":
+        sizes = dict(smoke=(300, 300, 60), full=(1500, 1500, 200))[scale]
+        n_r, n_s, b_values = sizes
+        wl = build_rs(n_r=n_r, n_s=n_s, b_values=b_values, seed=5)
+        warm = [parse_query(text) for text in E5_WARM]
+        partial = [parse_query(text) for text in E5_PARTIAL]
+        return wl.instance, warm, partial
+    if which == "e1_projdept":
+        sizes = dict(smoke=(25, 15), full=(80, 40))[scale]
+        n_depts, projs_per_dept = sizes
+        wl = build_projdept(n_depts=n_depts, projs_per_dept=projs_per_dept, seed=9)
+        # The ProjDept schema indexes CustName (SI) but not Budg: budget
+        # predicates are exactly the selections base structures do not
+        # cover, so cached selections genuinely pay.  Values are drawn from
+        # the (seeded, deterministic) instance so results are nonempty.
+        budgets = sorted({row["Budg"] for row in wl.instance["Proj"]})[:3]
+        warm = [parse_query(E1_WARM_TEMPLATE % b) for b in budgets]
+        partial = [parse_query(E1_PARTIAL_TEMPLATE % b) for b in budgets]
+        return wl.instance, warm, partial
+    raise ValueError(f"unknown E14 workload {which!r}")
+
+
+def _run_mix(session: CachedSession, mix: List[PCQuery], repetitions: int):
+    """Answers plus (warm-up seconds, steady-state seconds).
+
+    Repetition 1 is the warm-up (cold executions + per-request
+    optimizations); repetitions 2..n are the steady state.
+    """
+
+    answers = []
+    start = time.perf_counter()
+    for query in mix:
+        answers.append(session.run(query))
+    warmup_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repetitions - 1):
+        for query in mix:
+            answers.append(session.run(query))
+    return answers, warmup_seconds, time.perf_counter() - start
+
+
+def _sources(answers) -> Dict[str, int]:
+    histogram = {"cold": 0, "exact": 0, "rewrite": 0, "hybrid": 0}
+    for answer in answers:
+        histogram[answer.source] = histogram.get(answer.source, 0) + 1
+    return histogram
+
+
+def run_hybrid_comparison(
+    which: str, repetitions: int = 3, scale: str = "smoke"
+) -> Dict:
+    """One E14 arm: the same sequence cold, view-only and hybrid."""
+
+    instance, warm, partial = build_workload(which, scale)
+    mix = warm + partial
+    statistics = Statistics.from_instance(instance)
+
+    def arm(**options):
+        session = CachedSession(instance, statistics=statistics, **options)
+        answers, warmup, steady = _run_mix(session, mix, repetitions)
+        session.close()
+        return session, answers, warmup, steady
+
+    cold_session, cold_answers, cold_warmup, cold_steady = arm(enabled=False)
+    vo_session, vo_answers, vo_warmup, vo_steady = arm(hybrid=False)
+    hy_session, hy_answers, hy_warmup, hy_steady = arm(hybrid=True)
+
+    answers_equal = all(
+        cold.results == vo.results == hy.results
+        for cold, vo, hy in zip(cold_answers, vo_answers, hy_answers)
+    )
+
+    # The rescue rate: of the queries the view-only arm executed cold, how
+    # many did the hybrid arm answer from the cache (any hit tier)?
+    view_only_cold = [
+        i for i, answer in enumerate(vo_answers) if answer.source == "cold"
+    ]
+    rescued = [i for i in view_only_cold if hy_answers[i].source != "cold"]
+    rescue_rate = len(rescued) / len(view_only_cold) if view_only_cold else 0.0
+
+    return {
+        "workload": which,
+        "scale": scale,
+        "repetitions": repetitions,
+        "queries_per_repetition": len(mix),
+        "warm_queries": len(warm),
+        "partial_queries": len(partial),
+        "cold_warmup_seconds": cold_warmup,
+        "cold_steady_seconds": cold_steady,
+        "view_only_warmup_seconds": vo_warmup,
+        "view_only_steady_seconds": vo_steady,
+        "hybrid_warmup_seconds": hy_warmup,
+        "hybrid_steady_seconds": hy_steady,
+        "steady_speedup_vs_cold": (
+            cold_steady / hy_steady if hy_steady else float("inf")
+        ),
+        "answers_equal": answers_equal,
+        "view_only_cold_queries": len(view_only_cold),
+        "rescued_queries": len(rescued),
+        "rescue_rate": rescue_rate,
+        "view_only_sources": _sources(vo_answers),
+        "hybrid_sources": _sources(hy_answers),
+        "view_only_cache": vo_session.stats.as_dict(),
+        "hybrid_cache": hy_session.stats.as_dict(),
+    }
+
+
+def assert_hybrid_effective(result: Dict) -> None:
+    """The deterministic E14 criteria: correct answers, real partial hits.
+
+    Timing is asserted separately (:func:`assert_hybrid_wins`) so the
+    tier-1 smoke run can gate on structure without racing the wall clock.
+    """
+
+    assert result["answers_equal"], result
+    hybrid = result["hybrid_cache"]
+    assert hybrid["hybrid_hits"] > 0, result
+    # >= 30% of the view-only arm's cold executions answered from cache
+    assert result["rescue_rate"] >= 0.30, result
+    # the view-only arm never serves a hybrid answer
+    assert result["view_only_sources"]["hybrid"] == 0, result
+    assert result["view_only_cache"]["hybrid_hits"] == 0, result
+    # partial hits accrued benefit (monotone, non-negative)
+    assert result["hybrid_cache"]["benefit_accrued"] >= 0.0, result
+
+
+def assert_hybrid_wins(result: Dict) -> None:
+    """The full E14 acceptance criteria for one workload arm."""
+
+    assert_hybrid_effective(result)
+    assert result["hybrid_steady_seconds"] < result["cold_steady_seconds"], result
+    assert (
+        result["hybrid_steady_seconds"]
+        <= result["view_only_steady_seconds"] * NOISE_FACTOR
+    ), result
+
+
+def test_e14_rs_hybrid_wins(benchmark):
+    result = benchmark.pedantic(
+        run_hybrid_comparison, args=("e5_rs",), kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_hybrid_wins(result)
+
+
+def test_e14_projdept_hybrid_wins(benchmark):
+    result = benchmark.pedantic(
+        run_hybrid_comparison, args=("e1_projdept",), kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_hybrid_wins(result)
+
+
+def test_e14_total_speedup_grows_with_repetitions(benchmark):
+    """More repetitions amortize the one-off warm-up (optimizations) over
+    more promoted repeats, so the *end-to-end* speedup vs cold — warm-up
+    included — grows with traffic."""
+
+    def sweep():
+        return [
+            run_hybrid_comparison("e5_rs", repetitions=2, scale="full"),
+            run_hybrid_comparison("e5_rs", repetitions=5, scale="full"),
+        ]
+
+    def total_speedup(result):
+        cold = result["cold_warmup_seconds"] + result["cold_steady_seconds"]
+        hybrid = (
+            result["hybrid_warmup_seconds"] + result["hybrid_steady_seconds"]
+        )
+        return cold / hybrid if hybrid else float("inf")
+
+    few, many = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert_hybrid_wins(few)
+    assert_hybrid_wins(many)
+    assert total_speedup(many) > total_speedup(few)

@@ -1,11 +1,16 @@
 """Semantic optimization and tableau minimization with the backchase.
 
-Two classics reproduced with one mechanism:
+Three classics plus the serving path, all with one mechanism:
 
 1. generalized tableau minimization — the section 3 example: a redundant
    self-join removed by backchasing with *trivial* constraints;
 2. semantic join elimination — a foreign-key (RIC) constraint lets the
-   backchase drop a join that classical minimization must keep.
+   backchase drop a join that classical minimization must keep;
+3. key-based self-join elimination;
+4. hybrid semantic caching — a cached selection answers *part* of a later
+   join: the backchase rewrites the covered loop onto the cached extent
+   and keeps the uncovered relation as a live base scan (a view ⋈ base
+   plan — the partial-hit tier of the semantic result cache).
 
 Run:  python examples/semantic_optimization.py
 """
@@ -88,7 +93,47 @@ def key_based_elimination() -> None:
     print("with KEY:   ", len(minimal.bindings), "binding —", minimal)
 
 
+def hybrid_semantic_cache() -> None:
+    print("\n=== 4. hybrid view ⋈ base rewrites (semantic cache) ===")
+    from repro import CachedSession, Statistics
+    from repro.model.instance import Instance
+
+    r = frozenset(Row(A=i % 50, B=i % 7) for i in range(400))
+    s = frozenset(Row(B=i % 7, C=i) for i in range(90))
+    instance = Instance({"R": r, "S": s})
+    session = CachedSession(
+        instance, statistics=Statistics.from_instance(instance)
+    )
+
+    warm = parse_query(
+        "select struct(A = r.A, B = r.B) from R r where r.A = 1"
+    )
+    print("warm the cache:", warm)
+    print("  ->", session.run(warm).source)
+
+    partial = parse_query(
+        "select struct(A = r.A, C = s.C) from R r, S s "
+        "where r.B = s.B and r.A = 1"
+    )
+    print("partial-overlap join:", partial)
+    answer = session.run(partial)
+    print(f"  -> {answer.source}: cached {answer.view_names} "
+          f"⋈ base {answer.base_names}")
+    print(answer.plan_text)
+    assert answer.results == evaluate(partial, instance)
+    print("answers equal cold evaluation ✓")
+
+    # mutating the base side invalidates the promoted answer but the
+    # sigma(R) view survives; the next request re-joins against live S.
+    instance["S"] = frozenset(Row(B=i % 7, C=i + 1000) for i in range(90))
+    fresh = session.run(partial)
+    assert fresh.results == evaluate(partial, instance)
+    print(f"after mutating S: {fresh.source}, still correct ✓")
+    session.close()
+
+
 if __name__ == "__main__":
     tableau_minimization()
     join_elimination()
     key_based_elimination()
+    hybrid_semantic_cache()

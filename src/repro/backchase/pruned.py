@@ -89,6 +89,17 @@ def pruned_minimal_subqueries(
     root = quick_simplify_conditions(query)
     root_key = root.canonical_key()
 
+    # Per-search verdict memo over the engine's (bounded, LRU) containment
+    # cache.  The engine cache may evict a verdict mid-search and the same
+    # candidate shape is re-derived along many removal orders; without this
+    # layer an evicted shape would be *recomputed* and its probe counted as
+    # a second miss — the hit/miss counters then double-count shapes and the
+    # "decided once per distinct candidate shape" guarantee silently fails
+    # under tight cache bounds.  The memo's size is bounded by the node
+    # budget, so it cannot grow past ``max_nodes`` entries.
+    local_verdicts: Dict[str, bool] = {}
+    local_hits = 0
+
     def equivalent_to_root(candidate: PCQuery, parent: PCQuery) -> bool:
         """Condition (3), decided once per distinct candidate shape.
 
@@ -103,13 +114,20 @@ def pruned_minimal_subqueries(
 
         from repro.chase.containment import is_contained_in
 
-        key = (candidate.canonical_key(), root_key)
+        nonlocal local_hits
+        ckey = candidate.canonical_key()
+        verdict = local_verdicts.get(ckey)
+        if verdict is not None:
+            local_hits += 1
+            return verdict
+        key = (ckey, root_key)
         cached = engine.containment.get(key)
-        if cached is not None:
-            return cached
-        return engine.containment.put(
-            key, is_contained_in(candidate, parent, deps, engine)
-        )
+        if cached is None:
+            cached = engine.containment.put(
+                key, is_contained_in(candidate, parent, deps, engine)
+            )
+        local_verdicts[ckey] = cached
+        return cached
     best: Optional[float] = None
     visited: Set[str] = set()
     floors: Dict[str, float] = {root_key: cost_floor(root)}
@@ -166,7 +184,11 @@ def pruned_minimal_subqueries(
             for _, _, child in children:
                 stack.append(child)
 
-    stats.cache_hits += engine.containment.hits - cache_hits0
+    # Verdicts reused = engine-cache hits + per-search memo hits; verdicts
+    # computed = engine-cache misses.  With the memo in front, each distinct
+    # candidate shape probes the engine cache exactly once per search, so
+    # the miss count cannot double-count an evicted-and-re-derived shape.
+    stats.cache_hits += engine.containment.hits - cache_hits0 + local_hits
     stats.cache_misses += engine.containment.misses - cache_misses0
     results = list(normal_forms.values())
     results.sort(key=lambda q: (len(q.bindings), q.canonical_key()))

@@ -5,17 +5,21 @@ Usage::
     python -m repro optimize --query q.oql [--ddl schema.ddl]
                              [--constraints extra.epcd] [--physical R,S,I]
                              [--strategy full|pruned] [--verbose]
-                             [--cache] [--query q2.oql ...]
+                             [--cache] [--hybrid|--no-hybrid] [--query q2.oql ...]
     python -m repro chase    --query q.oql --constraints c.epcd
     python -m repro minimize --query q.oql [--constraints c.epcd]
     python -m repro check    --constraints c.epcd   (syntax check)
     python -m repro serve-repl [--workload rs|rabc|projdept] [--no-cache]
+                               [--hybrid|--no-hybrid]
 
 ``optimize`` accepts ``--query`` repeatedly; with ``--cache`` each
 optimized query is registered in a plan-level semantic cache so later
 queries in the same invocation can be rewritten onto earlier results.
 ``serve-repl`` starts an interactive caching query service over a built-in
-workload instance (type ``.help`` at the prompt).
+workload instance (type ``.help`` at the prompt).  ``--hybrid`` (the
+default) lets cache rewrites mix cached extents with base relations
+(partial hits); ``--no-hybrid`` restores the all-or-nothing view-only
+rewrites.
 
 Constraint files hold one EPCD per non-empty, non-comment line, optionally
 prefixed by ``name:``::
@@ -119,12 +123,18 @@ def cmd_optimize(args) -> int:
             query = parse_query(handle.read())
         if cache is not None:
             cache.record_lookup()
-            rewrite = cache.plan_rewrite(query)
+            # Plan-level hybrid: no instance exists here, so the base side
+            # of the filter is the query's own schema names.
+            rewrite = cache.plan_rewrite(
+                query,
+                base_names=query.schema_names() if args.hybrid else None,
+            )
             if rewrite is not None:
-                print(
-                    "semantic cache: rewritten onto "
-                    + ", ".join(rewrite.view_names())
-                )
+                tier = "hybrid rewrite" if rewrite.hybrid else "rewritten"
+                onto = ", ".join(rewrite.view_names())
+                if rewrite.hybrid:
+                    onto += " + base " + ", ".join(sorted(rewrite.base_names()))
+                print(f"semantic cache: {tier} onto {onto}")
                 print(rewrite.result.report())
                 if args.verbose:
                     _print_verbose_stats(rewrite.result)
@@ -202,8 +212,11 @@ def cmd_serve_repl(args) -> int:
         constraints=workload.constraints,
         statistics=Statistics.from_instance(workload.instance),
         enabled=not args.no_cache,
+        hybrid=args.hybrid,
     )
-    cache_state = "disabled" if args.no_cache else "enabled"
+    cache_state = "disabled" if args.no_cache else (
+        "enabled (hybrid)" if args.hybrid else "enabled (view-only)"
+    )
     print(
         f"serving workload {args.workload!r} "
         f"({', '.join(sorted(workload.instance.names()))}); "
@@ -314,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="register each optimized query in a plan-level semantic cache "
         "so later --query files can be rewritten onto earlier results",
     )
+    p_opt.add_argument(
+        "--hybrid",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --cache: admit plans mixing cached results and base "
+        "relations (--no-hybrid restores all-or-nothing view-only rewrites)",
+    )
     p_opt.set_defaults(func=cmd_optimize)
 
     p_chase = sub.add_parser("chase", help="chase to the universal plan")
@@ -342,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the semantic cache (every query executes cold)",
+    )
+    p_repl.add_argument(
+        "--hybrid",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="admit plans mixing cached results and base relations "
+        "(--no-hybrid restores all-or-nothing view-only rewrites)",
     )
     p_repl.set_defaults(func=cmd_serve_repl)
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Optional
+from typing import Any, FrozenSet, Mapping, Optional
 
 from repro.exec.operators import Counters
 from repro.exec.planner import compile_query
@@ -35,13 +35,27 @@ def execute(
     instance: Instance,
     use_hash_joins: bool = False,
     counters: Optional[Counters] = None,
+    overlays: Optional[Mapping[str, Any]] = None,
 ) -> ExecutionResult:
-    """Compile and run a plan, collecting results into a frozenset."""
+    """Compile and run a plan, collecting results into a frozenset.
+
+    With ``overlays`` the plan runs against a read-through
+    :class:`~repro.model.instance.OverlayInstance`: the given names shadow
+    the base while every other read resolves against ``instance`` *live* —
+    the execution mode of the semantic cache's hybrid view ⋈ base plans,
+    where cached extents must shadow nothing and base reads must never be
+    staler than the instance itself.  Scans of overlay names are marked
+    ``[cached]`` in the plan text.
+    """
 
     counters = counters or Counters()
-    plan = compile_query(query, counters, use_hash_joins=use_hash_joins)
+    cached_names = frozenset(overlays) if overlays else None
+    plan = compile_query(
+        query, counters, use_hash_joins=use_hash_joins, cached_names=cached_names
+    )
+    target = instance.overlay(dict(overlays)) if overlays else instance
     start = time.perf_counter()
-    results = frozenset(plan.results(instance))
+    results = frozenset(plan.results(target))
     elapsed = time.perf_counter() - start
     return ExecutionResult(
         results=results,

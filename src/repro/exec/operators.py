@@ -83,6 +83,7 @@ class ScanBind(Operator):
         self.child = child
         self.var = var
         self.source = source
+        self.cached = False  # set by the planner for cache-overlay scans
         self._source_probes = _count_probes(source)
 
     def rows(self, instance: Instance) -> Iterator[Env]:
@@ -100,11 +101,12 @@ class ScanBind(Operator):
                 yield child_env
 
     def explain(self, depth: int = 0) -> str:
+        tag = " [cached]" if self.cached else ""
         return (
             self.child.explain(depth)
             + "\n"
             + " " * (depth + 2)
-            + f"scan {self.source} as {self.var}"
+            + f"scan {self.source} as {self.var}{tag}"
         )
 
 
@@ -165,6 +167,7 @@ class HashJoinBind(Operator):
         self.build_source = build_source
         self.build_key = build_key
         self.probe_key = probe_key
+        self.cached = False  # set by the planner for cache-overlay builds
         self._table: Optional[Dict[Any, List[Any]]] = None
 
     def _build(self, instance: Instance) -> Dict[Any, List[Any]]:
@@ -192,11 +195,12 @@ class HashJoinBind(Operator):
                 yield child_env
 
     def explain(self, depth: int = 0) -> str:
+        tag = " [cached]" if self.cached else ""
         return (
             self.child.explain(depth)
             + "\n"
             + " " * (depth + 2)
-            + f"hash-join {self.build_source} as {self.var} "
+            + f"hash-join {self.build_source} as {self.var}{tag} "
             + f"on {self.build_key} = {self.probe_key}"
         )
 

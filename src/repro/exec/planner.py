@@ -11,7 +11,7 @@ which their variables are bound (selection pushing).
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.exec.operators import (
     Counters,
@@ -56,12 +56,26 @@ def _hash_join_opportunity(
     return None
 
 
+def _reads_cached(source: Path, cached_names: FrozenSet[str]) -> bool:
+    return any(
+        isinstance(term, SName) and term.name in cached_names
+        for term in P.subterms(source)
+    )
+
+
 def compile_query(
     query: PCQuery,
     counters: Optional[Counters] = None,
     use_hash_joins: bool = False,
+    cached_names: Optional[FrozenSet[str]] = None,
 ) -> Project:
-    """Compile a plan to an operator tree rooted at :class:`Project`."""
+    """Compile a plan to an operator tree rooted at :class:`Project`.
+
+    ``cached_names`` marks schema names served from a cache overlay rather
+    than base data; scans over them are annotated ``[cached]`` in
+    ``explain()`` output so hybrid plans show which loops read cached
+    extents and which re-resolve against the live instance.
+    """
 
     counters = counters or Counters()
     levels = _condition_levels(query)
@@ -84,6 +98,8 @@ def compile_query(
             level_conds.remove(cond)
         else:
             op = ScanBind(op, binding.var, binding.source, counters)
+        if cached_names and _reads_cached(binding.source, cached_names):
+            op.cached = True
         if level_conds:
             op = Filter(op, level_conds, counters)
         bound.add(binding.var)

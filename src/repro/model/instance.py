@@ -105,7 +105,7 @@ class Instance:
         """Dereference an oid through its class dictionary."""
 
         dict_name = self.class_dict_name(oid.class_name)
-        class_dict = self._data[dict_name]
+        class_dict = self[dict_name]  # through __getitem__: overlays read live
         if not isinstance(class_dict, DictValue):
             raise InstanceError(
                 f"class dictionary {dict_name!r} is not a DictValue"
@@ -145,6 +145,18 @@ class Instance:
         clone._class_dicts = dict(self._class_dicts)
         return clone
 
+    def overlay(self, values: Optional[Dict[str, Any]] = None) -> "OverlayInstance":
+        """A read-through overlay over this (live) instance.
+
+        Names in ``values`` shadow the base; every other read — including
+        oid dereference through class dictionaries — resolves against this
+        instance *at access time*, so a mutation of a base relation is
+        visible to plans executing over the overlay immediately.  Writes to
+        the overlay stay in the overlay and fire no listeners.
+        """
+
+        return OverlayInstance(self, values)
+
     def __repr__(self) -> str:
         parts = []
         for name, value in self._data.items():
@@ -155,3 +167,54 @@ class Instance:
             else:
                 parts.append(f"{name}: {type(value).__name__}")
         return f"Instance({', '.join(parts)})"
+
+
+class OverlayInstance(Instance):
+    """A database view merging overlay values onto a live base instance.
+
+    The semantic cache's hybrid rewrites execute against one of these: the
+    cached extents are materialized under their view names in the overlay
+    while every base-relation read falls through to the *live* base
+    instance, so a hybrid plan can never observe a base relation older
+    than the moment it is scanned.  The overlay is unobserved — writes to
+    it never reach the base or its listeners — and the base's class
+    registry is shared (not copied), so oid dereference stays live too.
+    """
+
+    def __init__(self, base: Instance, values: Optional[Dict[str, Any]] = None) -> None:
+        self._base = base
+        self._data = dict(values or {})  # overlay names only
+        self._class_dicts = base._class_dicts  # shared, live
+        self._listeners: List[Callable[[str], None]] = []
+
+    def __getitem__(self, name: str) -> Any:
+        if name in self._data:
+            return self._data[name]
+        return self._base[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        # Overlay-local: the base instance and its listeners never see it.
+        self._data[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data or name in self._base
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def names(self) -> List[str]:
+        merged = self._base.names()
+        merged.extend(name for name in self._data if name not in self._base)
+        return merged
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name in self._data:
+            return self._data[name]
+        return self._base.get(name, default)
+
+    def copy(self) -> "Instance":
+        """Flatten into a plain (frozen-at-copy-time) instance."""
+
+        clone = Instance({name: self[name] for name in self.names()})
+        clone._class_dicts = dict(self._class_dicts)
+        return clone

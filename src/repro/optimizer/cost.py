@@ -76,13 +76,26 @@ def _count_probes(path: Path) -> int:
     )
 
 
-def _attr_of(path: Path) -> Optional[Tuple[str, str]]:
-    """(root schema name, attribute) of a simple attribute path, if any."""
+def _attr_of(
+    path: Path, sources: Optional[Dict[str, Path]] = None
+) -> Optional[Tuple[str, str]]:
+    """(root schema name, attribute) of a simple attribute path, if any.
+
+    With ``sources`` (the plan's var → binding-source map) a variable-rooted
+    attribute like ``r.A`` where ``r in R`` resolves to ``("R", "A")``, so
+    recorded NDV statistics apply to the common case of conditions over
+    binding variables — including variables bound to cached extents, whose
+    per-attribute NDVs are observed exactly (:func:`extent_statistics`).
+    """
 
     if isinstance(path, Attr):
         name = _root_name(path)
         if name is not None:
             return (name, path.attr)
+        if sources is not None and isinstance(path.base, Var):
+            source = sources.get(path.base.name)
+            if isinstance(source, SName):
+                return (source.name, path.attr)
     return None
 
 
@@ -93,10 +106,14 @@ def _selectivity(cond: Eq, sources: Dict[str, Path], stats: Statistics) -> float
 
     def ndv_of(path: Path) -> Optional[float]:
         info = _attr_of(path)
+        if info is not None:
+            return stats.distinct(*info)
+        info = _attr_of(path, sources)
         if info is None:
             return None
-        name, attr = info
-        return stats.distinct(name, attr)
+        # Resolved through a binding variable: only a *recorded* NDV is
+        # trusted (the default would otherwise displace DEFAULT_SELECTIVITY).
+        return stats.ndv.get(f"{info[0]}.{info[1]}")
 
     left_const = isinstance(left, Const)
     right_const = isinstance(right, Const)
@@ -151,6 +168,66 @@ def estimate_cost(
     out_probes = sum(_count_probes(p) for p in query.output.paths())
     cost += multiplicity * (1.0 + out_probes * model.probe_cost)
     return cost
+
+
+def observed_extent_ndvs(extent: Optional[frozenset]) -> Dict[str, float]:
+    """Exact per-attribute NDVs of a materialized extent (one O(rows) scan).
+
+    Extents are immutable after registration, so callers on a per-request
+    hot path (the semantic cache) compute this once at admission time and
+    pass the result to :func:`extent_statistics` instead of rescanning.
+    """
+
+    per_attr: Dict[str, set] = {}
+    for row in extent or ():
+        items = row.items() if hasattr(row, "items") else ()
+        for attr, value in items:
+            if isinstance(value, (str, int, float, bool)):
+                per_attr.setdefault(attr, set()).add(value)
+    return {attr: float(len(values)) for attr, values in per_attr.items() if values}
+
+
+def extent_statistics(
+    base: Statistics,
+    extents: Dict[str, Optional[frozenset]],
+    ndvs: Optional[Dict[str, Dict[str, float]]] = None,
+) -> Statistics:
+    """Catalog statistics with *observed* statistics for materialized extents.
+
+    ``extents`` maps a schema name (a cached view) to its materialized row
+    set, or ``None`` for a plan-only entry.  The returned catalog is a copy
+    of ``base`` overlaid with the extent's exact cardinality and exact
+    per-attribute NDVs, so the optimizer prices a scan of cached data by
+    what is actually stored — the mechanism that lets hybrid view ⋈ base
+    plans win exactly when the cached extent is genuinely cheaper than
+    re-deriving it from base relations.  ``base`` itself is never mutated.
+
+    ``ndvs`` supplies precomputed :func:`observed_extent_ndvs` results per
+    name; without it the extents are scanned here (fine for one-off use,
+    not for a per-request path).
+    """
+
+    stats = Statistics(
+        cardinality=dict(base.cardinality),
+        entry_cardinality=dict(base.entry_cardinality),
+        ndv=dict(base.ndv),
+        fanout=dict(base.fanout),
+        default_cardinality=base.default_cardinality,
+        default_ndv=base.default_ndv,
+        default_fanout=base.default_fanout,
+    )
+    for name, extent in extents.items():
+        if extent is None:  # plan-only: a nominal one-row relation
+            stats.cardinality[name] = 1.0
+            continue
+        stats.cardinality[name] = float(len(extent))
+        observed = (
+            ndvs[name] if ndvs is not None and name in ndvs
+            else observed_extent_ndvs(extent)
+        )
+        for attr, count in observed.items():
+            stats.ndv[f"{name}.{attr}"] = count
+    return stats
 
 
 # -- lower bound for the cost-bounded backchase ------------------------------

@@ -16,9 +16,18 @@ Lookup is two-tier:
 1. **exact** — same canonical form as a cached query: the stored result
    set is returned as-is, no optimization, no execution;
 2. **rewrite** — :meth:`SemanticCache.plan_rewrite` optimizes the query
-   with the relevant views' constraint pairs and a *view-only* physical
-   filter; a plan survives the filter only if it reads nothing but cached
-   extents, so a hit is always answerable without touching base relations.
+   with the relevant views' constraint pairs.  Two physical filters are
+   supported:
+
+   * **view-only** (the default, ``base_names=None``): a plan survives
+     only if it reads nothing but cached extents, so a hit is always
+     answerable without touching base relations;
+   * **hybrid** (``base_names`` given): plans mixing cached extents and
+     the listed base relations are admitted too.  Cached extents are
+     priced from their observed cardinalities and per-attribute NDVs
+     (:func:`repro.optimizer.cost.extent_statistics`), so the cost-bounded
+     backchase picks cached data exactly when it is genuinely cheaper;
+     a winning plan that reads no view at all is reported as a miss.
 
 Failures on the rewrite path (chase non-termination, node budgets) degrade
 to misses — the cache can be slow, never wrong.
@@ -31,7 +40,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.constraints.epcd import EPCD
 from repro.errors import ReproError
-from repro.optimizer.cost import CostModel
+from repro.optimizer.cost import CostModel, estimate_cost, extent_statistics
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.optimizer.statistics import Statistics
 from repro.query.ast import PCQuery
@@ -47,14 +56,29 @@ NAME_PREFIX = "_SC"
 
 @dataclass
 class Rewrite:
-    """A successful cache rewrite: the plan and the views it reads."""
+    """A successful cache rewrite: the plan, the views it reads, and what
+    the answer is worth.
+
+    ``hybrid`` is true when the winning plan also reads base relations (a
+    partial hit); ``cold_cost`` is the estimated cost of the cold plan the
+    rewrite displaced, so ``benefit`` — the non-negative cost delta — is
+    what this answer saved, the quantity admission and eviction account.
+    """
 
     result: OptimizationResult
     views: List[CachedView]
+    hybrid: bool = False
+    cold_cost: float = 0.0
 
     @property
     def query(self) -> PCQuery:
         return self.result.best.query
+
+    @property
+    def benefit(self) -> float:
+        """Estimated cost saved vs the displaced cold plan (clamped >= 0)."""
+
+        return max(self.cold_cost - self.result.best.cost, 0.0)
 
     @property
     def executable(self) -> bool:
@@ -64,6 +88,13 @@ class Rewrite:
 
     def view_names(self) -> Tuple[str, ...]:
         return tuple(v.name for v in self.views)
+
+    def base_names(self) -> FrozenSet[str]:
+        """Base relations the winning plan reads (empty for pure rewrites)."""
+
+        return self.result.best.query.schema_names() - frozenset(
+            self.view_names()
+        )
 
 
 class SemanticCache:
@@ -154,15 +185,25 @@ class SemanticCache:
         return relevant[: self.max_rewrite_views]
 
     def plan_rewrite(
-        self, query: PCQuery, require_executable: bool = False
+        self,
+        query: PCQuery,
+        require_executable: bool = False,
+        base_names: Optional[FrozenSet[str]] = None,
     ) -> Optional[Rewrite]:
         """Rewrite ``query`` onto cached extents, or ``None`` on a miss.
 
         The ephemeral context is the base constraints plus each candidate
-        view's pair, catalog statistics overlaid with exact extent
-        cardinalities, and a physical filter of the candidate view names —
-        so the winning plan is a hit only when it reads cached data
-        exclusively.
+        view's pair, catalog statistics overlaid with observed extent
+        statistics, and a physical filter.  With ``base_names=None`` the
+        filter is the candidate view names alone — the winning plan reads
+        cached data exclusively.  With ``base_names`` given (**hybrid
+        mode**) the filter also admits those base relations, so the
+        backchase is free to keep base loops where they are cheaper than
+        any cached rewrite; the result is a hit only when the winning plan
+        reads at least one cached extent, and ``Rewrite.hybrid`` flags
+        plans that also read base data.  Every successful rewrite carries
+        the estimated cost of the displaced cold plan, and the views the
+        plan read are credited their share of the saving.
 
         With ``require_executable`` a rewrite that involves a plan-only
         view (nothing to scan) is a miss and counts nothing; sessions pass
@@ -176,12 +217,16 @@ class SemanticCache:
         extra: List[EPCD] = []
         for view in candidates:
             extra.extend(view.constraints)
+        physical = frozenset(v.name for v in candidates)
+        if base_names is not None:
+            physical |= frozenset(base_names)
+        statistics = self._rewrite_statistics(candidates)
         try:
             result = self._optimizer.optimize(
                 query,
                 extra_constraints=extra,
-                physical_names=frozenset(v.name for v in candidates),
-                statistics=self._rewrite_statistics(candidates),
+                physical_names=physical,
+                statistics=statistics,
             )
         except ReproError:
             self.stats.rewrite_failures += 1
@@ -192,12 +237,29 @@ class SemanticCache:
         used = [v for v in candidates if v.name in used_names]
         if not used:
             return None
-        rewrite = Rewrite(result=result, views=used)
+        hybrid = bool(used_names - frozenset(v.name for v in used))
+        # What the request would have cost served cold: the original query
+        # exactly as the cold path executes it (no reordering), priced on
+        # the same catalog so the delta is apples-to-apples.
+        cold_cost = estimate_cost(query, statistics, self.cost_model)
+        rewrite = Rewrite(
+            result=result, views=used, hybrid=hybrid, cold_cost=cold_cost
+        )
         if require_executable and not rewrite.executable:
             return None
-        self.stats.rewrite_hits += 1
+        if hybrid:
+            self.stats.hybrid_hits += 1
+        else:
+            self.stats.rewrite_hits += 1
+        # Benefit only accrues for rewrites that can actually serve data:
+        # plan-only entries are priced at a nominal cardinality, so their
+        # "saving" would be fictitious (the CLI's plan-level mode).
+        benefit = rewrite.benefit if rewrite.executable else 0.0
+        self.stats.benefit_accrued += benefit
+        share = benefit / len(used)
         for view in used:
             view.hits += 1
+            view.benefit += share
             self._touch(view)
         return rewrite
 
@@ -211,21 +273,16 @@ class SemanticCache:
         self.stats.misses += 1
 
     def _rewrite_statistics(self, candidates: List[CachedView]) -> Statistics:
-        """Catalog statistics with exact cardinalities for cached extents."""
+        """Catalog statistics with observed statistics for cached extents
+        (exact cardinalities and per-attribute NDVs; see
+        :func:`repro.optimizer.cost.extent_statistics`).  NDVs were
+        computed at admission time, so this is O(views), not O(tuples)."""
 
-        base = self.statistics
-        stats = Statistics(
-            cardinality=dict(base.cardinality),
-            entry_cardinality=dict(base.entry_cardinality),
-            ndv=dict(base.ndv),
-            fanout=dict(base.fanout),
-            default_cardinality=base.default_cardinality,
-            default_ndv=base.default_ndv,
-            default_fanout=base.default_fanout,
+        return extent_statistics(
+            self.statistics,
+            {view.name: view.extent for view in candidates},
+            ndvs={view.name: view.observed_ndv for view in candidates},
         )
-        for view in candidates:
-            stats.cardinality[view.name] = float(view.tuples()) if not view.plan_only else 1.0
-        return stats
 
     def _touch(self, view: CachedView) -> None:
         self._seq += 1

@@ -7,13 +7,22 @@ occupies, scaled by how often it actually served.
 
 * the **saving** of a view is the estimated cost of recomputing its
   definition cold (:func:`repro.optimizer.cost.estimate_cost` over the
-  catalog statistics) minus the cost of scanning the cached extent;
+  catalog statistics) minus the cost of scanning the cached extent, plus
+  the *observed* benefit the view accumulated serving rewrite and hybrid
+  answers (:attr:`repro.semcache.view.CachedView.benefit` — partial hits
+  count, so a view that keeps shaving cost off view ⋈ base plans is as
+  sticky as one serving full rewrites);
 * the **demand** factor is ``1 + hits`` (a never-hit view still has a
   chance, but a hot one is sticky);
 * stale and plan-only views score 0, so they are always evicted first.
 
 Scores are recomputed at eviction time (hit counts move), and ties break
 on registration order — oldest out first — so eviction is deterministic.
+Degenerate budgets degrade gracefully: a zero (or negative) ``max_views``
+or ``max_total_tuples`` behaves like a budget of one — the newest view
+always stands, because evicting the entry that was just paid for would
+make the cache useless for exactly the queries that are most expensive
+to recompute.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ class CostBenefitPolicy:
             return 0.0
         recompute = estimate_cost(view.view.definition, statistics, cost_model)
         scan = cost_model.scan_startup + float(view.tuples()) * cost_model.tuple_cost
-        saving = max(recompute - scan, 0.0)
+        saving = max(recompute - scan, 0.0) + view.benefit
         return (1 + view.hits) * saving / (1.0 + view.tuples())
 
     def over_budget(self, views: Dict[str, CachedView]) -> bool:

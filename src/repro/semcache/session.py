@@ -5,9 +5,16 @@ harness) talk to.  Each :meth:`run` call walks the two-tier lookup of
 :class:`~repro.semcache.cache.SemanticCache`, falls back to a cold
 execution through :func:`repro.exec.engine.execute`, and feeds the cold
 result back into the pool so later queries can be answered from it.
-Rewritten plans execute against an **overlay** instance — a shallow copy
-of the base instance with the used extents materialized under their view
-names — so the user's instance is never written to and the invalidation
+
+Rewritten plans execute against a read-through **overlay**
+(:meth:`repro.model.instance.Instance.overlay`): the used extents are
+materialized under their view names while every base-relation read
+resolves against the *live* instance at scan time.  For pure rewrites the
+overlay is only a namespace trick (the plan reads cached extents
+exclusively); for **hybrid** plans — enabled by default, disable with
+``hybrid=False`` — it is load-bearing: a view ⋈ base plan re-resolves its
+base loops against the current database, so a mutation of a base relation
+can never be papered over by a stale snapshot, and the invalidation
 listener never sees cache-internal writes.
 
 The session subscribes the cache to instance mutations on construction
@@ -32,7 +39,7 @@ from repro.semcache.invalidation import InstanceWatcher
 from repro.semcache.stats import CacheStats
 
 #: sources a result can come from
-EXACT, REWRITE, COLD = "exact", "rewrite", "cold"
+EXACT, REWRITE, HYBRID, COLD = "exact", "rewrite", "hybrid", "cold"
 
 
 @dataclass
@@ -40,17 +47,24 @@ class SessionResult:
     """One answered query: the result set plus where it came from."""
 
     results: FrozenSet[Any]
-    source: str  # EXACT | REWRITE | COLD
+    source: str  # EXACT | REWRITE | HYBRID | COLD
     elapsed_seconds: float
     plan_text: str = ""
     view_names: Tuple[str, ...] = ()
+    base_names: Tuple[str, ...] = ()  # base relations a hybrid plan read
 
     def __len__(self) -> int:
         return len(self.results)
 
 
 class CachedSession:
-    """A query session over one instance with a semantic result cache."""
+    """A query session over one instance with a semantic result cache.
+
+    ``hybrid`` selects the rewrite tier's physical filter: with it (the
+    default) winning plans may mix cached extents and base relations —
+    partial hits — while ``hybrid=False`` restores the all-or-nothing
+    view-only mode (a hit reads cached data exclusively).
+    """
 
     def __init__(
         self,
@@ -61,12 +75,14 @@ class CachedSession:
         enabled: bool = True,
         register_results: bool = True,
         use_hash_joins: bool = False,
+        hybrid: bool = True,
         **cache_options,
     ) -> None:
         self.instance = instance
         self.enabled = enabled
         self.register_results = register_results
         self.use_hash_joins = use_hash_joins
+        self.hybrid = hybrid
         self.cache = cache or SemanticCache(
             constraints, statistics=statistics, **cache_options
         )
@@ -92,7 +108,8 @@ class CachedSession:
     # -- the request path ------------------------------------------------------
 
     def run(self, query: PCQuery) -> SessionResult:
-        """Answer ``query``: exact hit, cache rewrite, or cold execution."""
+        """Answer ``query``: exact hit, (hybrid) cache rewrite, or cold
+        execution."""
 
         start = time.perf_counter()
         if not self.enabled:
@@ -115,13 +132,22 @@ class CachedSession:
                 view_names=(exact.name,),
             )
 
-        rewrite = self.cache.plan_rewrite(query, require_executable=True)
+        rewrite = self.cache.plan_rewrite(
+            query,
+            require_executable=True,
+            base_names=(
+                frozenset(self.instance.names()) if self.hybrid else None
+            ),
+        )
         if rewrite is not None:
-            overlay = self.instance.copy()
-            for view in rewrite.views:
-                overlay[view.name] = view.extent
+            # Cached extents shadow nothing (the view namespace is
+            # reserved); base reads fall through to the live instance at
+            # scan time, which is what makes hybrid answers mutation-safe.
             execution = execute(
-                rewrite.query, overlay, use_hash_joins=self.use_hash_joins
+                rewrite.query,
+                self.instance,
+                use_hash_joins=self.use_hash_joins,
+                overlays={view.name: view.extent for view in rewrite.views},
             )
             if self.register_results:
                 # Promote the rewrite into an exact entry: repeats of this
@@ -131,10 +157,11 @@ class CachedSession:
                 )
             return SessionResult(
                 results=execution.results,
-                source=REWRITE,
+                source=HYBRID if rewrite.hybrid else REWRITE,
                 elapsed_seconds=time.perf_counter() - start,
                 plan_text=execution.plan_text,
                 view_names=rewrite.view_names(),
+                base_names=tuple(sorted(rewrite.base_names())),
             )
 
         self.cache.record_miss()

@@ -8,8 +8,11 @@ accumulates.  The counters split the request path the way the cache does:
 * ``lookups`` — queries the cache was consulted for;
 * ``exact_hits`` — answered from a stored result with the same canonical
   form (no optimization, no execution);
-* ``rewrite_hits`` — answered by a backchase rewrite onto cached extents
-  (optimize + scan, no base-relation access);
+* ``rewrite_hits`` — answered by a backchase rewrite reading cached
+  extents *exclusively* (optimize + scan, no base-relation access);
+* ``hybrid_hits`` — answered by a hybrid rewrite mixing cached extents
+  and base relations (the partial-hit tier: the plan reads at least one
+  cached extent and at least one base name);
 * ``misses`` — cold executions against the base instance;
 * ``rewrite_attempts`` / ``rewrite_failures`` — per-request optimizations
   tried, and the subset that errored or timed out (failures degrade to
@@ -18,6 +21,12 @@ accumulates.  The counters split the request path the way the cache does:
   declined (duplicates, self-referential queries);
 * ``evictions`` — views dropped by the cost-benefit policy;
 * ``invalidations`` — views dropped because a source relation mutated.
+
+``benefit_accrued`` accumulates the estimated cost saved by rewrite and
+hybrid answers (winning-plan cost vs the cold plan's under the same
+catalog) — the quantity the eviction policy's benefit densities are
+grounded in.  Like the counters it is monotone: benefits are clamped
+non-negative before accrual.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ class CacheStats:
     lookups: int = 0
     exact_hits: int = 0
     rewrite_hits: int = 0
+    hybrid_hits: int = 0
     misses: int = 0
     rewrite_attempts: int = 0
     rewrite_failures: int = 0
@@ -40,21 +50,26 @@ class CacheStats:
     rejected: int = 0
     evictions: int = 0
     invalidations: int = 0
+    benefit_accrued: float = 0.0
 
     @property
     def hits(self) -> int:
-        return self.exact_hits + self.rewrite_hits
+        return self.exact_hits + self.rewrite_hits + self.hybrid_hits
 
     def hit_rate(self) -> float:
         """Fraction of lookups answered from the cache (0.0 when idle)."""
 
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
+        """Every monotone counter, ``benefit_accrued`` (a float) included —
+        the machine-readable twin of :meth:`report`."""
+
         return {
             "lookups": self.lookups,
             "exact_hits": self.exact_hits,
             "rewrite_hits": self.rewrite_hits,
+            "hybrid_hits": self.hybrid_hits,
             "misses": self.misses,
             "rewrite_attempts": self.rewrite_attempts,
             "rewrite_failures": self.rewrite_failures,
@@ -62,6 +77,7 @@ class CacheStats:
             "rejected": self.rejected,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "benefit_accrued": round(self.benefit_accrued, 3),
         }
 
     def report(self) -> str:

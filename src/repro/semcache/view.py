@@ -22,9 +22,10 @@ across query files without any data) but can never serve results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.constraints.epcd import EPCD
+from repro.optimizer.cost import observed_extent_ndvs
 from repro.model.values import Row
 from repro.physical.views import MaterializedView
 from repro.query.ast import PCQuery, PathOutput, StructOutput
@@ -80,6 +81,17 @@ class CachedView:
     hits: int = 0
     stale: bool = False
     last_used_at: int = field(default=0)
+    #: accumulated *observed* benefit: for every rewrite or hybrid answer
+    #: this view served, the estimated cost delta between the winning plan
+    #: and the cold plan (clamped non-negative, split across the views the
+    #: plan read).  The eviction policy adds it to the a-priori
+    #: recomputation saving, so views that keep paying for themselves in
+    #: partial hits stay resident.
+    benefit: float = 0.0
+    #: exact per-attribute NDVs of the extent, computed once at admission
+    #: (:func:`repro.optimizer.cost.observed_extent_ndvs`) so per-request
+    #: catalog overlays never rescan the stored rows.
+    observed_ndv: Dict[str, float] = field(default_factory=dict)
 
     @property
     def plan_only(self) -> bool:
@@ -123,15 +135,17 @@ def make_cached_view(
     definition = view_definition(query)
     view = MaterializedView(name, definition)
     sources = query.schema_names()
+    extent = None if results is None else view_extent(query, results)
     return CachedView(
         name=name,
         query=query,
         view=view,
-        extent=None if results is None else view_extent(query, results),
+        extent=extent,
         result=results,
         sources=sources,
         dependencies=sources | extra_dependencies,
         constraints=view.constraints(),
         registered_at=registered_at,
         last_used_at=registered_at,
+        observed_ndv=observed_extent_ndvs(extent),
     )

@@ -207,8 +207,13 @@ class TestServeRepl:
         contained = (
             "select struct(A = r.A) from R r, S s where r.B = s.B and s.C = 3"
         )
+        # --no-hybrid pins the all-or-nothing rewrite tier: in hybrid mode
+        # the optimizer may (correctly) prefer a base plan here.
         out = self._run(
-            monkeypatch, capsys, [join, join, contained, ".stats", ".views", ".quit"]
+            monkeypatch,
+            capsys,
+            [join, join, contained, ".stats", ".views", ".quit"],
+            argv=["--no-hybrid"],
         )
         assert "[cold]" in out
         assert "[exact via _SC" in out
@@ -217,6 +222,27 @@ class TestServeRepl:
         assert "rewrite_hits: 1" in out
         assert "tuples" in out  # .views listing
         assert out.strip().endswith("bye")
+
+    def test_hybrid_flow_serves_partial_hit(self, monkeypatch, capsys):
+        # Warm with a selective selection on R, then join its result with
+        # base S: only the hybrid tier can serve this (the R-part is cached,
+        # S is not), and the mode is reported both at startup and per query.
+        warm = "select struct(A = r.A, B = r.B) from R r where r.A = 1"
+        partial = (
+            "select struct(A = r.A, C = s.C) from R r, S s "
+            "where r.B = s.B and r.A = 1"
+        )
+        out = self._run(
+            monkeypatch, capsys, [warm, partial, ".stats", ".quit"]
+        )
+        assert "semantic cache enabled (hybrid)" in out
+        assert "[hybrid via _SC" in out
+        assert "hybrid_hits: 1" in out
+        view_only = self._run(
+            monkeypatch, capsys, [warm, partial, ".quit"], argv=["--no-hybrid"]
+        )
+        assert "semantic cache enabled (view-only)" in view_only
+        assert "[hybrid" not in view_only
 
     def test_no_cache_flag_serves_cold_only(self, monkeypatch, capsys):
         query = "select struct(B = s.B) from S s"

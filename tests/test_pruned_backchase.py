@@ -103,6 +103,73 @@ class TestContainmentCacheParity:
         self._assert_parity(rs_workload)
 
 
+class TestBoundedCacheCounterParity:
+    """Regression: with a tightly bounded containment cache, an evicted
+    verdict re-derived within one backchase must not double-count in the
+    hit/miss counters — `cache_info()` traffic (and the `BackchaseStats`
+    deltas computed from it) must be identical to an unbounded engine's."""
+
+    # Three independent redundant groups: the same candidate shapes are
+    # reachable along many interleaved removal orders, so a bounded LRU
+    # evicts verdicts that are later re-probed within the same search.
+    INTERLEAVED = (
+        "select struct(A = a.A, B = c.B, C = e.C) "
+        "from R a, R b, S c, S d, T e, T f "
+        "where a.A = b.A and c.B = d.B and e.C = f.C"
+    )
+
+    def _search(self, cache_size):
+        engine = ChaseEngine([], containment_cache_size=cache_size)
+        stats = BackchaseStats()
+        forms = pruned_minimal_subqueries(
+            q(self.INTERLEAVED), [], engine=engine, stats=stats
+        )
+        return engine, stats, forms
+
+    def test_bounded_counters_equal_unbounded(self):
+        unbounded_engine, unbounded, reference = self._search(None)
+        for size in (1, 2, 4):
+            engine, stats, forms = self._search(size)
+            assert stats.cache_misses == unbounded.cache_misses, size
+            assert stats.cache_hits == unbounded.cache_hits, size
+            assert [f.canonical_key() for f in forms] == [
+                f.canonical_key() for f in reference
+            ]
+
+    def test_eviction_happens_but_misses_count_distinct_shapes(self):
+        """The scenario of the bug: the bound is tight enough to evict
+        mid-search, yet each distinct candidate shape still counts as at
+        most one miss."""
+
+        engine, stats, _ = self._search(1)
+        assert engine.containment.evictions > 0  # the bound really bit
+        # every miss is a distinct shape decided once: misses can never
+        # exceed the candidate shapes explored
+        assert stats.cache_misses <= stats.candidates_explored
+        _, unbounded, _ = self._search(None)
+        assert stats.cache_misses == unbounded.cache_misses
+
+    def test_optimizer_counters_stable_under_tiny_cache(self, rs_workload):
+        """End-to-end: a session-sized engine bound does not distort the
+        optimizer's reported containment-cache traffic."""
+
+        results = {}
+        for size in (None, 1):
+            opt = Optimizer(
+                rs_workload.constraints,
+                physical_names=rs_workload.physical_names,
+                statistics=rs_workload.statistics,
+            )
+            engine = ChaseEngine(
+                rs_workload.constraints, containment_cache_size=size
+            )
+            stats = BackchaseStats()
+            universal = chase(rs_workload.query, rs_workload.constraints).query
+            opt.minimal_plans(universal, stats, engine=engine)
+            results[size] = stats.cache_misses
+        assert results[1] == results[None]
+
+
 class TestPrunedAgainstFull:
     @pytest.mark.parametrize("workload", ["projdept", "rabc", "rs_workload"])
     def test_equal_best_cost_on_workloads(self, workload, request):

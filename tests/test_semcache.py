@@ -13,6 +13,7 @@ from repro.query.parser import parse_constraint
 from repro.semcache import (
     COLD,
     EXACT,
+    HYBRID,
     REWRITE,
     CachedSession,
     CostBenefitPolicy,
@@ -33,8 +34,14 @@ def rs_instance_large() -> Instance:
 
 @pytest.fixture
 def session(rs_instance_large) -> CachedSession:
+    # View-only mode: these tests pin the all-or-nothing rewrite tier's
+    # contract (a hit reads cached extents exclusively).  Hybrid mode has
+    # its own class below and the differential harness in
+    # test_prop_hybrid.py.
     sess = CachedSession(
-        rs_instance_large, statistics=Statistics.from_instance(rs_instance_large)
+        rs_instance_large,
+        statistics=Statistics.from_instance(rs_instance_large),
+        hybrid=False,
     )
     yield sess
     sess.close()
@@ -121,6 +128,97 @@ class TestSessionPaths:
         assert stats.misses == 1
         assert stats.hits == 2
         assert 0.0 < stats.hit_rate() <= 1.0
+
+
+class TestHybridSession:
+    """The partial-hit tier: plans mixing cached extents and base data."""
+
+    @pytest.fixture
+    def big_instance(self) -> Instance:
+        # R large enough that re-scanning it estimates (and is) costlier
+        # than scanning a small cached selection of it.
+        r = frozenset(Row(A=i % 50, B=i % 7) for i in range(400))
+        s = frozenset(Row(B=i % 7, C=i) for i in range(90))
+        return Instance({"R": r, "S": s})
+
+    WARM = "select struct(A = r.A, B = r.B) from R r where r.A = 1"
+    PARTIAL = (
+        "select struct(A = r.A, C = s.C) from R r, S s "
+        "where r.B = s.B and r.A = 1"
+    )
+
+    def _session(self, instance, **options) -> CachedSession:
+        return CachedSession(
+            instance, statistics=Statistics.from_instance(instance), **options
+        )
+
+    def test_partial_overlap_served_hybrid(self, big_instance):
+        with self._session(big_instance) as sess:
+            assert sess.run(parse_query(self.WARM)).source == COLD
+            got = sess.run(parse_query(self.PARTIAL))
+            assert got.source == HYBRID
+            assert got.results == evaluate(parse_query(self.PARTIAL), big_instance)
+            assert got.view_names and all(
+                name.startswith("_SC") for name in got.view_names
+            )
+            assert "S" in got.base_names  # the uncovered base relation
+            assert "[cached]" in got.plan_text
+            assert sess.stats.hybrid_hits == 1
+            assert sess.stats.rewrite_hits == 0
+            assert sess.stats.benefit_accrued > 0.0
+
+    def test_view_only_mode_misses_partial_overlap(self, big_instance):
+        with self._session(big_instance, hybrid=False) as sess:
+            sess.run(parse_query(self.WARM))
+            got = sess.run(parse_query(self.PARTIAL))
+            assert got.source == COLD
+            assert sess.stats.hybrid_hits == 0
+
+    def test_hybrid_promotes_to_exact(self, big_instance):
+        with self._session(big_instance) as sess:
+            sess.run(parse_query(self.WARM))
+            assert sess.run(parse_query(self.PARTIAL)).source == HYBRID
+            assert sess.run(parse_query(self.PARTIAL)).source == EXACT
+
+    def test_base_mutation_never_serves_stale_hybrid(self, big_instance):
+        with self._session(big_instance) as sess:
+            sess.run(parse_query(self.WARM))
+            assert sess.run(parse_query(self.PARTIAL)).source == HYBRID
+            # mutate the base relation the hybrid plan reads directly: the
+            # promoted exact entry must drop (it depends on S), while the
+            # sigma(R) view survives and serves a fresh hybrid answer
+            # against the live S.
+            big_instance["S"] = frozenset(
+                Row(B=i % 7, C=i + 1000) for i in range(90)
+            )
+            got = sess.run(parse_query(self.PARTIAL))
+            assert got.source in (HYBRID, COLD)
+            assert got.results == evaluate(
+                parse_query(self.PARTIAL), big_instance
+            )
+            assert all(row["C"] >= 1000 for row in got.results)
+
+    def test_rewrite_carries_benefit_and_base_names(self, big_instance):
+        cache = SemanticCache(statistics=Statistics.from_instance(big_instance))
+        warm = parse_query(self.WARM)
+        cache.register(warm, evaluate(warm, big_instance))
+        rewrite = cache.plan_rewrite(
+            parse_query(self.PARTIAL),
+            base_names=frozenset(big_instance.names()),
+        )
+        assert rewrite is not None and rewrite.hybrid
+        assert rewrite.base_names() == frozenset({"S"})
+        assert rewrite.benefit > 0.0
+        assert rewrite.cold_cost > rewrite.result.best.cost
+        view = rewrite.views[0]
+        assert view.benefit == pytest.approx(rewrite.benefit)
+
+    def test_view_only_filter_unchanged_without_base_names(self, big_instance):
+        cache = SemanticCache(statistics=Statistics.from_instance(big_instance))
+        warm = parse_query(self.WARM)
+        cache.register(warm, evaluate(warm, big_instance))
+        assert cache.plan_rewrite(parse_query(self.PARTIAL)) is None
+        assert cache.stats.hybrid_hits == 0
 
 
 class TestInvalidation:
@@ -233,6 +331,114 @@ class TestEviction:
         sess.run(parse_query("select struct(A = r.A, B = r.B) from R r"))  # 50 more
         assert sess.cache.total_tuples() <= 60
         assert len(sess.cache) == 1
+        sess.close()
+
+
+class TestPolicyEdgeCases:
+    """Direct coverage of CostBenefitPolicy: deterministic tie-breaks and
+    degenerate (zero/negative) budgets, previously only reached through
+    the property harnesses."""
+
+    def _view(self, name, text, n_tuples, registered_at, hits=0, benefit=0.0):
+        view = make_cached_view(
+            name,
+            parse_query(text),
+            frozenset(Row(A=i) for i in range(n_tuples)),
+            registered_at=registered_at,
+        )
+        view.hits = hits
+        view.benefit = benefit
+        return view
+
+    def _stats(self):
+        return Statistics().set_card("R", 500).set_card("S", 500)
+
+    def test_equal_scores_evict_oldest_first(self):
+        policy = CostBenefitPolicy(max_views=1, max_total_tuples=10_000)
+        old = self._view("_SC1", "select struct(A = r.A) from R r where r.B = 1", 5, 1)
+        new = self._view("_SC2", "select struct(A = r.A) from R r where r.B = 2", 5, 2)
+        views = {"_SC2": new, "_SC1": old}  # insertion order must not matter
+        stats, model = self._stats(), CostModel()
+        assert policy.score(old, stats, model) == policy.score(new, stats, model)
+        assert policy.victims(views, stats, model) == ["_SC1"]
+
+    def test_hits_break_otherwise_equal_scores(self):
+        policy = CostBenefitPolicy(max_views=1, max_total_tuples=10_000)
+        hot_old = self._view(
+            "_SC1", "select struct(A = r.A) from R r where r.B = 1", 5, 1, hits=3
+        )
+        cold_new = self._view(
+            "_SC2", "select struct(A = r.A) from R r where r.B = 2", 5, 2
+        )
+        victims = policy.victims(
+            {"_SC1": hot_old, "_SC2": cold_new}, self._stats(), CostModel()
+        )
+        assert victims == ["_SC2"]  # demand outweighs age
+
+    def test_observed_benefit_makes_views_sticky(self):
+        policy = CostBenefitPolicy(max_views=1, max_total_tuples=10_000)
+        earner_old = self._view(
+            "_SC1", "select struct(A = r.A) from R r where r.B = 1", 5, 1,
+            benefit=250.0,
+        )
+        idle_new = self._view(
+            "_SC2", "select struct(A = r.A) from R r where r.B = 2", 5, 2
+        )
+        victims = policy.victims(
+            {"_SC1": earner_old, "_SC2": idle_new}, self._stats(), CostModel()
+        )
+        assert victims == ["_SC2"]  # accrued hybrid benefit outweighs age
+
+    def test_stale_and_plan_only_evicted_before_live_data(self):
+        policy = CostBenefitPolicy(max_views=2, max_total_tuples=10_000)
+        live = self._view("_SC1", "select struct(A = r.A) from R r where r.B = 1", 5, 1)
+        stale = self._view("_SC2", "select struct(A = r.A) from R r where r.B = 2", 5, 2)
+        stale.stale = True
+        plan_only = make_cached_view(
+            "_SC3", parse_query("select struct(A = r.A) from R r where r.B = 3"),
+            None, registered_at=3,
+        )
+        victims = policy.victims(
+            {"_SC1": live, "_SC2": stale, "_SC3": plan_only},
+            self._stats(), CostModel(),
+        )
+        assert victims == ["_SC2"]  # zero-scorers go first, oldest first
+        assert "_SC1" not in victims
+
+    def test_zero_view_budget_keeps_exactly_the_newest(self):
+        policy = CostBenefitPolicy(max_views=0, max_total_tuples=10_000)
+        views = {
+            f"_SC{i}": self._view(
+                f"_SC{i}", f"select struct(A = r.A) from R r where r.B = {i}", 4, i
+            )
+            for i in (1, 2, 3)
+        }
+        victims = policy.victims(views, self._stats(), CostModel())
+        # never empties the pool: one survivor even at budget zero
+        assert len(victims) == 2
+        assert set(victims) == {"_SC1", "_SC2"}
+
+    def test_zero_tuple_budget_keeps_single_oversized_view(self):
+        policy = CostBenefitPolicy(max_views=10, max_total_tuples=0)
+        big = self._view("_SC1", "select struct(A = r.A) from R r", 50, 1)
+        assert policy.victims({"_SC1": big}, self._stats(), CostModel()) == []
+
+    def test_zero_budget_cache_end_to_end(self, rs_instance_large):
+        """A session under a zero-view budget still answers correctly and
+        holds at most one view."""
+
+        sess = CachedSession(
+            rs_instance_large,
+            statistics=Statistics.from_instance(rs_instance_large),
+            policy=CostBenefitPolicy(max_views=0, max_total_tuples=0),
+        )
+        for const in (0, 1, 2):
+            q = parse_query(
+                f"select struct(A = r.A) from R r where r.B = {const}"
+            )
+            assert sess.run(q).results == evaluate(q, rs_instance_large)
+        assert len(sess.cache) <= 1
+        assert sess.stats.evictions >= 2
         sess.close()
 
 
