@@ -4,10 +4,11 @@
 #   make check        the full gate: tier-1 tests, bench smokes, golden suite
 #   make golden       regenerate tests/golden/plans.json (review the diff!)
 #   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json,
-#                     BENCH_e13.json and BENCH_e14.json)
+#                     BENCH_e13.json, BENCH_e14.json and BENCH_e15.json)
 #   make bench-e12    the full E12 pruning benchmark
 #   make bench-e13    the full E13 semantic-cache benchmark
 #   make bench-e14    the full E14 hybrid view-join-base benchmark
+#   make bench-e15    the full E15 prepared-query / plan-cache benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -15,7 +16,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test check golden bench bench-smoke bench-e12 bench-e13 bench-e14
+.PHONY: test check golden bench bench-smoke bench-e12 bench-e13 bench-e14 bench-e15
 
 test:
 	$(PYTEST) -x -q
@@ -43,6 +44,9 @@ bench-e13:
 
 bench-e14:
 	$(PYTEST) -q benchmarks/bench_e14_hybrid.py
+
+bench-e15:
+	$(PYTEST) -q benchmarks/bench_e15_prepared.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

@@ -18,12 +18,11 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
+from repro.api import Database, build_workload as build_named_workload
 from repro.optimizer.statistics import Statistics
 from repro.query.ast import PCQuery
 from repro.query.parser import parse_query
 from repro.semcache import CachedSession
-from repro.workloads.projdept import build_projdept
-from repro.workloads.relational import build_rs
 
 # Each mix is a base list of queries; a "repetition" runs the whole list
 # once, so round 1 is all-cold and later rounds exercise the hit paths.
@@ -55,12 +54,16 @@ def build_workload(which: str, scale: str):
     if which == "e5_rs":
         sizes = dict(smoke=(300, 300, 60), full=(1500, 1500, 200))[scale]
         n_r, n_s, b_values = sizes
-        wl = build_rs(n_r=n_r, n_s=n_s, b_values=b_values, seed=5)
+        wl = build_named_workload(
+            "rs", n_r=n_r, n_s=n_s, b_values=b_values, seed=5
+        )
         return wl.instance, [parse_query(text) for text in E5_MIX]
     if which == "e1_projdept":
         sizes = dict(smoke=(25, 15), full=(80, 40))[scale]
         n_depts, projs_per_dept = sizes
-        wl = build_projdept(n_depts=n_depts, projs_per_dept=projs_per_dept, seed=9)
+        wl = build_named_workload(
+            "projdept", n_depts=n_depts, projs_per_dept=projs_per_dept, seed=9
+        )
         return wl.instance, [parse_query(text) for text in E1_MIX]
     raise ValueError(f"unknown E13 workload {which!r}")
 
@@ -85,14 +88,19 @@ def run_repeated_workload(
     instance, mix = build_workload(which, scale)
     statistics = Statistics.from_instance(instance)
 
-    cold_session = CachedSession(instance, enabled=False)
+    # The serving sessions hang off one Database façade (no base
+    # constraints: rewrites are purely view-driven, exactly as before).
+    db = Database(instance=instance, statistics=statistics)
+
+    cold_session = db.session(enabled=False)
     cold_answers, cold_seconds = _run_mix(cold_session, mix, repetitions)
 
     # E13 measures the view-only rewrite tier (hybrid=False); the hybrid
     # mode has its own three-arm benchmark in bench_e14_hybrid.py.
-    warm_session = CachedSession(instance, statistics=statistics, hybrid=False)
+    warm_session = db.session(hybrid=False)
     warm_answers, warm_seconds = _run_mix(warm_session, mix, repetitions)
     warm_session.close()
+    db.close()
 
     answers_equal = all(
         cold.results == warm.results

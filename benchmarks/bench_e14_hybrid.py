@@ -40,12 +40,11 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
+from repro.api import Database, build_workload as build_named_workload
 from repro.optimizer.statistics import Statistics
 from repro.query.ast import PCQuery
 from repro.query.parser import parse_query
 from repro.semcache import CachedSession
-from repro.workloads.projdept import build_projdept
-from repro.workloads.relational import build_rs
 
 #: tolerated wall-clock noise when comparing the hybrid and view-only arms
 NOISE_FACTOR = 1.25
@@ -81,14 +80,18 @@ def build_workload(which: str, scale: str):
     if which == "e5_rs":
         sizes = dict(smoke=(300, 300, 60), full=(1500, 1500, 200))[scale]
         n_r, n_s, b_values = sizes
-        wl = build_rs(n_r=n_r, n_s=n_s, b_values=b_values, seed=5)
+        wl = build_named_workload(
+            "rs", n_r=n_r, n_s=n_s, b_values=b_values, seed=5
+        )
         warm = [parse_query(text) for text in E5_WARM]
         partial = [parse_query(text) for text in E5_PARTIAL]
         return wl.instance, warm, partial
     if which == "e1_projdept":
         sizes = dict(smoke=(25, 15), full=(80, 40))[scale]
         n_depts, projs_per_dept = sizes
-        wl = build_projdept(n_depts=n_depts, projs_per_dept=projs_per_dept, seed=9)
+        wl = build_named_workload(
+            "projdept", n_depts=n_depts, projs_per_dept=projs_per_dept, seed=9
+        )
         # The ProjDept schema indexes CustName (SI) but not Budg: budget
         # predicates are exactly the selections base structures do not
         # cover, so cached selections genuinely pay.  Values are drawn from
@@ -135,8 +138,12 @@ def run_hybrid_comparison(
     mix = warm + partial
     statistics = Statistics.from_instance(instance)
 
+    # One Database façade, three identically-wired sessions (no base
+    # constraints: partial-overlap rewrites are purely view-driven).
+    db = Database(instance=instance, statistics=statistics)
+
     def arm(**options):
-        session = CachedSession(instance, statistics=statistics, **options)
+        session = db.session(**options)
         answers, warmup, steady = _run_mix(session, mix, repetitions)
         session.close()
         return session, answers, warmup, steady
@@ -144,6 +151,7 @@ def run_hybrid_comparison(
     cold_session, cold_answers, cold_warmup, cold_steady = arm(enabled=False)
     vo_session, vo_answers, vo_warmup, vo_steady = arm(hybrid=False)
     hy_session, hy_answers, hy_warmup, hy_steady = arm(hybrid=True)
+    db.close()
 
     answers_equal = all(
         cold.results == vo.results == hy.results

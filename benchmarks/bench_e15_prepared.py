@@ -1,0 +1,243 @@
+"""E15 — prepared queries & the cross-request plan cache: prepared vs
+per-request re-optimization.
+
+The repeated-traffic regime of the ROADMAP north star: the same query mix
+arriving over and over.  Before the :class:`repro.Database` façade every
+request paid a full chase & backchase (the semantic cache's "no
+cross-request plan reuse" non-guarantee); ``db.prepare(q)`` pays it once
+and every later ``run()`` re-executes the cached best plan off the plan
+cache.
+
+Two arms run the same E1 (ProjDept) / E5 (R ⋈ S) repeated mixes from the
+E13 benchmark against the same :class:`Database`:
+
+* **reoptimized** — every request calls
+  ``db.optimize(q, use_plan_cache=False)`` and executes the winner: the
+  per-request pipeline, no cross-request reuse;
+* **prepared** — each distinct query is prepared once (the warm-up pays
+  the only optimizations), then every repetition calls ``prepared.run()``
+  — a plan-cache hit followed by plan execution.
+
+Latency splits into the **warm-up** repetition (prepare + first runs) and
+the **steady state** (every later repetition).  Acceptance
+(:func:`assert_prepared_effective` / :func:`assert_prepared_wins`):
+identical answer sets query-for-query and repetition-for-repetition, the
+plan-cache counters proving every steady-state run skipped
+chase/backchase (misses stay at one per distinct query, hits cover the
+rest), and prepared steady-state latency strictly beating the
+re-optimization arm's.
+
+``run_prepared_comparison`` is importable — the tier-1 smoke test
+(``tests/test_bench_smoke.py``) runs the smoke scale once and emits
+``BENCH_e15.json``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.api import Database
+from repro.query.ast import PCQuery
+from repro.query.parser import parse_query
+
+
+def _load_sibling(stem: str):
+    """Import a sibling benchmark module without requiring a package
+    (works both under pytest and the smoke test's spec loader)."""
+
+    path = Path(__file__).resolve().parent / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_E13 = _load_sibling("bench_e13_semcache")
+
+#: the E13 repeated mixes, reused verbatim so E13/E15 measure the same traffic
+E5_MIX = _E13.E5_MIX
+E1_MIX = _E13.E1_MIX
+
+
+def build_database(which: str, scale: str):
+    """(database, query mix) for one E15 arm at smoke or full scale."""
+
+    if which == "e5_rs":
+        sizes = dict(smoke=(300, 300, 60), full=(1500, 1500, 200))[scale]
+        n_r, n_s, b_values = sizes
+        db = Database.from_workload(
+            "rs", n_r=n_r, n_s=n_s, b_values=b_values, seed=5
+        )
+        return db, [parse_query(text) for text in E5_MIX]
+    if which == "e1_projdept":
+        sizes = dict(smoke=(25, 15), full=(80, 40))[scale]
+        n_depts, projs_per_dept = sizes
+        db = Database.from_workload(
+            "projdept", n_depts=n_depts, projs_per_dept=projs_per_dept, seed=9
+        )
+        return db, [parse_query(text) for text in E1_MIX]
+    raise ValueError(f"unknown E15 workload {which!r}")
+
+
+def _run_reoptimized(db: Database, mix: List[PCQuery], repetitions: int):
+    """The per-request arm: optimize (bypassing the plan cache) + execute
+    on every single request."""
+
+    def serve(query):
+        result = db.optimize(query, use_plan_cache=False)
+        return db.execute_plan(result.best)
+
+    answers = []
+    start = time.perf_counter()
+    for query in mix:
+        answers.append(serve(query))
+    warmup_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repetitions - 1):
+        for query in mix:
+            answers.append(serve(query))
+    return answers, warmup_seconds, time.perf_counter() - start
+
+
+def _run_prepared(db: Database, mix: List[PCQuery], repetitions: int):
+    """The prepared arm: one optimization per distinct query (the
+    warm-up), then plan-cache hits all the way down."""
+
+    answers = []
+    start = time.perf_counter()
+    prepared = [db.prepare(query) for query in mix]
+    for statement in prepared:
+        answers.append(statement.run())
+    warmup_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repetitions - 1):
+        for statement in prepared:
+            answers.append(statement.run())
+    return answers, warmup_seconds, time.perf_counter() - start
+
+
+def run_prepared_comparison(
+    which: str, repetitions: int = 5, scale: str = "smoke"
+) -> Dict:
+    """One E15 arm: the same repeated mix, re-optimized vs prepared."""
+
+    db_re, mix = build_database(which, scale)
+    reopt_answers, reopt_warmup, reopt_steady = _run_reoptimized(
+        db_re, mix, repetitions
+    )
+    assert db_re.plan_cache_info().misses == 0  # the bypass arm never caches
+    db_re.close()
+
+    db_prep, mix = build_database(which, scale)
+    prep_answers, prep_warmup, prep_steady = _run_prepared(
+        db_prep, mix, repetitions
+    )
+    cache_info = db_prep.plan_cache_info()
+    db_prep.close()
+
+    answers_equal = all(
+        re.results == prep.results
+        for re, prep in zip(reopt_answers, prep_answers)
+    )
+
+    return {
+        "workload": which,
+        "scale": scale,
+        "repetitions": repetitions,
+        "queries_per_repetition": len(mix),
+        "reoptimized_warmup_seconds": reopt_warmup,
+        "reoptimized_steady_seconds": reopt_steady,
+        "prepared_warmup_seconds": prep_warmup,
+        "prepared_steady_seconds": prep_steady,
+        "steady_speedup": (
+            reopt_steady / prep_steady if prep_steady else float("inf")
+        ),
+        "answers_equal": answers_equal,
+        "plan_cache": {
+            "hits": cache_info.hits,
+            "misses": cache_info.misses,
+            "size": cache_info.size,
+            "max_size": cache_info.max_size,
+            "evictions": cache_info.evictions,
+            "invalidations": cache_info.invalidations,
+        },
+    }
+
+
+def assert_prepared_effective(result: Dict) -> None:
+    """The deterministic E15 criteria: correct answers and plan-cache
+    counters proving the steady state skipped chase/backchase.
+
+    Timing is asserted separately (:func:`assert_prepared_wins`) so the
+    tier-1 smoke run can gate on structure without racing the wall clock.
+    """
+
+    assert result["answers_equal"], result
+    cache = result["plan_cache"]
+    n_queries = result["queries_per_repetition"]
+    repetitions = result["repetitions"]
+    # one optimization per distinct query, ever
+    assert cache["misses"] == n_queries, result
+    # every run() — including the warm-up's — re-fetched the cached plan
+    assert cache["hits"] == repetitions * n_queries, result
+    assert cache["evictions"] == 0, result
+    assert cache["invalidations"] == 0, result
+
+
+def assert_prepared_wins(result: Dict) -> None:
+    """The full E15 acceptance criteria for one workload arm."""
+
+    assert_prepared_effective(result)
+    assert (
+        result["prepared_steady_seconds"]
+        < result["reoptimized_steady_seconds"]
+    ), result
+
+
+def test_e15_rs_prepared_wins(benchmark):
+    result = benchmark.pedantic(
+        run_prepared_comparison, args=("e5_rs",), kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_prepared_wins(result)
+
+
+def test_e15_projdept_prepared_wins(benchmark):
+    result = benchmark.pedantic(
+        run_prepared_comparison,
+        args=("e1_projdept",),
+        kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_prepared_wins(result)
+
+
+def test_e15_speedup_grows_with_repetitions(benchmark):
+    """More repetitions amortize the one-off preparations over more
+    plan-cache hits, so the end-to-end speedup vs per-request
+    re-optimization — warm-up included — grows with traffic."""
+
+    def sweep():
+        return [
+            run_prepared_comparison("e5_rs", repetitions=2, scale="full"),
+            run_prepared_comparison("e5_rs", repetitions=6, scale="full"),
+        ]
+
+    def total_speedup(result):
+        reopt = (
+            result["reoptimized_warmup_seconds"]
+            + result["reoptimized_steady_seconds"]
+        )
+        prepared = (
+            result["prepared_warmup_seconds"]
+            + result["prepared_steady_seconds"]
+        )
+        return reopt / prepared if prepared else float("inf")
+
+    few, many = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert_prepared_wins(few)
+    assert_prepared_wins(many)
+    assert total_speedup(many) > total_speedup(few)

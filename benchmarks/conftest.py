@@ -1,22 +1,28 @@
-"""Shared workloads for the benchmark suite (session-scoped)."""
+"""Shared workloads for the benchmark suite (session-scoped).
+
+Workload construction goes through the one dispatch in
+:func:`repro.api.build_workload` — the same path ``Database.from_workload``
+and the CLI use — instead of per-file copies of the builder imports.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.api import build_workload
 from repro.optimizer.optimizer import Optimizer
-from repro.workloads.projdept import build_projdept
-from repro.workloads.relational import build_rabc, build_rs
 
 
 @pytest.fixture(scope="session")
 def projdept_small():
-    return build_projdept(n_depts=4, projs_per_dept=3, seed=3)
+    return build_workload("projdept", n_depts=4, projs_per_dept=3, seed=3)
 
 
 @pytest.fixture(scope="session")
 def projdept_medium():
-    return build_projdept(n_depts=40, projs_per_dept=25, citibank_share=0.05, seed=9)
+    return build_workload(
+        "projdept", n_depts=40, projs_per_dept=25, citibank_share=0.05, seed=9
+    )
 
 
 @pytest.fixture(scope="session")
@@ -33,14 +39,16 @@ def projdept_optimized(projdept_small):
 
 @pytest.fixture(scope="session")
 def rabc_workload():
-    return build_rabc(n=2000, a_values=50, b_values=50, seed=5)
+    return build_workload("rabc", n=2000, a_values=50, b_values=50, seed=5)
 
 
 @pytest.fixture(scope="session")
 def rs_small():
-    return build_rs(n_r=80, n_s=80, b_values=40, seed=5)
+    return build_workload("rs", n_r=80, n_s=80, b_values=40, seed=5)
 
 
 @pytest.fixture(scope="session")
 def rs_medium():
-    return build_rs(n_r=2000, n_s=2000, b_values=500, join_hit_rate=0.1, seed=5)
+    return build_workload(
+        "rs", n_r=2000, n_s=2000, b_values=500, join_hit_rate=0.1, seed=5
+    )

@@ -95,15 +95,15 @@ def key_based_elimination() -> None:
 
 def hybrid_semantic_cache() -> None:
     print("\n=== 4. hybrid view ⋈ base rewrites (semantic cache) ===")
-    from repro import CachedSession, Statistics
+    from repro import Database
     from repro.model.instance import Instance
 
     r = frozenset(Row(A=i % 50, B=i % 7) for i in range(400))
     s = frozenset(Row(B=i % 7, C=i) for i in range(90))
     instance = Instance({"R": r, "S": s})
-    session = CachedSession(
-        instance, statistics=Statistics.from_instance(instance)
-    )
+    # sessions hang off the Database façade (statistics observed from the
+    # instance, context shared with every other entry point)
+    session = Database(instance=instance).session()
 
     warm = parse_query(
         "select struct(A = r.A, B = r.B) from R r where r.A = 1"

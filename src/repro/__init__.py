@@ -9,16 +9,19 @@ A complete reproduction of:
 The public API re-exports the main entry points; see README.md for a
 quickstart and DESIGN.md for the architecture.
 
-Typical usage::
+Typical usage — the :class:`Database` façade bundles schema, constraints,
+physical design, instance, statistics and the cross-request plan cache::
 
-    from repro import Optimizer, parse_query
-    from repro.workloads.projdept import build_projdept
+    from repro import Database
 
-    wl = build_projdept()
-    opt = Optimizer(wl.constraints, physical_names=wl.physical_names,
-                    statistics=wl.statistics)
-    result = opt.optimize(wl.query)
-    print(result.report())
+    db = Database.from_workload("projdept")
+    print(db.optimize(db.workload.query).report())
+
+    prepared = db.prepare(db.workload.query)   # chase & backchase once
+    result = prepared.run()                    # plan-cache hits after that
+
+The lower layers (``Optimizer``, ``execute``, ``CachedSession``, ...)
+remain importable for standalone use.
 """
 
 from repro.backchase.backchase import (
@@ -42,7 +45,7 @@ from repro.chase.containment import (
 )
 from repro.constraints.checker import check_all, holds
 from repro.constraints.epcd import EPCD
-from repro.errors import ReproError
+from repro.errors import ReproDeprecationWarning, ReproError
 from repro.exec.engine import execute, explain
 from repro.model.instance import Instance
 from repro.model.schema import Schema
@@ -83,6 +86,14 @@ from repro.semcache import (
     SemanticCache,
     SessionResult,
 )
+from repro.api import (
+    CacheConfig,
+    Database,
+    OptimizeContext,
+    PlanCacheInfo,
+    PreparedQuery,
+    build_workload,
+)
 from repro.query.evaluator import evaluate
 from repro.query.parser import parse_constraint, parse_path, parse_query
 from repro.query.paths import (
@@ -104,6 +115,13 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessSupportRelation",
     "Attr",
+    "CacheConfig",
+    "Database",
+    "OptimizeContext",
+    "PlanCacheInfo",
+    "PreparedQuery",
+    "ReproDeprecationWarning",
+    "build_workload",
     "BOOL",
     "BaseType",
     "Binding",

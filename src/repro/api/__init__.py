@@ -1,0 +1,29 @@
+"""The serving façade: one object for the paper's whole pipeline.
+
+:class:`Database` bundles schema + constraints + physical design +
+instance + statistics + caches behind the full request lifecycle
+(``optimize`` / ``execute`` / ``explain`` / ``session`` / ``prepare``),
+with a cross-request plan cache keyed on canonical query form + the
+:class:`OptimizeContext` physical-design fingerprint.  See
+``database.py`` for the façade, ``context.py`` for the context all
+layers consume, ``plancache.py`` for the plan cache, and
+``workloads.py`` for the built-in workload dispatch.
+"""
+
+from repro.api.context import KEEP, OptimizeContext
+from repro.api.database import CacheConfig, Database, PreparedQuery
+from repro.api.plancache import PlanCache, PlanCacheEntry, PlanCacheInfo
+from repro.api.workloads import WORKLOAD_NAMES, build_workload
+
+__all__ = [
+    "CacheConfig",
+    "Database",
+    "KEEP",
+    "OptimizeContext",
+    "PlanCache",
+    "PlanCacheEntry",
+    "PlanCacheInfo",
+    "PreparedQuery",
+    "WORKLOAD_NAMES",
+    "build_workload",
+]

@@ -1,0 +1,459 @@
+"""`repro.Database` — one façade for the paper's whole pipeline.
+
+The chase & backchase engine is one conceptual object — a database with a
+logical schema, a constraint set, a physical design, an instance and a
+catalog — but the codebase historically exposed it as five disconnected
+entry points (``Optimizer``, ``minimal_subqueries``, ``exec.engine``,
+``CachedSession`` and the CLI's argument plumbing), each taking the same
+state in a slightly different shape.  :class:`Database` is the façade
+over all of them:
+
+* constructed once from schema + constraints + physical design +
+  :class:`~repro.model.instance.Instance` + statistics + cache config;
+* the full request lifecycle as methods — :meth:`optimize`,
+  :meth:`execute`, :meth:`explain`, :meth:`session` (a wired
+  :class:`~repro.semcache.session.CachedSession`) and :meth:`prepare`;
+* a cross-request **plan cache** (:mod:`repro.api.plancache`): optimize
+  results are keyed on canonical query form + the context's
+  physical-design fingerprint, LRU-bounded, and invalidated by instance
+  mutations through the same subscription channel the semantic cache
+  uses — the "no cross-request plan reuse" non-guarantee of the semantic
+  cache closed at the façade layer;
+* :meth:`prepare` returns a :class:`PreparedQuery`: canonicalize once,
+  chase/backchase once, then ``prepared.run()`` re-executes the cached
+  best plan — and re-optimizes transparently (with refreshed statistics)
+  when a mutation invalidated its entry.
+
+Everything below the façade still works standalone; see ROADMAP.md for
+the migration notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Mapping, Optional, Sequence
+
+from repro.api.context import OptimizeContext
+from repro.api.plancache import PlanCache, PlanCacheInfo
+from repro.api.workloads import build_workload
+from repro.constraints.epcd import EPCD
+from repro.errors import ReproError
+from repro.exec.engine import ExecutionResult, execute, explain
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.optimizer.cost import CostModel
+from repro.optimizer.optimizer import OptimizationResult, Plan
+from repro.optimizer.statistics import Statistics
+from repro.query.ast import PCQuery
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Caching knobs for one :class:`Database`.
+
+    ``plan_cache_size`` bounds the cross-request plan cache (``None`` =
+    unbounded, ``0`` = disabled); ``semantic_cache``/``hybrid`` are the
+    defaults :meth:`Database.session` wires into new sessions;
+    ``max_rewrite_views`` caps the per-request rewrite candidates exactly
+    as :class:`~repro.semcache.cache.SemanticCache` does.
+    """
+
+    plan_cache_size: Optional[int] = 128
+    semantic_cache: bool = True
+    hybrid: bool = True
+    max_rewrite_views: int = 8
+
+
+class PreparedQuery:
+    """A query optimized once, executable many times.
+
+    Construction (via :meth:`Database.prepare`) canonicalizes the query
+    and runs chase/backchase exactly once, parking the result in the
+    database's plan cache.  :meth:`run` re-fetches the entry by key on
+    every call, so it is **invalidation-aware**: after an instance
+    mutation drops the entry, the next run transparently re-optimizes
+    against the database's refreshed statistics; otherwise it re-executes
+    the cached best plan with no chase/backchase at all (plan-cache hit).
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        query: PCQuery,
+        strategy: Optional[str] = None,
+    ) -> None:
+        self.database = database
+        self.query = query
+        self.strategy = strategy
+        # Optimize eagerly: prepare pays the planning cost (including the
+        # query's memoized canonicalization) so run() doesn't have to.
+        self._last_result = database.optimize(query, strategy=strategy)
+
+    @property
+    def optimization(self) -> OptimizationResult:
+        """The current optimization result (refreshed through the plan
+        cache, so it tracks invalidations)."""
+
+        self._last_result = self.database.optimize(
+            self.query, strategy=self.strategy
+        )
+        return self._last_result
+
+    @property
+    def plan(self) -> Plan:
+        return self.optimization.best
+
+    def run(
+        self,
+        instance: Optional[Instance] = None,
+        overlays: Optional[Mapping[str, Any]] = None,
+    ) -> ExecutionResult:
+        """Execute the prepared plan.
+
+        ``instance`` substitutes the target database for this call;
+        ``overlays`` executes against a read-through overlay of the
+        database's instance (per-call instance overrides, the
+        :meth:`~repro.model.instance.Instance.overlay` semantics).
+        """
+
+        return self.database.execute_plan(
+            self.plan, instance=instance, overlays=overlays
+        )
+
+    def explain(self) -> str:
+        """The operator tree the next :meth:`run` would execute."""
+
+        return explain(
+            self.plan.query, use_hash_joins=self.database.context.use_hash_joins
+        )
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.query})"
+
+
+class Database:
+    """Schema + constraints + physical design + instance + caches, as one
+    object with the request lifecycle as methods."""
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        constraints: Sequence[EPCD] = (),
+        physical_names: Optional[FrozenSet[str]] = None,
+        instance: Optional[Instance] = None,
+        statistics: Optional[Statistics] = None,
+        cost_model: Optional[CostModel] = None,
+        strategy: str = "pruned",
+        max_chase_steps: int = 200,
+        max_backchase_nodes: int = 20_000,
+        reorder: bool = True,
+        use_hash_joins: bool = False,
+        cache_config: Optional[CacheConfig] = None,
+        workload: Any = None,
+    ) -> None:
+        self.schema = schema
+        self.instance = instance
+        self.cache_config = cache_config or CacheConfig()
+        self.workload = workload
+        # With no explicit catalog the statistics are observed from the
+        # instance and kept fresh: a mutation marks them dirty and the
+        # next optimization recomputes them.
+        self._auto_statistics = statistics is None and instance is not None
+        self._stats_dirty = False
+        if statistics is None:
+            statistics = (
+                Statistics.from_instance(instance)
+                if instance is not None
+                else Statistics()
+            )
+        self._context = OptimizeContext(
+            constraints=tuple(constraints),
+            physical_names=(
+                frozenset(physical_names) if physical_names else None
+            ),
+            statistics=statistics,
+            cost_model=cost_model or CostModel(),
+            strategy=strategy,
+            max_chase_steps=max_chase_steps,
+            max_backchase_nodes=max_backchase_nodes,
+            reorder=reorder,
+            use_hash_joins=use_hash_joins,
+        )
+        size = self.cache_config.plan_cache_size
+        self._plan_cache = PlanCache(max_size=size) if size != 0 else None
+        self._listener = None
+        if instance is not None:
+            self._listener = instance.subscribe(self._on_mutation)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_workload(
+        cls,
+        name: str,
+        *,
+        strategy: str = "pruned",
+        cache_config: Optional[CacheConfig] = None,
+        use_hash_joins: bool = False,
+        **builder_kwargs,
+    ) -> "Database":
+        """A database over a built-in workload: ``"rs"``, ``"rabc"``,
+        ``"projdept"`` or ``"oo_asr"`` (``builder_kwargs`` pass through to
+        the workload builder, e.g. ``n_depts=40``).  The built workload
+        object stays reachable as ``db.workload`` (its canonical query is
+        ``db.workload.query``)."""
+
+        wl = build_workload(name, **builder_kwargs)
+        return cls(
+            schema=getattr(wl, "schema", None) or getattr(wl, "combined", None),
+            constraints=wl.constraints,
+            physical_names=wl.physical_names,
+            instance=wl.instance,
+            statistics=wl.statistics,
+            strategy=strategy,
+            cache_config=cache_config,
+            use_hash_joins=use_hash_joins,
+            workload=wl,
+        )
+
+    # -- context and statistics ------------------------------------------------
+
+    @property
+    def context(self) -> OptimizeContext:
+        """The current :class:`OptimizeContext` (auto-observed statistics
+        are refreshed here when an instance mutation marked them dirty)."""
+
+        if self._stats_dirty and self._auto_statistics:
+            self._context = self._context.override(
+                statistics=Statistics.from_instance(self.instance)
+            )
+            self._stats_dirty = False
+        return self._context
+
+    @property
+    def constraints(self):
+        return self.context.constraints
+
+    @property
+    def physical_names(self):
+        return self.context.physical_names
+
+    @property
+    def statistics(self) -> Statistics:
+        return self.context.statistics
+
+    @property
+    def strategy(self) -> str:
+        return self.context.strategy
+
+    def refresh_statistics(
+        self, statistics: Optional[Statistics] = None
+    ) -> Statistics:
+        """Swap in a new catalog (or re-observe the instance) and drop
+        every cached plan: plans chosen under the old catalog may no
+        longer be the winners."""
+
+        if statistics is None:
+            if self.instance is None:
+                raise ReproError(
+                    "refresh_statistics() needs an instance or an explicit "
+                    "Statistics object"
+                )
+            statistics = Statistics.from_instance(self.instance)
+        self._context = self._context.override(statistics=statistics)
+        self._stats_dirty = False
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
+        return statistics
+
+    def _on_mutation(self, name: str) -> None:
+        if self._auto_statistics:
+            self._stats_dirty = True
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate_source(name)
+
+    def close(self) -> None:
+        """Detach the mutation listener (sessions detach separately)."""
+
+        if self._listener is not None and self.instance is not None:
+            self.instance.unsubscribe(self._listener)
+            self._listener = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request lifecycle -------------------------------------------------
+
+    def optimize(
+        self,
+        query: PCQuery,
+        strategy: Optional[str] = None,
+        use_plan_cache: bool = True,
+    ) -> OptimizationResult:
+        """Algorithm 1 through the plan cache.
+
+        A hit returns the retained :class:`OptimizationResult` with no
+        chase/backchase work; a miss optimizes under the database context
+        (per-call ``strategy`` override supported) and caches the result
+        keyed on canonical form + context fingerprint.
+        ``use_plan_cache=False`` bypasses the cache entirely — no counters
+        move (the re-optimization arm of ``bench_e15``)."""
+
+        ctx = self.context
+        if strategy is not None and strategy != ctx.strategy:
+            ctx = ctx.override(strategy=strategy)
+        if self._plan_cache is None or not use_plan_cache:
+            return ctx.optimizer().optimize(query)
+        key = (query.canonical_key(), ctx.fingerprint())
+        entry = self._plan_cache.get(key)
+        if entry is None:
+            result = ctx.optimizer().optimize(query)
+            entry = self._plan_cache.put(
+                key, result, self._dependencies(query, result)
+            )
+        return entry.result
+
+    def execute(
+        self,
+        query: PCQuery,
+        overlays: Optional[Mapping[str, Any]] = None,
+    ) -> ExecutionResult:
+        """Optimize (through the plan cache) and run the winning plan."""
+
+        result = self.optimize(query)
+        return self.execute_plan(result.best, overlays=overlays)
+
+    def execute_plan(
+        self,
+        plan: Plan,
+        instance: Optional[Instance] = None,
+        overlays: Optional[Mapping[str, Any]] = None,
+    ) -> ExecutionResult:
+        """Run an already-optimized plan against the database's instance
+        (or ``instance``), optionally through a read-through overlay."""
+
+        target = instance if instance is not None else self.instance
+        if target is None:
+            raise ReproError(
+                "this Database has no instance to execute against"
+            )
+        return execute(
+            plan.query, target, overlays=overlays, context=self.context
+        )
+
+    def explain(self, query: PCQuery, session=None) -> str:
+        """The plan text of what executing ``query`` would run.
+
+        Without ``session``: the operator tree of the plan-cached winner —
+        byte-identical to what :meth:`execute` runs.  With a
+        :class:`~repro.semcache.session.CachedSession`: the tree of what
+        ``session.run(query)`` would execute *right now* — an exact hit
+        explains to the empty string (no plan runs), a rewrite/hybrid hit
+        shows cached extents tagged ``[cached]``, a miss shows the cold
+        execution of the raw query.  Peeks only: no cache counters move
+        and no views are credited."""
+
+        use_hash_joins = self.context.use_hash_joins
+        if session is None:
+            return explain(
+                self.optimize(query).best.query, use_hash_joins=use_hash_joins
+            )
+        use_hash_joins = session.use_hash_joins
+        if not session.enabled:
+            return explain(query, use_hash_joins=use_hash_joins)
+        if session.cache.peek_exact(query) is not None:
+            return ""  # exact hits return the stored result; nothing runs
+        rewrite = session.cache.plan_rewrite(
+            query,
+            require_executable=True,
+            base_names=(
+                frozenset(session.instance.names()) if session.hybrid else None
+            ),
+            record=False,
+        )
+        if rewrite is not None:
+            return explain(
+                rewrite.query,
+                use_hash_joins=use_hash_joins,
+                cached_names=frozenset(rewrite.view_names()),
+            )
+        return explain(query, use_hash_joins=use_hash_joins)
+
+    def prepare(
+        self, query: PCQuery, strategy: Optional[str] = None
+    ) -> PreparedQuery:
+        """Canonicalize + optimize once; returns a :class:`PreparedQuery`
+        whose :meth:`~PreparedQuery.run` skips chase/backchase on every
+        repeat (plan-cache hits)."""
+
+        return PreparedQuery(self, query, strategy=strategy)
+
+    def session(
+        self,
+        hybrid: Optional[bool] = None,
+        enabled: Optional[bool] = None,
+        **options,
+    ):
+        """A :class:`~repro.semcache.session.CachedSession` wired to this
+        database's instance and optimization context (constraints,
+        statistics, cost model, strategy and limits all flow from
+        :attr:`context`; defaults for ``hybrid``/``enabled`` come from the
+        :class:`CacheConfig`)."""
+
+        from repro.semcache.session import CachedSession
+
+        if self.instance is None:
+            raise ReproError("this Database has no instance to serve")
+        config = self.cache_config
+        options.setdefault("max_rewrite_views", config.max_rewrite_views)
+        options.setdefault("use_hash_joins", self.context.use_hash_joins)
+        return CachedSession(
+            self.instance,
+            context=self.context,
+            hybrid=config.hybrid if hybrid is None else hybrid,
+            enabled=config.semantic_cache if enabled is None else enabled,
+            **options,
+        )
+
+    # -- plan-cache bookkeeping ------------------------------------------------
+
+    def plan_cache_info(self) -> PlanCacheInfo:
+        """Counters of the cross-request plan cache (mirrors
+        ``chase/cache.py``'s ``cache_info()``)."""
+
+        if self._plan_cache is None:
+            return PlanCacheInfo(0, 0, 0, 0, 0, 0)
+        return self._plan_cache.cache_info()
+
+    def clear_plan_cache(self) -> int:
+        if self._plan_cache is None:
+            return 0
+        return self._plan_cache.clear()
+
+    def _dependencies(
+        self, query: PCQuery, result: OptimizationResult
+    ) -> FrozenSet[str]:
+        """Names whose mutation must drop this entry: every source any
+        candidate plan reads (a mutation can flip the winner), the
+        query's own sources, and the class dictionaries oid dereference
+        reads without naming (the semantic cache's conservative rule)."""
+
+        names = set(query.schema_names())
+        for plan in result.plans:
+            names |= plan.query.schema_names()
+        if self.instance is not None:
+            names |= self.instance.class_dict_names()
+        return frozenset(names)
+
+    def __repr__(self) -> str:
+        parts = [f"{len(self.context.constraints)} constraints"]
+        if self.context.physical_names is not None:
+            parts.append(f"physical={sorted(self.context.physical_names)}")
+        if self.instance is not None:
+            parts.append(f"instance={len(self.instance.names())} names")
+        info = self.plan_cache_info()
+        parts.append(f"plan_cache={info.size} entries")
+        return f"Database({', '.join(parts)})"

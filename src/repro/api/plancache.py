@@ -1,0 +1,152 @@
+"""The cross-request plan cache behind :class:`repro.Database`.
+
+The semantic result cache (``src/repro/semcache/``) explicitly does *not*
+reuse plans across requests beyond exact-result promotion — every rewrite
+pays a fresh chase & backchase.  This module supplies the missing tier:
+optimized plans (whole :class:`~repro.optimizer.optimizer.OptimizationResult`
+objects) are retained across requests, keyed on the query's canonical
+form plus the owning context's physical-design fingerprint
+(:meth:`~repro.api.context.OptimizeContext.fingerprint`), so a repeated
+query — or a :class:`~repro.api.database.PreparedQuery` re-run — skips
+the chase/backchase entirely.
+
+The store mirrors :mod:`repro.chase.cache`: LRU-bounded (every probe
+refreshes recency), counters surfaced through a frozen
+:class:`PlanCacheInfo` snapshot, eviction only ever costs re-optimization.
+On top of that it is **invalidation-aware**: each entry records the
+schema names its plan space read (every candidate plan's sources, the
+original query's sources, and the class dictionaries oid dereference
+reads implicitly), and :meth:`PlanCache.invalidate_source` drops the
+dependents of a mutated name — the same conservative dependency discipline
+as :mod:`repro.semcache.invalidation`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.optimizer.optimizer import OptimizationResult
+
+#: cache key: (canonical query form, context fingerprint)
+Key = Tuple[str, str]
+
+DEFAULT_MAX_SIZE = 128
+
+
+@dataclass(frozen=True)
+class PlanCacheInfo:
+    """A point-in-time snapshot of the counters (mirrors
+    :class:`repro.chase.cache.CacheInfo`, plus invalidations)."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: Optional[int]
+    evictions: int
+    invalidations: int
+
+
+@dataclass
+class PlanCacheEntry:
+    """One cached optimization: the full result plus its dependency set."""
+
+    result: OptimizationResult
+    dependencies: FrozenSet[str]
+
+
+class PlanCache:
+    """LRU store of optimization results with dependency invalidation."""
+
+    def __init__(self, max_size: Optional[int] = DEFAULT_MAX_SIZE) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be >= 1 or None, got {max_size}")
+        self.max_size = max_size
+        self._entries: "OrderedDict[Key, PlanCacheEntry]" = OrderedDict()
+        # schema name -> keys of entries that depend on it
+        self._dependents: Dict[str, Set[Key]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: Key) -> Optional[PlanCacheEntry]:
+        """Cached entry for ``key``, counting the probe and refreshing its
+        recency."""
+
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(
+        self,
+        key: Key,
+        result: OptimizationResult,
+        dependencies: FrozenSet[str],
+    ) -> PlanCacheEntry:
+        entry = PlanCacheEntry(result=result, dependencies=dependencies)
+        if key in self._entries:
+            self._unlink(key)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        for name in dependencies:
+            self._dependents.setdefault(name, set()).add(key)
+        if self.max_size is not None:
+            while len(self._entries) > self.max_size:
+                victim = next(iter(self._entries))
+                self._unlink(victim)
+                del self._entries[victim]
+                self.evictions += 1
+        return entry
+
+    def invalidate_source(self, name: str) -> int:
+        """Drop every entry whose plan space read ``name``; returns the
+        count.  Called by the owning database on each instance mutation."""
+
+        dropped = 0
+        for key in tuple(self._dependents.get(name, ())):
+            if key in self._entries:
+                self._unlink(key)
+                del self._entries[key]
+                dropped += 1
+                self.invalidations += 1
+        return dropped
+
+    def clear(self) -> int:
+        """Drop everything (counters survive; drops count as
+        invalidations — the explicit-statistics-refresh path)."""
+
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._dependents.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def _unlink(self, key: Key) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        for name in entry.dependencies:
+            keys = self._dependents.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._dependents[name]
+
+    def cache_info(self) -> PlanCacheInfo:
+        return PlanCacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            max_size=self.max_size,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,45 @@
+"""One dispatch for the built-in workloads.
+
+``build_workload("rs" | "rabc" | "projdept" | "oo_asr", **kwargs)`` is the
+single place that maps a workload name to its builder — previously copied
+between ``cli.py`` (the REPL), ``benchmarks/conftest.py`` and the
+examples.  Keyword arguments pass straight through to the builder, so
+callers scale instances exactly as before
+(``build_workload("rs", n_r=2000, ...)``).
+
+Every builder returns an object with the attribute quartet the
+:class:`~repro.api.database.Database` façade consumes: ``instance``,
+``constraints``, ``statistics``, ``physical_names`` (plus the scenario's
+canonical ``query``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: names accepted by :func:`build_workload` / ``Database.from_workload``
+WORKLOAD_NAMES = ("rs", "rabc", "projdept", "oo_asr")
+
+
+def build_workload(name: str, **kwargs):
+    """Build the named scenario, forwarding ``kwargs`` to its builder."""
+
+    if name == "rs":
+        from repro.workloads.relational import build_rs
+
+        return build_rs(**kwargs)
+    if name == "rabc":
+        from repro.workloads.relational import build_rabc
+
+        return build_rabc(**kwargs)
+    if name == "projdept":
+        from repro.workloads.projdept import build_projdept
+
+        return build_projdept(**kwargs)
+    if name == "oo_asr":
+        from repro.workloads.oo_asr import build_oo_asr
+
+        return build_oo_asr(**kwargs)
+    raise ReproError(
+        f"unknown workload {name!r} (expected one of {WORKLOAD_NAMES})"
+    )

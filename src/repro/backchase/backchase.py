@@ -317,11 +317,12 @@ class BackchaseStats:
 
 def minimal_subqueries(
     query: PCQuery,
-    deps: Sequence[EPCD],
+    deps: Optional[Sequence[EPCD]] = None,
     engine: Optional[ChaseEngine] = None,
     max_nodes: int = 10_000,
     stats: Optional[BackchaseStats] = None,
     strategy: str = "full",
+    context=None,
     **pruned_options,
 ) -> List[PCQuery]:
     """Normal forms of backchasing ``query``.
@@ -337,8 +338,25 @@ def minimal_subqueries(
     Extra keyword options (``statistics``, ``cost_model``, ``plan_cost``,
     ``cost_floor``) configure the pruned search and are rejected for the
     full one.
+
+    ``context`` (an :class:`~repro.api.context.OptimizeContext`) supplies
+    defaults in one value: the constraint set when ``deps`` is omitted,
+    and — for the pruned search — ``statistics`` / ``cost_model`` when
+    not given explicitly.  (``strategy`` stays an explicit argument: this
+    function's default is ``"full"`` for Theorem 2 completeness, which
+    deliberately differs from the optimizer's.)
     """
 
+    if context is not None:
+        if deps is None:
+            deps = list(context.constraints)
+        if strategy == "pruned":
+            pruned_options.setdefault("statistics", context.statistics)
+            pruned_options.setdefault("cost_model", context.cost_model)
+    if deps is None:
+        raise BackchaseError(
+            "minimal_subqueries needs a constraint set: pass deps or context"
+        )
     if strategy == "pruned":
         from repro.backchase.pruned import pruned_minimal_subqueries
 

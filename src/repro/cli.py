@@ -9,8 +9,8 @@ Usage::
     python -m repro chase    --query q.oql --constraints c.epcd
     python -m repro minimize --query q.oql [--constraints c.epcd]
     python -m repro check    --constraints c.epcd   (syntax check)
-    python -m repro serve-repl [--workload rs|rabc|projdept] [--no-cache]
-                               [--hybrid|--no-hybrid]
+    python -m repro serve-repl [--workload rs|rabc|projdept|oo_asr]
+                               [--no-cache] [--hybrid|--no-hybrid]
 
 ``optimize`` accepts ``--query`` repeatedly; with ``--cache`` each
 optimized query is registered in a plan-level semantic cache so later
@@ -34,14 +34,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
+from repro.api import Database, build_workload
 from repro.backchase.minimize import minimize
 from repro.chase.chase import chase
 from repro.constraints.epcd import EPCD
-from repro.errors import ReproError
+from repro.errors import ReproDeprecationWarning, ReproError
 from repro.model.ddl import parse_ddl
-from repro.optimizer.optimizer import Optimizer
 from repro.query.parser import parse_constraint, parse_query
 from repro.query.printer import format_query
 
@@ -99,8 +100,8 @@ def cmd_optimize(args) -> int:
         if args.physical
         else None
     )
-    optimizer = Optimizer(
-        constraints,
+    db = Database(
+        constraints=constraints,
         physical_names=physical,
         max_chase_steps=args.max_chase_steps,
         max_backchase_nodes=args.max_backchase_nodes,
@@ -110,12 +111,7 @@ def cmd_optimize(args) -> int:
     if args.cache:
         from repro.semcache import SemanticCache
 
-        cache = SemanticCache(
-            constraints,
-            strategy=args.strategy,
-            max_chase_steps=args.max_chase_steps,
-            max_backchase_nodes=args.max_backchase_nodes,
-        )
+        cache = SemanticCache(context=db.context)
     for query_path in args.query:
         if len(args.query) > 1:
             print(f"=== {query_path} ===")
@@ -141,7 +137,7 @@ def cmd_optimize(args) -> int:
                 continue
             cache.record_miss()
             cache.register(query)
-        result = optimizer.optimize(query)
+        result = db.optimize(query)
         print(result.report())
         if args.verbose:
             _print_verbose_stats(result)
@@ -172,7 +168,7 @@ def cmd_minimize(args) -> int:
     return 0
 
 
-REPL_WORKLOADS = ("rs", "rabc", "projdept")
+REPL_WORKLOADS = ("rs", "rabc", "projdept", "oo_asr")
 
 REPL_HELP = """\
 Enter one PC query per line, e.g.:
@@ -185,32 +181,21 @@ Commands:
 
 
 def _build_repl_workload(name: str):
-    if name == "rs":
-        from repro.workloads.relational import build_rs
+    """Deprecated shim: use :func:`repro.api.build_workload` (or
+    ``Database.from_workload``); this copy now just delegates."""
 
-        return build_rs()
-    if name == "rabc":
-        from repro.workloads.relational import build_rabc
-
-        return build_rabc()
-    if name == "projdept":
-        from repro.workloads.projdept import build_projdept
-
-        return build_projdept()
-    raise ReproError(
-        f"unknown workload {name!r} (expected one of {REPL_WORKLOADS})"
+    warnings.warn(
+        "cli._build_repl_workload() is deprecated; use "
+        "repro.api.build_workload() or Database.from_workload()",
+        ReproDeprecationWarning,
+        stacklevel=2,
     )
+    return build_workload(name)
 
 
 def cmd_serve_repl(args) -> int:
-    from repro.optimizer.statistics import Statistics
-    from repro.semcache import CachedSession
-
-    workload = _build_repl_workload(args.workload)
-    session = CachedSession(
-        workload.instance,
-        constraints=workload.constraints,
-        statistics=Statistics.from_instance(workload.instance),
+    db = Database.from_workload(args.workload)
+    session = db.session(
         enabled=not args.no_cache,
         hybrid=args.hybrid,
     )
@@ -219,7 +204,7 @@ def cmd_serve_repl(args) -> int:
     )
     print(
         f"serving workload {args.workload!r} "
-        f"({', '.join(sorted(workload.instance.names()))}); "
+        f"({', '.join(sorted(db.instance.names()))}); "
         f"semantic cache {cache_state}.  .help for commands"
     )
     stream = sys.stdin
@@ -259,6 +244,7 @@ def cmd_serve_repl(args) -> int:
             f"in {result.elapsed_seconds * 1000:.1f} ms"
         )
     session.close()
+    db.close()
     print("bye")
     return 0
 

@@ -36,6 +36,7 @@ def execute(
     use_hash_joins: bool = False,
     counters: Optional[Counters] = None,
     overlays: Optional[Mapping[str, Any]] = None,
+    context=None,
 ) -> ExecutionResult:
     """Compile and run a plan, collecting results into a frozenset.
 
@@ -46,8 +47,14 @@ def execute(
     where cached extents must shadow nothing and base reads must never be
     staler than the instance itself.  Scans of overlay names are marked
     ``[cached]`` in the plan text.
+
+    ``context`` (an :class:`~repro.api.context.OptimizeContext`) supplies
+    execution flags — currently ``use_hash_joins`` — so façade callers
+    need not unpack them by hand.
     """
 
+    if context is not None:
+        use_hash_joins = use_hash_joins or context.use_hash_joins
     counters = counters or Counters()
     cached_names = frozenset(overlays) if overlays else None
     plan = compile_query(
@@ -65,7 +72,20 @@ def execute(
     )
 
 
-def explain(query: PCQuery, use_hash_joins: bool = False) -> str:
-    """The operator tree a query compiles to (without running it)."""
+def explain(
+    query: PCQuery,
+    use_hash_joins: bool = False,
+    cached_names: Optional[FrozenSet[str]] = None,
+) -> str:
+    """The operator tree a query compiles to (without running it).
 
-    return compile_query(query, use_hash_joins=use_hash_joins).explain()
+    ``cached_names`` threads the hybrid ``[cached]`` overlay annotation
+    through, so the text matches what :func:`execute` with the equivalent
+    ``overlays`` actually runs — without it, explaining a semantic-cache
+    hybrid plan silently dropped the ``[cached]`` scan tags and the text
+    diverged from the executed plan.
+    """
+
+    return compile_query(
+        query, use_hash_joins=use_hash_joins, cached_names=cached_names
+    ).explain()

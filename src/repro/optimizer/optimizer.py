@@ -38,13 +38,14 @@ Two backchase **strategies** drive step 2:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backchase.backchase import BackchaseStats, minimal_subqueries
 from repro.chase.chase import ChaseEngine, ChaseResult, chase
 from repro.constraints.epcd import EPCD
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, ReproDeprecationWarning
 from repro.optimizer.cost import CostModel, estimate_cost
 from repro.optimizer.refine import (
     nonfailing_refinement,
@@ -121,7 +122,7 @@ class Optimizer:
 
     def __init__(
         self,
-        constraints: Sequence[EPCD],
+        constraints: Sequence[EPCD] = (),
         physical_names: Optional[Iterable[str]] = None,
         statistics: Optional[Statistics] = None,
         cost_model: Optional[CostModel] = None,
@@ -129,23 +130,63 @@ class Optimizer:
         max_backchase_nodes: int = 20_000,
         reorder: bool = True,
         strategy: str = "pruned",
+        context=None,
     ) -> None:
-        if strategy not in self.STRATEGIES:
-            raise OptimizationError(
-                f"unknown strategy {strategy!r} (expected one of {self.STRATEGIES})"
+        """Build from classic keyword arguments or from one
+        :class:`~repro.api.context.OptimizeContext` (``context=...``),
+        which wins over the individual kwargs when given."""
+
+        if context is None:
+            if strategy not in self.STRATEGIES:
+                raise OptimizationError(
+                    f"unknown strategy {strategy!r} "
+                    f"(expected one of {self.STRATEGIES})"
+                )
+            self.constraints = list(constraints)
+            self.physical_names = (
+                frozenset(physical_names) if physical_names else None
             )
-        self.constraints = list(constraints)
-        self.physical_names = frozenset(physical_names) if physical_names else None
-        self.statistics = statistics or Statistics()
-        self.cost_model = cost_model or CostModel()
-        self.max_chase_steps = max_chase_steps
-        self.max_backchase_nodes = max_backchase_nodes
-        self.reorder = reorder
-        self.strategy = strategy
+            self.statistics = statistics or Statistics()
+            self.cost_model = cost_model or CostModel()
+            self.max_chase_steps = max_chase_steps
+            self.max_backchase_nodes = max_backchase_nodes
+            self.reorder = reorder
+            self.strategy = strategy
+        else:
+            self.constraints = list(context.constraints)
+            self.physical_names = context.physical_names
+            self.statistics = context.statistics
+            self.cost_model = context.cost_model
+            self.max_chase_steps = context.max_chase_steps
+            self.max_backchase_nodes = context.max_backchase_nodes
+            self.reorder = context.reorder
+            self.strategy = context.strategy
+        self._context = context
         # Per-optimize() memos shared between the pruned search's bounding
         # coster and the final plan assembly.
         self._pipeline_cache: Dict[str, List[Tuple[PCQuery, bool]]] = {}
         self._plan_cache: Dict[Tuple[str, bool], Plan] = {}
+
+    @property
+    def context(self):
+        """This optimizer's state as one frozen
+        :class:`~repro.api.context.OptimizeContext` (built lazily when
+        the optimizer was constructed from classic kwargs)."""
+
+        if self._context is None:
+            from repro.api.context import OptimizeContext
+
+            self._context = OptimizeContext(
+                constraints=tuple(self.constraints),
+                physical_names=self.physical_names,
+                statistics=self.statistics,
+                cost_model=self.cost_model,
+                strategy=self.strategy,
+                max_chase_steps=self.max_chase_steps,
+                max_backchase_nodes=self.max_backchase_nodes,
+                reorder=self.reorder,
+            )
+        return self._context
 
     # -- phases --------------------------------------------------------------
 
@@ -270,14 +311,20 @@ class Optimizer:
     ) -> OptimizationResult:
         """Run Algorithm 1 on ``query``.
 
-        The keyword arguments set up an **ephemeral** optimization context
-        for this one call — the semantic result cache injects each cached
-        view's ``cV``/``c'V`` pair (plus view cardinalities and a view-only
-        physical filter) per request this way.  ``extra_constraints`` are
-        appended to the optimizer's constraint set without rebuilding it
-        (the existing EPCD objects are shared); ``physical_names`` replaces
-        the plan filter (``None`` disables it); ``statistics`` replaces the
-        catalog.  The optimizer itself is left untouched.
+        .. deprecated::
+            The keyword arguments set up an **ephemeral** optimization
+            context for this one call.  They are superseded by
+            :class:`~repro.api.context.OptimizeContext`: build
+            ``Optimizer(context=opt.context.override(...))`` instead —
+            the semantic result cache now injects its per-request view
+            pairs, observed statistics and physical filter that way.
+            This shim warns :class:`ReproDeprecationWarning` (escalated
+            to an error by the test suite's ``filterwarnings`` gate) and
+            delegates to the context path unchanged: ``extra_constraints``
+            are appended to the constraint set (EPCD objects shared),
+            ``physical_names`` replaces the plan filter (``None``
+            disables it), ``statistics`` replaces the catalog, and the
+            optimizer itself is left untouched.
         """
 
         if (
@@ -285,6 +332,14 @@ class Optimizer:
             or physical_names is not self._KEEP
             or statistics is not None
         ):
+            warnings.warn(
+                "Optimizer.optimize(extra_constraints=/physical_names=/"
+                "statistics=) is deprecated; build an ephemeral optimizer "
+                "with Optimizer(context=optimizer.context.override(...)) "
+                "or go through repro.Database",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
             return self._ephemeral(
                 extra_constraints, physical_names, statistics
             ).optimize(query)
@@ -336,22 +391,22 @@ class Optimizer:
     ) -> "Optimizer":
         """A per-request clone with constraints/filter/statistics overlaid.
 
-        Cheap by construction: the constraint list is concatenated (the
-        EPCDs themselves are shared, nothing is re-derived) and the cost
-        model and limits are carried over.
+        Cheap by construction: one :meth:`OptimizeContext.override` call —
+        the constraint tuple is concatenated (the EPCDs themselves are
+        shared, nothing is re-derived) and the cost model and limits are
+        carried over.
         """
 
+        from repro.api.context import KEEP
+
         return Optimizer(
-            self.constraints + list(extra_constraints or ()),
-            physical_names=(
-                self.physical_names if physical_names is self._KEEP else physical_names
-            ),
-            statistics=statistics or self.statistics,
-            cost_model=self.cost_model,
-            max_chase_steps=self.max_chase_steps,
-            max_backchase_nodes=self.max_backchase_nodes,
-            reorder=self.reorder,
-            strategy=self.strategy,
+            context=self.context.override(
+                extra_constraints=tuple(extra_constraints or ()),
+                physical_names=(
+                    KEEP if physical_names is self._KEEP else physical_names
+                ),
+                statistics=statistics,
+            )
         )
 
     def _is_physical(self, query: PCQuery) -> bool:

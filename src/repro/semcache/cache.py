@@ -107,11 +107,33 @@ class SemanticCache:
         cost_model: Optional[CostModel] = None,
         policy: Optional[CostBenefitPolicy] = None,
         max_rewrite_views: int = 8,
-        strategy: str = "pruned",
-        max_chase_steps: int = 200,
-        max_backchase_nodes: int = 20_000,
+        strategy: Optional[str] = None,
+        max_chase_steps: Optional[int] = None,
+        max_backchase_nodes: Optional[int] = None,
         name_prefix: str = NAME_PREFIX,
+        context=None,
     ) -> None:
+        """``context`` (an :class:`~repro.api.context.OptimizeContext`,
+        e.g. ``Database.context``) supplies constraints, statistics, cost
+        model, strategy and search limits in one value — the façade's
+        wiring path.  Every explicitly-passed argument still wins over
+        the context; the physical filter is always per-request
+        (:meth:`plan_rewrite`), so a context's filter is not inherited.
+        Without either, the defaults are ``strategy="pruned"``,
+        ``max_chase_steps=200``, ``max_backchase_nodes=20_000``."""
+
+        if context is not None:
+            constraints = list(constraints) or list(context.constraints)
+            statistics = statistics or context.statistics
+            cost_model = cost_model or context.cost_model
+            strategy = strategy or context.strategy
+            max_chase_steps = max_chase_steps or context.max_chase_steps
+            max_backchase_nodes = (
+                max_backchase_nodes or context.max_backchase_nodes
+            )
+        strategy = strategy or "pruned"
+        max_chase_steps = max_chase_steps or 200
+        max_backchase_nodes = max_backchase_nodes or 20_000
         self.statistics = statistics or Statistics()
         self.cost_model = cost_model or CostModel()
         self.policy = policy or CostBenefitPolicy()
@@ -175,6 +197,19 @@ class SemanticCache:
         self._touch(view)
         return view
 
+    def peek_exact(self, query: PCQuery) -> Optional[CachedView]:
+        """:meth:`lookup_exact` without the bookkeeping: no lookup is
+        counted and no recency is refreshed.  The explain path uses this
+        to predict what a session would serve without perturbing it."""
+
+        name = self._exact.get(query.canonical_key())
+        if name is None:
+            return None
+        view = self._views.get(name)
+        if view is None or view.stale or view.result is None:
+            return None
+        return view
+
     def candidate_views(self, query: PCQuery) -> List[CachedView]:
         """Relevant live views, most recently useful first, capped at
         ``max_rewrite_views`` (bounds the per-request chase)."""
@@ -189,6 +224,7 @@ class SemanticCache:
         query: PCQuery,
         require_executable: bool = False,
         base_names: Optional[FrozenSet[str]] = None,
+        record: bool = True,
     ) -> Optional[Rewrite]:
         """Rewrite ``query`` onto cached extents, or ``None`` on a miss.
 
@@ -208,12 +244,18 @@ class SemanticCache:
         With ``require_executable`` a rewrite that involves a plan-only
         view (nothing to scan) is a miss and counts nothing; sessions pass
         it so a hit is only ever recorded for a request actually served.
+
+        ``record=False`` is a pure *peek*: the rewrite decision runs
+        identically but no counters move, no benefit accrues and no view
+        recency is refreshed — the explain path predicting what a session
+        would serve.
         """
 
         candidates = self.candidate_views(query)
         if not candidates:
             return None
-        self.stats.rewrite_attempts += 1
+        if record:
+            self.stats.rewrite_attempts += 1
         extra: List[EPCD] = []
         for view in candidates:
             extra.extend(view.constraints)
@@ -221,15 +263,19 @@ class SemanticCache:
         if base_names is not None:
             physical |= frozenset(base_names)
         statistics = self._rewrite_statistics(candidates)
+        # The per-request ephemeral context: base constraints + the
+        # candidate views' cV/c'V pairs, observed extent statistics, and
+        # the view(/base) physical filter — one frozen overlay.
+        context = self._optimizer.context.override(
+            extra_constraints=tuple(extra),
+            physical_names=physical,
+            statistics=statistics,
+        )
         try:
-            result = self._optimizer.optimize(
-                query,
-                extra_constraints=extra,
-                physical_names=physical,
-                statistics=statistics,
-            )
+            result = Optimizer(context=context).optimize(query)
         except ReproError:
-            self.stats.rewrite_failures += 1
+            if record:
+                self.stats.rewrite_failures += 1
             return None
         if not result.best.physical_only:
             return None
@@ -247,6 +293,8 @@ class SemanticCache:
         )
         if require_executable and not rewrite.executable:
             return None
+        if not record:
+            return rewrite
         if hybrid:
             self.stats.hybrid_hits += 1
         else:

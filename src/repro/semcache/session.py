@@ -76,15 +76,21 @@ class CachedSession:
         register_results: bool = True,
         use_hash_joins: bool = False,
         hybrid: bool = True,
+        context=None,
         **cache_options,
     ) -> None:
+        """``context`` (an :class:`~repro.api.context.OptimizeContext`)
+        supplies constraints/statistics/cost model/strategy/limits in one
+        value — how ``Database.session()`` wires sessions; the individual
+        arguments remain for standalone use."""
+
         self.instance = instance
         self.enabled = enabled
         self.register_results = register_results
         self.use_hash_joins = use_hash_joins
         self.hybrid = hybrid
         self.cache = cache or SemanticCache(
-            constraints, statistics=statistics, **cache_options
+            constraints, statistics=statistics, context=context, **cache_options
         )
         self._watcher = InstanceWatcher(instance, self.cache) if enabled else None
 

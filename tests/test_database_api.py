@@ -1,0 +1,410 @@
+"""Unit tests for the :class:`repro.Database` façade.
+
+Covers: workload constructors, the frozen :class:`OptimizeContext` and its
+fingerprint, the cross-request plan cache (hit/miss/eviction/invalidation
+counters, strategy keying), prepared queries skipping chase/backchase on
+repeat runs, the ``Database.explain`` ≡ ``session.run().plan_text`` parity
+regression (the hybrid ``[cached]`` overlay fix), session wiring, and the
+deprecation shims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    CacheConfig,
+    Database,
+    Instance,
+    OptimizeContext,
+    Optimizer,
+    ReproDeprecationWarning,
+    ReproError,
+    Row,
+    Statistics,
+    evaluate,
+    execute,
+    parse_constraint,
+    parse_query,
+)
+from repro.api import build_workload
+from repro.api.plancache import PlanCache
+from repro.errors import OptimizationError
+from repro.exec.engine import explain
+
+
+def rs_database(**kwargs) -> Database:
+    return Database.from_workload(
+        "rs", n_r=60, n_s=60, b_values=30, seed=5, **kwargs
+    )
+
+
+class TestFromWorkload:
+    @pytest.mark.parametrize("name", ["rs", "rabc", "projdept", "oo_asr"])
+    def test_builds_and_answers_the_canonical_query(self, name):
+        db = Database.from_workload(name)
+        result = db.execute(db.workload.query)
+        assert result.results == evaluate(db.workload.query, db.instance)
+        db.close()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError, match="unknown workload"):
+            Database.from_workload("nope")
+        with pytest.raises(ReproError, match="unknown workload"):
+            build_workload("nope")
+
+    def test_builder_kwargs_pass_through(self):
+        db = Database.from_workload("rs", n_r=10, n_s=10, b_values=5, seed=1)
+        assert len(db.instance["R"]) == 10
+        assert db.physical_names == db.workload.physical_names
+        assert tuple(db.constraints) == tuple(db.workload.constraints)
+        assert db.statistics is db.workload.statistics
+
+
+class TestOptimizeContext:
+    def test_frozen(self):
+        ctx = OptimizeContext()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.strategy = "full"
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(OptimizationError, match="unknown strategy"):
+            OptimizeContext(strategy="greedy")
+
+    def test_override_appends_and_shares_constraints(self):
+        dep = parse_constraint(
+            "forall (r in R) -> exists (s in S) r.B = s.B", "ric"
+        )
+        extra = parse_constraint(
+            "forall (s in S) -> exists (r in R) s.B = r.B", "cir"
+        )
+        ctx = OptimizeContext(constraints=(dep,))
+        over = ctx.override(extra_constraints=(extra,))
+        assert over.constraints == (dep, extra)
+        assert over.constraints[0] is dep  # shared, not re-derived
+        assert ctx.constraints == (dep,)  # original untouched
+
+    def test_override_keeps_vs_clears_physical_filter(self):
+        ctx = OptimizeContext(physical_names=frozenset({"R"}))
+        assert ctx.override().physical_names == frozenset({"R"})
+        assert ctx.override(physical_names=None).physical_names is None
+        assert ctx.override(
+            physical_names=frozenset({"Z"})
+        ).physical_names == frozenset({"Z"})
+
+    def test_fingerprint_is_stable_and_design_sensitive(self):
+        dep = parse_constraint(
+            "forall (r in R) -> exists (s in S) r.B = s.B", "ric"
+        )
+        a = OptimizeContext(constraints=(dep,))
+        b = OptimizeContext(constraints=(dep,))
+        assert a.fingerprint() == a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != a.override(strategy="full").fingerprint()
+        assert (
+            a.fingerprint()
+            != a.override(physical_names=frozenset({"R"})).fingerprint()
+        )
+        assert a.fingerprint() != OptimizeContext().fingerprint()
+
+    def test_fingerprint_ignores_statistics(self):
+        """Statistics staleness is handled by invalidation, not key churn."""
+
+        dep = parse_constraint(
+            "forall (r in R) -> exists (s in S) r.B = s.B", "ric"
+        )
+        a = OptimizeContext(constraints=(dep,))
+        refreshed = a.override(statistics=Statistics().set_card("R", 7))
+        assert a.fingerprint() == refreshed.fingerprint()
+
+    def test_optimizer_roundtrip(self):
+        ctx = OptimizeContext(strategy="full", max_chase_steps=77)
+        opt = ctx.optimizer()
+        assert opt.strategy == "full"
+        assert opt.max_chase_steps == 77
+        assert opt.context is ctx
+
+    def test_backchase_and_exec_consume_contexts(self):
+        from repro import minimal_subqueries
+
+        dep = parse_constraint(
+            "forall (r in R) -> exists (s in S) r.B = s.B", "ric"
+        )
+        ctx = OptimizeContext(constraints=(dep,))
+        q = parse_query(
+            "select struct(A = r.A) from R r, S s where r.B = s.B"
+        )
+        # the context stands in for the deps argument (and, for the
+        # pruned search, the statistics/cost-model defaults)
+        for strategy in ("full", "pruned"):
+            with_ctx = minimal_subqueries(q, context=ctx, strategy=strategy)
+            classic = minimal_subqueries(q, [dep], strategy=strategy)
+            assert [f.canonical_key() for f in with_ctx] == [
+                f.canonical_key() for f in classic
+            ]
+        with pytest.raises(ReproError, match="constraint set"):
+            minimal_subqueries(q)
+
+        # execute() takes its execution flags from the context
+        instance = Instance({"R": frozenset({Row(A=1, B=2)})})
+        scan = parse_query("select r.A from R r")
+        hashed = execute(
+            scan, instance, context=OptimizeContext(use_hash_joins=True)
+        )
+        assert hashed.results == frozenset({1})
+
+
+class TestPlanCache:
+    def test_miss_then_hits_return_the_same_result(self):
+        db = rs_database()
+        q = db.workload.query
+        first = db.optimize(q)
+        info = db.plan_cache_info()
+        assert (info.misses, info.hits) == (1, 0)
+        assert db.optimize(q) is first  # a hit: no chase/backchase re-run
+        assert db.plan_cache_info().hits == 1
+
+    def test_strategy_override_is_keyed_separately(self):
+        db = rs_database()
+        q = db.workload.query
+        pruned = db.optimize(q)
+        full = db.optimize(q, strategy="full")
+        assert db.plan_cache_info().misses == 2
+        assert full.strategy == "full" and pruned.strategy == "pruned"
+        assert full.best.cost == pruned.best.cost
+        assert db.optimize(q, strategy="full") is full
+
+    def test_bypass_moves_no_counters(self):
+        db = rs_database()
+        db.optimize(db.workload.query, use_plan_cache=False)
+        info = db.plan_cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_lru_eviction(self):
+        db = rs_database(cache_config=CacheConfig(plan_cache_size=1))
+        q1 = parse_query("select struct(A = r.A) from R r")
+        q2 = parse_query("select struct(C = s.C) from S s")
+        db.optimize(q1)
+        db.optimize(q2)  # evicts q1
+        info = db.plan_cache_info()
+        assert (info.size, info.evictions) == (1, 1)
+        db.optimize(q1)  # re-optimized: a miss, not a hit
+        assert db.plan_cache_info().misses == 3
+
+    def test_disabled_plan_cache(self):
+        db = rs_database(cache_config=CacheConfig(plan_cache_size=0))
+        db.optimize(db.workload.query)
+        info = db.plan_cache_info()
+        assert (info.hits, info.misses, info.size, info.max_size) == (0, 0, 0, 0)
+
+    def test_mutation_invalidates_only_dependents(self):
+        db = rs_database()
+        join = db.workload.query  # reads R, S (and V/IR/IS plans)
+        s_only = parse_query("select struct(C = s.C) from S s where s.C = 3")
+        db.optimize(join)
+        db.optimize(s_only)
+        assert db.plan_cache_info().size == 2
+        db.instance["R"] = db.instance["R"]  # touches R: join entry only
+        info = db.plan_cache_info()
+        assert info.invalidations == 1
+        assert info.size == 1
+        assert db.optimize(s_only)  # still a hit
+        assert db.plan_cache_info().hits == 1
+
+    def test_refresh_statistics_clears_the_cache(self):
+        db = rs_database()
+        db.optimize(db.workload.query)
+        db.refresh_statistics()
+        info = db.plan_cache_info()
+        assert info.size == 0
+        assert info.invalidations == 1
+
+    def test_plancache_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_size=0)
+
+
+class TestExecuteAndPrepare:
+    def test_execute_equals_cold_pipeline(self):
+        db = rs_database()
+        q = db.workload.query
+        cold_opt = Optimizer(
+            list(db.constraints),
+            physical_names=db.physical_names,
+            statistics=db.statistics,
+        )
+        cold = execute(cold_opt.optimize(q).best.query, db.instance)
+        got = db.execute(q)
+        assert got.results == cold.results == evaluate(q, db.instance)
+        assert got.plan_text == cold.plan_text
+
+    def test_prepare_skips_chase_on_repeat_runs(self):
+        db = rs_database()
+        q = db.workload.query
+        prepared = db.prepare(q)  # pays the single optimization
+        assert db.plan_cache_info().misses == 1
+        first = prepared.run()
+        second = prepared.run()
+        info = db.plan_cache_info()
+        assert info.misses == 1  # no re-optimization happened
+        assert info.hits >= 2  # every run() re-fetched the cached plan
+        assert first.results == second.results == db.execute(q).results
+
+    def test_prepared_run_with_overlays(self):
+        instance = Instance({"R": frozenset(Row(A=i, B=i % 2) for i in range(6))})
+        db = Database(instance=instance)
+        prepared = db.prepare(parse_query("select r.A from R r where r.B = 1"))
+        assert len(prepared.run()) == 3
+        shadow = frozenset({Row(A=99, B=1)})
+        assert prepared.run(overlays={"R": shadow}).results == frozenset({99})
+        # the overlay never leaked into the base instance
+        assert len(prepared.run()) == 3
+
+    def test_prepared_run_against_substitute_instance(self):
+        db = rs_database()
+        q = parse_query("select struct(C = s.C) from S s where s.C = 0")
+        prepared = db.prepare(q)
+        other = Instance({"S": frozenset({Row(B=1, C=0)})})
+        assert len(prepared.run(instance=other)) == 1
+
+    def test_mutation_reoptimizes_prepared_plan(self):
+        # A database with no derived structures: mutations cannot leave
+        # the physical design stale, so logical equivalence must survive.
+        instance = Instance(
+            {"S": frozenset(Row(B=i % 4, C=i) for i in range(8))}
+        )
+        db = Database(instance=instance)
+        q = parse_query("select struct(C = s.C) from S s where s.B = 3")
+        prepared = db.prepare(q)
+        prepared.run()
+        instance["S"] = frozenset({Row(B=3, C=41), Row(B=4, C=2)})
+        assert db.plan_cache_info().invalidations >= 1
+        got = prepared.run()  # transparently re-optimized
+        assert got.results == evaluate(q, instance)
+        assert len(got.results) == 1
+        assert db.plan_cache_info().misses == 2
+        # auto-observed statistics refreshed from the mutated instance
+        assert db.statistics.card("S") == 2.0
+
+    def test_execute_without_instance_raises(self):
+        db = Database(constraints=())
+        with pytest.raises(ReproError, match="no instance"):
+            db.execute(parse_query("select r.A from R r"))
+        with pytest.raises(ReproError, match="no instance"):
+            db.session()
+
+
+class TestExplainParity:
+    """Satellite regression: ``Database.explain`` must render exactly what
+    would execute — including the hybrid ``[cached]`` overlay tags that
+    ``exec.engine.explain`` used to drop unless callers threaded
+    ``cached_names`` by hand."""
+
+    WARM = "select struct(A = r.A, B = r.B) from R r where r.A = 4"
+    PARTIAL = (
+        "select struct(A = r.A, C = s.C) from R r, S s "
+        "where r.B = s.B and r.A = 4"
+    )
+
+    def test_engine_explain_threads_cached_names(self):
+        q = parse_query(self.WARM)
+        assert "[cached]" not in explain(q)
+        assert "[cached]" in explain(q, cached_names=frozenset({"R"}))
+
+    def test_explain_matches_execute(self):
+        db = rs_database()
+        q = db.workload.query
+        assert db.explain(q) == db.execute(q).plan_text
+
+    def test_explain_matches_session_on_every_tier(self):
+        db = rs_database()
+        session = db.session()
+        warm = parse_query(self.WARM)
+        partial = parse_query(self.PARTIAL)
+
+        # cold tier: nothing cached yet
+        assert db.explain(warm, session=session) == session.run(warm).plan_text
+
+        # hybrid tier: the partial query joins the cached selection with S
+        text = db.explain(partial, session=session)
+        ran = session.run(partial)
+        assert ran.source == "hybrid"
+        assert text == ran.plan_text
+        assert "[cached]" in text
+
+        # exact tier: the promoted answer executes no plan at all
+        assert db.explain(partial, session=session) == ""
+        exact = session.run(partial)
+        assert exact.source == "exact" and exact.plan_text == ""
+
+        # disabled sessions explain the raw cold execution
+        cold_session = db.session(enabled=False)
+        assert db.explain(partial, session=cold_session) == explain(partial)
+        session.close()
+        db.close()
+
+    def test_explain_is_a_pure_peek(self):
+        db = rs_database()
+        session = db.session()
+        session.run(parse_query(self.WARM))
+        before = session.stats.as_dict()
+        views_before = {v.name: v.hits for v in session.cache.views()}
+        db.explain(parse_query(self.PARTIAL), session=session)
+        assert session.stats.as_dict() == before
+        assert {v.name: v.hits for v in session.cache.views()} == views_before
+        session.close()
+
+
+class TestSessionWiring:
+    def test_session_inherits_the_database_context(self):
+        db = rs_database()
+        session = db.session()
+        assert session.cache.statistics is db.statistics
+        assert len(session.cache._optimizer.constraints) == len(db.constraints)
+        assert session.hybrid is True
+        session.close()
+
+    def test_cache_config_drives_session_defaults(self):
+        db = rs_database(
+            cache_config=CacheConfig(hybrid=False, max_rewrite_views=2)
+        )
+        session = db.session()
+        assert session.hybrid is False
+        assert session.cache.max_rewrite_views == 2
+        override = db.session(hybrid=True)
+        assert override.hybrid is True
+        session.close()
+        override.close()
+
+    def test_session_accepts_per_session_overrides(self):
+        db = rs_database()
+        # use_hash_joins must be overridable per session (regression: it
+        # used to collide with the context-supplied default)
+        session = db.session(use_hash_joins=True)
+        assert session.use_hash_joins is True
+        session.close()
+        # explicit strategy/limits win over the context's
+        full = db.session(strategy="full", max_backchase_nodes=99)
+        assert full.cache._optimizer.strategy == "full"
+        assert full.cache._optimizer.max_backchase_nodes == 99
+        full.close()
+        inherited = db.session()
+        assert inherited.cache._optimizer.strategy == db.strategy
+        inherited.close()
+
+    def test_disabled_session_serves_cold(self):
+        db = rs_database(cache_config=CacheConfig(semantic_cache=False))
+        session = db.session()
+        got = session.run(parse_query("select struct(A = r.A) from R r"))
+        assert got.source == "cold"
+        assert len(session.cache) == 0
+
+
+class TestDeprecationShims:
+    def test_build_repl_workload_shim_warns_and_delegates(self):
+        from repro.cli import _build_repl_workload
+
+        with pytest.warns(ReproDeprecationWarning):
+            wl = _build_repl_workload("rabc")
+        assert "R" in wl.instance

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Instance, Row, Statistics, evaluate, parse_query
+from repro import (
+    Instance,
+    ReproDeprecationWarning,
+    Row,
+    Statistics,
+    evaluate,
+    parse_query,
+)
 from repro.chase.cache import ContainmentCache
 from repro.chase.chase import ChaseEngine
 from repro.optimizer.cost import CostModel
@@ -510,23 +517,48 @@ class TestSemanticCacheUnit:
 
 
 class TestOptimizerEphemeral:
-    def test_extra_constraints_do_not_mutate_optimizer(self):
+    """The ephemeral-kwargs path is a deprecation shim over
+    ``OptimizeContext.override``: it must warn (the pytest gate escalates
+    a silent use to an error) and keep its exact old semantics."""
+
+    def test_extra_constraints_shim_warns_and_does_not_mutate(self):
         opt = Optimizer([], strategy="pruned")
         dep = parse_constraint(
             "forall (r in R) -> exists (s in S) r.B = s.B", "ric"
         )
         q = parse_query("select struct(A = r.A) from R r")
-        result = opt.optimize(q, extra_constraints=[dep])
+        with pytest.warns(ReproDeprecationWarning):
+            result = opt.optimize(q, extra_constraints=[dep])
         assert result.best is not None
         assert opt.constraints == []
         assert opt.physical_names is None
 
-    def test_physical_override_is_per_call(self):
+    def test_physical_override_shim_is_per_call(self):
         opt = Optimizer([], physical_names=("R",))
         q = parse_query("select struct(A = r.A) from R r")
-        filtered = opt.optimize(q, physical_names=frozenset({"Z"}))
+        with pytest.warns(ReproDeprecationWarning):
+            filtered = opt.optimize(q, physical_names=frozenset({"Z"}))
         assert not filtered.best.physical_only
         assert opt.optimize(q).best.physical_only
+
+    def test_context_override_matches_shim(self):
+        """The replacement path produces the same answer, warning-free."""
+
+        dep = parse_constraint(
+            "forall (r in R) -> exists (s in S) r.B = s.B", "ric"
+        )
+        q = parse_query("select struct(A = r.A) from R r")
+        opt = Optimizer([], strategy="pruned")
+        via_context = Optimizer(
+            context=opt.context.override(extra_constraints=(dep,))
+        ).optimize(q)
+        with pytest.warns(ReproDeprecationWarning):
+            via_shim = opt.optimize(q, extra_constraints=[dep])
+        assert via_context.best.cost == via_shim.best.cost
+        assert (
+            via_context.best.query.canonical_key()
+            == via_shim.best.query.canonical_key()
+        )
 
 
 class TestContainmentCacheLRU:
