@@ -2,13 +2,15 @@
 #
 #   make test         tier-1 suite (what CI gates on)
 #   make check        the full gate: tier-1 tests, bench smokes, golden suite
-#   make golden       regenerate tests/golden/plans.json (review the diff!)
-#   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json,
-#                     BENCH_e13.json, BENCH_e14.json and BENCH_e15.json)
+#   make golden       regenerate tests/golden/* (review the diff!)
+#   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json ..
+#                     BENCH_e16.json)
+#   make bench-report aggregate the BENCH_e*.json artifacts into one table
 #   make bench-e12    the full E12 pruning benchmark
 #   make bench-e13    the full E13 semantic-cache benchmark
 #   make bench-e14    the full E14 hybrid view-join-base benchmark
 #   make bench-e15    the full E15 prepared-query / plan-cache benchmark
+#   make bench-e16    the full E16 physical-design-advisor benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -16,7 +18,10 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test check golden bench bench-smoke bench-e12 bench-e13 bench-e14 bench-e15
+GOLDEN_FILES := tests/test_golden_plans.py tests/test_advisor.py
+
+.PHONY: test check golden bench bench-smoke bench-report \
+	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16
 
 test:
 	$(PYTEST) -x -q
@@ -27,14 +32,17 @@ test:
 check:
 	$(PYTEST) -x -q -m "not bench_smoke and not golden"
 	$(PYTEST) -q -m bench_smoke tests/test_bench_smoke.py
-	$(PYTEST) -q -m golden tests/test_golden_plans.py
+	$(PYTEST) -q -m golden $(GOLDEN_FILES)
 
 golden:
-	GOLDEN_REGEN=1 $(PYTEST) -q -m golden tests/test_golden_plans.py
+	GOLDEN_REGEN=1 $(PYTEST) -q -m golden $(GOLDEN_FILES)
 	@git --no-pager diff --stat tests/golden/ || true
 
 bench-smoke:
 	$(PYTEST) -q -m bench_smoke tests/test_bench_smoke.py
+
+bench-report:
+	PYTHONPATH=src python benchmarks/report.py
 
 bench-e12:
 	$(PYTEST) -q benchmarks/bench_e12_pruning.py
@@ -47,6 +55,9 @@ bench-e14:
 
 bench-e15:
 	$(PYTEST) -q benchmarks/bench_e15_prepared.py
+
+bench-e16:
+	$(PYTEST) -q benchmarks/bench_e16_advisor.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

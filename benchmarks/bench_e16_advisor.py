@@ -1,0 +1,262 @@
+"""E16 — the physical design advisor: empty vs advisor-chosen vs
+hand-written designs on the E1/E5 mixes.
+
+The tuning loop the ROADMAP north star implies: given only the *logical*
+core of a workload (hand-written views/indexes stripped —
+:func:`repro.advisor.logical_database`), can the advisor pick a design
+that actually pays for itself?  Three arms run the same repeated mixes
+from the E13 benchmark over identical data:
+
+* **empty** — the logical core as-is: every query runs against base
+  relations only (the ``Database`` plan cache still amortizes the
+  chase/backchase, so the measured difference is execution, not planning);
+* **advised** — ``db.advise(mix, budget)`` on a fresh logical core, then
+  ``db.apply_design(report)``: the chosen views/index dictionaries are
+  materialized, the context grows their constraint pairs, and the same
+  mix re-runs;
+* **hand-written** — ``Database.from_workload(...)``: the paper's own
+  design for the scenario, as a reference point.
+
+Acceptance (:func:`assert_advisor_effective` / :func:`assert_advisor_wins`):
+identical answer sets across all three arms query-for-query, a non-empty
+chosen design within budget, the advisor's *estimated* total strictly
+below the empty baseline's, and the advised arm's *measured* steady-state
+latency strictly below the empty arm's.  The hand-written arm is reported
+(and loosely gated at full scale) as the competitiveness yardstick.
+
+``run_advisor_comparison`` is importable — the tier-1 smoke test
+(``tests/test_bench_smoke.py``) runs one small repetition per mix and
+emits ``BENCH_e16.json``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.advisor import DesignBudget, logical_database
+from repro.api import Database
+from repro.query.ast import PCQuery
+from repro.query.parser import parse_query
+
+
+def _load_sibling(stem: str):
+    """Import a sibling benchmark module without requiring a package
+    (works both under pytest and the smoke test's spec loader)."""
+
+    path = Path(__file__).resolve().parent / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_E13 = _load_sibling("bench_e13_semcache")
+
+#: the E13 repeated mixes, reused verbatim so E13/E16 measure the same traffic
+E5_MIX = _E13.E5_MIX
+E1_MIX = _E13.E1_MIX
+
+#: per-arm workload parameters (same shapes as E13/E15)
+ARMS = {
+    "e5_rs": {
+        "workload": "rs",
+        "mix": E5_MIX,
+        "smoke": dict(n_r=300, n_s=300, b_values=60, seed=5),
+        "full": dict(n_r=1500, n_s=1500, b_values=200, seed=5),
+    },
+    "e1_projdept": {
+        "workload": "projdept",
+        "mix": E1_MIX,
+        "smoke": dict(n_depts=25, projs_per_dept=15, seed=9),
+        "full": dict(n_depts=80, projs_per_dept=40, seed=9),
+    },
+}
+
+
+def build_arm(which: str, scale: str):
+    """(workload name, builder kwargs, parsed mix) for one E16 arm."""
+
+    try:
+        arm = ARMS[which]
+    except KeyError:
+        raise ValueError(f"unknown E16 workload {which!r}") from None
+    return (
+        arm["workload"],
+        dict(arm[scale]),
+        [parse_query(text) for text in arm["mix"]],
+    )
+
+
+def _run_mix(db: Database, mix: List[PCQuery], repetitions: int):
+    """Warm-up repetition (pays the plan-cache misses), then the steady
+    state; per-request answers plus both wall times."""
+
+    answers = []
+    start = time.perf_counter()
+    for query in mix:
+        answers.append(db.execute(query).results)
+    warmup_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repetitions - 1):
+        for query in mix:
+            answers.append(db.execute(query).results)
+    return answers, warmup_seconds, time.perf_counter() - start
+
+
+def run_advisor_comparison(
+    which: str,
+    repetitions: int = 3,
+    scale: str = "smoke",
+    max_structures: int = 3,
+    max_total_tuples: float = 200_000.0,
+) -> Dict:
+    """One E16 arm: empty vs advised vs hand-written on the same mix."""
+
+    name, kwargs, mix = build_arm(which, scale)
+    budget = DesignBudget(
+        max_structures=max_structures, max_total_tuples=max_total_tuples
+    )
+
+    db_empty = logical_database(name, **kwargs)
+    empty_answers, empty_warmup, empty_steady = _run_mix(
+        db_empty, mix, repetitions
+    )
+    db_empty.close()
+
+    db_advised = logical_database(name, **kwargs)
+    advise_start = time.perf_counter()
+    report = db_advised.advise(mix, budget=budget)
+    advise_seconds = time.perf_counter() - advise_start
+    installed = db_advised.apply_design(report)
+    advised_answers, advised_warmup, advised_steady = _run_mix(
+        db_advised, mix, repetitions
+    )
+    db_advised.close()
+
+    db_hand = Database.from_workload(name, **kwargs)
+    hand_answers, hand_warmup, hand_steady = _run_mix(db_hand, mix, repetitions)
+    db_hand.close()
+
+    answers_equal = all(
+        empty == advised == hand
+        for empty, advised, hand in zip(
+            empty_answers, advised_answers, hand_answers
+        )
+    )
+
+    return {
+        "workload": which,
+        "scale": scale,
+        "repetitions": repetitions,
+        "queries_per_repetition": len(mix),
+        "budget": {
+            "max_structures": budget.max_structures,
+            "max_total_tuples": budget.max_total_tuples,
+        },
+        "chosen": report.chosen_names(),
+        "chosen_kinds": [cand.kind for cand in report.chosen],
+        "chosen_tuples": report.chosen_tuples,
+        "installed": installed,
+        "candidates_considered": report.candidates_considered,
+        "greedy_rounds": report.rounds,
+        "advise_seconds": advise_seconds,
+        "estimated_baseline_total": report.baseline_total,
+        "estimated_tuned_total": report.tuned_total,
+        "estimated_benefit": report.total_benefit,
+        "empty_warmup_seconds": empty_warmup,
+        "empty_steady_seconds": empty_steady,
+        "advised_warmup_seconds": advised_warmup,
+        "advised_steady_seconds": advised_steady,
+        "hand_warmup_seconds": hand_warmup,
+        "hand_steady_seconds": hand_steady,
+        "steady_speedup_vs_empty": (
+            empty_steady / advised_steady if advised_steady else float("inf")
+        ),
+        "answers_equal": answers_equal,
+        "whatif_plan_cache": {
+            "hits": report.plan_cache.hits,
+            "misses": report.plan_cache.misses,
+            "size": report.plan_cache.size,
+        },
+    }
+
+
+def assert_advisor_effective(result: Dict) -> None:
+    """The deterministic E16 criteria: identical answers across all three
+    arms, a non-empty in-budget design, and an estimated total strictly
+    below the empty baseline's.
+
+    Timing is asserted separately (:func:`assert_advisor_wins`) so the
+    tier-1 smoke run can gate on structure without racing the wall clock.
+    """
+
+    assert result["answers_equal"], result
+    assert result["chosen"], result
+    assert result["chosen"] == result["installed"], result
+    budget = result["budget"]
+    assert len(result["chosen"]) <= budget["max_structures"], result
+    assert result["chosen_tuples"] <= budget["max_total_tuples"], result
+    assert (
+        result["estimated_tuned_total"] < result["estimated_baseline_total"]
+    ), result
+    # the what-if plan cache must have seen reuse (shared subproblems
+    # costed once): the final report pass re-reads every greedy winner
+    assert result["whatif_plan_cache"]["hits"] > 0, result
+
+
+def assert_advisor_wins(result: Dict) -> None:
+    """The full E16 acceptance criteria for one workload arm."""
+
+    assert_advisor_effective(result)
+    assert (
+        result["advised_steady_seconds"] < result["empty_steady_seconds"]
+    ), result
+
+
+#: the advised arm may trail the paper's hand-tuned design, but not by
+#: an order of magnitude (full-scale competitiveness gate)
+HAND_COMPETITIVE_FACTOR = 5.0
+
+
+def assert_advisor_competitive(result: Dict) -> None:
+    assert (
+        result["advised_steady_seconds"]
+        <= result["hand_steady_seconds"] * HAND_COMPETITIVE_FACTOR
+    ), result
+
+
+def test_e16_rs_advisor_wins(benchmark):
+    result = benchmark.pedantic(
+        run_advisor_comparison, args=("e5_rs",), kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_advisor_wins(result)
+    assert_advisor_competitive(result)
+
+
+def test_e16_projdept_advisor_wins(benchmark):
+    result = benchmark.pedantic(
+        run_advisor_comparison,
+        args=("e1_projdept",),
+        kwargs=dict(scale="full"),
+        rounds=1, iterations=1,
+    )
+    assert_advisor_wins(result)
+    assert_advisor_competitive(result)
+
+
+def test_e16_budget_respected(benchmark):
+    """A one-structure budget yields a one-structure design that still
+    beats the empty baseline on estimates."""
+
+    result = benchmark.pedantic(
+        run_advisor_comparison,
+        args=("e5_rs",),
+        kwargs=dict(scale="full", max_structures=1),
+        rounds=1, iterations=1,
+    )
+    assert_advisor_effective(result)
+    assert len(result["chosen"]) == 1, result

@@ -1,0 +1,201 @@
+"""Aggregate the ``BENCH_e*.json`` artifacts into one printed table.
+
+The benchmark smokes (``make bench-smoke``, also part of tier-1) each emit
+a JSON artifact at the repo root; until now nothing consumed them.  ``make
+bench-report`` (or ``python benchmarks/report.py [root]``) renders the
+whole trajectory — one row per benchmark workload with its headline
+metric — so a reviewer can read the performance story of the repo from
+the artifacts alone.
+
+Unknown or future ``BENCH_e*.json`` files degrade gracefully to a row per
+workload with no headline (the file is still listed), so adding a new
+benchmark does not require touching this report first.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+
+def _speedup(cold: float, warm: float) -> str:
+    if not warm:
+        return "inf"
+    return f"{cold / warm:.1f}x"
+
+
+def _e12_rows(data: Dict) -> List[Dict[str, str]]:
+    rows = []
+    for wl in data.get("workloads", ()):
+        full = wl.get("full", {})
+        pruned = wl.get("pruned", {})
+        rows.append(
+            {
+                "workload": f"n={wl.get('n_bindings')} k={wl.get('n_indexes')}",
+                "headline": (
+                    f"explored {full.get('candidates_explored')}"
+                    f" -> {pruned.get('candidates_explored')}"
+                    f", equal cost: {wl.get('equal_cost')}"
+                ),
+            }
+        )
+    return rows
+
+
+def _e13_rows(data: Dict) -> List[Dict[str, str]]:
+    return [
+        {
+            "workload": wl["workload"],
+            "headline": (
+                f"cold {wl['cold_seconds']:.3f}s -> warm "
+                f"{wl['warm_seconds']:.3f}s "
+                f"({_speedup(wl['cold_seconds'], wl['warm_seconds'])}), "
+                f"answers equal: {wl['answers_equal']}"
+            ),
+        }
+        for wl in data.get("workloads", ())
+    ]
+
+
+def _e14_rows(data: Dict) -> List[Dict[str, str]]:
+    return [
+        {
+            "workload": wl["workload"],
+            "headline": (
+                f"steady cold {wl['cold_steady_seconds']:.3f}s -> hybrid "
+                f"{wl['hybrid_steady_seconds']:.3f}s "
+                f"({_speedup(wl['cold_steady_seconds'], wl['hybrid_steady_seconds'])}), "
+                f"rescue rate {wl['rescue_rate']:.0%}"
+            ),
+        }
+        for wl in data.get("workloads", ())
+    ]
+
+
+def _e15_rows(data: Dict) -> List[Dict[str, str]]:
+    return [
+        {
+            "workload": wl["workload"],
+            "headline": (
+                f"steady reoptimized {wl['reoptimized_steady_seconds']:.3f}s"
+                f" -> prepared {wl['prepared_steady_seconds']:.3f}s "
+                f"({_speedup(wl['reoptimized_steady_seconds'], wl['prepared_steady_seconds'])})"
+            ),
+        }
+        for wl in data.get("workloads", ())
+    ]
+
+
+def _e16_rows(data: Dict) -> List[Dict[str, str]]:
+    return [
+        {
+            "workload": wl["workload"],
+            "headline": (
+                f"design {wl['chosen']} "
+                f"(est {wl['estimated_baseline_total']:.0f}"
+                f" -> {wl['estimated_tuned_total']:.0f}), "
+                f"steady empty {wl['empty_steady_seconds']:.3f}s"
+                f" -> advised {wl['advised_steady_seconds']:.3f}s "
+                f"({_speedup(wl['empty_steady_seconds'], wl['advised_steady_seconds'])})"
+            ),
+        }
+        for wl in data.get("workloads", ())
+    ]
+
+
+def _generic_rows(data: Dict) -> List[Dict[str, str]]:
+    workloads = data.get("workloads", ())
+    if not isinstance(workloads, (list, tuple)):
+        workloads = ()
+    return [
+        {
+            "workload": (
+                str(wl.get("workload", i)) if isinstance(wl, dict) else str(wl)
+            ),
+            "headline": "",
+        }
+        for i, wl in enumerate(workloads)
+    ]
+
+
+ROW_BUILDERS: Dict[str, Callable[[Dict], List[Dict[str, str]]]] = {
+    "e12_pruning": _e12_rows,
+    "e13_semcache": _e13_rows,
+    "e14_hybrid": _e14_rows,
+    "e15_prepared": _e15_rows,
+    "e16_advisor": _e16_rows,
+}
+
+TITLES: Dict[str, str] = {
+    "e12_pruning": "E12 cost-bounded backchase (full vs pruned)",
+    "e13_semcache": "E13 semantic result cache (cold vs warm)",
+    "e14_hybrid": "E14 hybrid view-join-base rewrites",
+    "e15_prepared": "E15 prepared queries / plan cache",
+    "e16_advisor": "E16 physical design advisor (empty vs advised)",
+}
+
+
+def collect(root: Path) -> List[Dict]:
+    """Parsed ``BENCH_e*.json`` artifacts under ``root``, sorted by name."""
+
+    reports = []
+    for path in sorted(root.glob("BENCH_e*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            reports.append({"file": path.name, "error": str(exc)})
+            continue
+        if not isinstance(data, dict):
+            reports.append(
+                {"file": path.name, "error": "unexpected top-level JSON shape"}
+            )
+            continue
+        reports.append({"file": path.name, "data": data})
+    return reports
+
+
+def render(reports: List[Dict]) -> str:
+    """The printed trajectory table for :func:`collect`'s output."""
+
+    if not reports:
+        return "no BENCH_e*.json artifacts found (run `make bench-smoke`)"
+    lines: List[str] = ["benchmark trajectory (from BENCH_e*.json artifacts)", ""]
+    for report in reports:
+        if "error" in report:
+            lines.append(f"{report['file']}: unreadable ({report['error']})")
+            lines.append("")
+            continue
+        data = report["data"]
+        name = data.get("benchmark", report["file"])
+        tier = data.get("tier") or (
+            f"{data['repetitions']} repetition(s)" if "repetitions" in data else ""
+        )
+        title = TITLES.get(name, name)
+        suffix = f"  [{tier}]" if tier else ""
+        lines.append(f"{report['file']}: {title}{suffix}")
+        try:
+            rows = ROW_BUILDERS.get(name, _generic_rows)(data)
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # a stale or differently-shaped artifact degrades to the
+            # generic listing instead of aborting the whole report
+            rows = _generic_rows(data)
+        if not rows:
+            lines.append("  (no workloads recorded)")
+        for row in rows:
+            headline = f"  {row['headline']}" if row["headline"] else ""
+            lines.append(f"  - {row['workload']}{headline}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]) if args else Path(__file__).resolve().parents[1]
+    print(render(collect(root)), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

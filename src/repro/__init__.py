@@ -94,6 +94,12 @@ from repro.api import (
     PreparedQuery,
     build_workload,
 )
+from repro.advisor import (
+    AdvisorReport,
+    DesignBudget,
+    PhysicalDesignAdvisor,
+    logical_database,
+)
 from repro.query.evaluator import evaluate
 from repro.query.parser import parse_constraint, parse_path, parse_query
 from repro.query.paths import (
@@ -114,14 +120,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessSupportRelation",
+    "AdvisorReport",
     "Attr",
     "CacheConfig",
     "Database",
+    "DesignBudget",
     "OptimizeContext",
+    "PhysicalDesignAdvisor",
     "PlanCacheInfo",
     "PreparedQuery",
     "ReproDeprecationWarning",
     "build_workload",
+    "logical_database",
     "BOOL",
     "BaseType",
     "Binding",

@@ -150,6 +150,7 @@ class Database:
         use_hash_joins: bool = False,
         cache_config: Optional[CacheConfig] = None,
         workload: Any = None,
+        statistics_sample: Optional[int] = None,
     ) -> None:
         self.schema = schema
         self.instance = instance
@@ -157,12 +158,16 @@ class Database:
         self.workload = workload
         # With no explicit catalog the statistics are observed from the
         # instance and kept fresh: a mutation marks them dirty and the
-        # next optimization recomputes them.
+        # next optimization recomputes them.  ``statistics_sample`` caps
+        # every observation (initial, dirty-refresh, explicit refresh) at
+        # that many rows per extent — scaled estimates, cheap on large
+        # instances.
+        self.statistics_sample = statistics_sample
         self._auto_statistics = statistics is None and instance is not None
         self._stats_dirty = False
         if statistics is None:
             statistics = (
-                Statistics.from_instance(instance)
+                Statistics.from_instance(instance, sample=statistics_sample)
                 if instance is not None
                 else Statistics()
             )
@@ -225,7 +230,9 @@ class Database:
 
         if self._stats_dirty and self._auto_statistics:
             self._context = self._context.override(
-                statistics=Statistics.from_instance(self.instance)
+                statistics=Statistics.from_instance(
+                    self.instance, sample=self.statistics_sample
+                )
             )
             self._stats_dirty = False
         return self._context
@@ -259,7 +266,9 @@ class Database:
                     "refresh_statistics() needs an instance or an explicit "
                     "Statistics object"
                 )
-            statistics = Statistics.from_instance(self.instance)
+            statistics = Statistics.from_instance(
+                self.instance, sample=self.statistics_sample
+            )
         self._context = self._context.override(statistics=statistics)
         self._stats_dirty = False
         if self._plan_cache is not None:
@@ -417,6 +426,109 @@ class Database:
             enabled=config.semantic_cache if enabled is None else enabled,
             **options,
         )
+
+    # -- physical design tuning ------------------------------------------------
+
+    def advise(
+        self,
+        workload,
+        budget=None,
+        plan_cache_size: Optional[int] = 256,
+    ):
+        """Propose the best set of physical structures for ``workload``
+        (queries, OQL text, or ``(query, frequency)`` pairs) under a
+        :class:`~repro.advisor.advisor.DesignBudget`.
+
+        Pure analysis: candidate views/indexes are priced hypothetically —
+        their constraint pairs and estimated statistics overlaid via
+        :meth:`OptimizeContext.override` and costed by the pruned
+        backchase — and nothing is installed until
+        :meth:`apply_design`.  Returns an
+        :class:`~repro.advisor.advisor.AdvisorReport` (deterministic for a
+        fixed workload + budget)."""
+
+        from repro.advisor import PhysicalDesignAdvisor
+
+        available = self.context.physical_names
+        if available is None:
+            if self.instance is None:
+                raise ReproError(
+                    "advise() needs a physical-name filter or an instance "
+                    "to define the current design"
+                )
+            available = frozenset(self.instance.names())
+        advisor = PhysicalDesignAdvisor(
+            self.context,
+            available,
+            plan_cache_size=plan_cache_size,
+            schema=self.schema,
+        )
+        return advisor.advise(workload, budget=budget)
+
+    def apply_design(self, report) -> list:
+        """Install an :class:`~repro.advisor.advisor.AdvisorReport`'s
+        chosen design and adopt it as this database's physical design.
+
+        All-or-nothing: every structure is *materialized* (and its schema
+        entry typechecked) before anything is assigned, so a failure —
+        e.g. a :class:`~repro.physical.indexes.PrimaryIndex` chosen off
+        sampled statistics hitting a real key violation — raises with the
+        instance, schema and context untouched.  The assignments then fire
+        the mutation listeners (dependent plan-cache entries drop), the
+        context grows the design's constraint pairs and names, and —
+        when the statistics are auto-observed — the catalog is re-observed
+        so subsequent optimizations price the *real* extents (an
+        explicitly supplied catalog is preserved, exactly as the
+        constructor promises; call :meth:`refresh_statistics` yourself to
+        replace it).  Idempotent: structures whose name the instance
+        already holds are skipped (re-applying a report is a no-op, no
+        duplicated constraint pairs).  Returns the newly installed names."""
+
+        if self.instance is None:
+            raise ReproError("apply_design() needs an instance to install into")
+        pending = [
+            cand for cand in report.chosen if cand.name not in self.instance
+        ]
+        if not pending:
+            return []
+        # Phase 1 — validate: materialize every structure against the
+        # unmutated instance (chosen structures only read base names, never
+        # each other) and resolve its schema entry.
+        staged = []
+        for cand in pending:
+            value = cand.structure.materialize(self.instance)
+            schema_type = None
+            if self.schema is not None and cand.name not in self.schema:
+                schema_type = cand.schema_type(self.schema)
+            staged.append((cand, value, schema_type))
+        # Phase 2 — commit: assignments fire the invalidation listeners.
+        installed = []
+        for cand, value, schema_type in staged:
+            self.instance[cand.name] = value
+            if schema_type is not None:
+                self.schema.add(cand.name, schema_type)
+            installed.append(cand.name)
+        from repro.advisor.candidates import iter_constraints
+
+        known = {dep.name for dep in self._context.constraints}
+        current = self._context.physical_names
+        self._context = self._context.override(
+            extra_constraints=[
+                dep
+                for dep in iter_constraints(pending)
+                if dep.name not in known
+            ],
+            physical_names=(
+                None if current is None else current | frozenset(installed)
+            ),
+        )
+        if self._auto_statistics:
+            self.refresh_statistics()
+        else:
+            # the design (and with it the plan-cache fingerprint) changed:
+            # drop retained plans, but keep the caller's catalog
+            self.clear_plan_cache()
+        return installed
 
     # -- plan-cache bookkeeping ------------------------------------------------
 

@@ -11,12 +11,21 @@ Usage::
     python -m repro check    --constraints c.epcd   (syntax check)
     python -m repro serve-repl [--workload rs|rabc|projdept|oo_asr]
                                [--no-cache] [--hybrid|--no-hybrid]
+    python -m repro tune     --workload rs|rabc|projdept|oo_asr
+                             [--query q.oql ...] [--budget N]
+                             [--max-tuples N] [--sample N] [--apply]
 
 ``optimize`` accepts ``--query`` repeatedly; with ``--cache`` each
 optimized query is registered in a plan-level semantic cache so later
 queries in the same invocation can be rewritten onto earlier results.
 ``serve-repl`` starts an interactive caching query service over a built-in
-workload instance (type ``.help`` at the prompt).  ``--hybrid`` (the
+workload instance (type ``.help`` at the prompt).  ``tune`` runs the
+workload-driven physical design advisor against the named workload's
+*logical* core (hand-written design stripped): candidate views and index
+dictionaries are mined from the query mix (default: the scenario's
+canonical query), what-if costed through the backchase, and the best set
+under the budget is reported — ``--apply`` additionally installs it and
+re-runs the mix.  ``--hybrid`` (the
 default) lets cache rewrites mix cached extents with base relations
 (partial hits); ``--no-hybrid`` restores the all-or-nothing view-only
 rewrites.
@@ -174,7 +183,7 @@ REPL_HELP = """\
 Enter one PC query per line, e.g.:
   select struct(A = r.A) from R r, S s where r.B = s.B
 Commands:
-  .stats   cache and session counters
+  .stats   cache, session and plan-cache counters
   .views   cached views (name, size, hits)
   .help    this message
   .quit    exit (EOF works too)"""
@@ -223,6 +232,13 @@ def cmd_serve_repl(args) -> int:
             continue
         if line == ".stats":
             print(session.stats.report())
+            info = db.plan_cache_info()
+            print(
+                f"plan cache: hits={info.hits} misses={info.misses} "
+                f"size={info.size}/{info.max_size} "
+                f"evictions={info.evictions} "
+                f"invalidations={info.invalidations}"
+            )
             continue
         if line == ".views":
             for view in session.cache.views():
@@ -246,6 +262,39 @@ def cmd_serve_repl(args) -> int:
     session.close()
     db.close()
     print("bye")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """The physical design advisor over a built-in workload's *logical*
+    core: strip the hand-written design, mine candidates from the query
+    mix, pick the best set under the budget, optionally install it."""
+
+    from repro.advisor import DesignBudget, logical_database
+
+    db = logical_database(args.workload, sample=args.sample)
+    if args.query:
+        workload = []
+        for query_path in args.query:
+            with open(query_path) as handle:
+                workload.append(parse_query(handle.read()))
+    else:
+        workload = [db.workload.query]
+    budget = DesignBudget(
+        max_structures=args.budget, max_total_tuples=args.max_tuples
+    )
+    report = db.advise(workload, budget=budget)
+    print(report.report())
+    if args.apply:
+        installed = db.apply_design(report)
+        print(f"installed: {', '.join(installed) if installed else '(nothing)'}")
+        for query in workload:
+            result = db.execute(query)
+            print(
+                f"  {len(result.results)} rows in "
+                f"{result.elapsed_seconds * 1000:.1f} ms: {query}"
+            )
+    db.close()
     return 0
 
 
@@ -333,6 +382,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="parse/classify constraint files")
     common(p_check, query_required=False)
     p_check.set_defaults(func=cmd_check)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="workload-driven physical design advisor (views, indexes, "
+        "dictionaries chosen by the backchase)",
+    )
+    p_tune.add_argument(
+        "--workload",
+        choices=REPL_WORKLOADS,
+        required=True,
+        help="scenario whose data to tune (its hand-written design is "
+        "stripped; the advisor starts from the logical core)",
+    )
+    p_tune.add_argument(
+        "--query",
+        action="append",
+        help="file with one PC query to include in the tuned workload "
+        "(repeatable; default: the scenario's canonical query)",
+    )
+    p_tune.add_argument(
+        "--budget",
+        type=int,
+        default=4,
+        help="maximum number of structures to choose (default 4)",
+    )
+    p_tune.add_argument(
+        "--max-tuples",
+        type=float,
+        default=200_000.0,
+        help="tuple-space budget across the chosen design (default 200000)",
+    )
+    p_tune.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="cap the statistics scan at N rows per extent (scaled "
+        "estimates; keeps what-if costing cheap on large instances)",
+    )
+    p_tune.add_argument(
+        "--apply",
+        action="store_true",
+        help="install the chosen design into the instance and re-run the "
+        "workload against it",
+    )
+    p_tune.set_defaults(func=cmd_tune)
 
     p_repl = sub.add_parser(
         "serve-repl",

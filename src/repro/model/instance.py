@@ -95,6 +95,13 @@ class Instance:
 
         return frozenset(self._class_dicts.values())
 
+    def class_registry(self) -> Dict[str, str]:
+        """A copy of the class → dictionary-name registry (so callers can
+        rebuild a derived instance — e.g. the advisor's logical-only strip
+        — without reaching into private state)."""
+
+        return dict(self._class_dicts)
+
     def class_dict_name(self, class_name: str) -> str:
         try:
             return self._class_dicts[class_name]

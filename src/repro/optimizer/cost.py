@@ -207,15 +207,7 @@ def extent_statistics(
     not for a per-request path).
     """
 
-    stats = Statistics(
-        cardinality=dict(base.cardinality),
-        entry_cardinality=dict(base.entry_cardinality),
-        ndv=dict(base.ndv),
-        fanout=dict(base.fanout),
-        default_cardinality=base.default_cardinality,
-        default_ndv=base.default_ndv,
-        default_fanout=base.default_fanout,
-    )
+    stats = base.copy()
     for name, extent in extents.items():
         if extent is None:  # plan-only: a nominal one-row relation
             stats.cardinality[name] = 1.0

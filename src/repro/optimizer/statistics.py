@@ -11,8 +11,10 @@ synthetically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from itertools import islice
+from typing import Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.model.instance import Instance
 from repro.model.values import DictValue, Oid, Row
 
@@ -57,33 +59,102 @@ class Statistics:
         self.ndv[f"{name}.{attr}"] = float(value)
         return self
 
-    @staticmethod
-    def from_instance(instance: Instance) -> "Statistics":
-        """Collect exact statistics from a database instance."""
+    def copy(self) -> "Statistics":
+        """An independent copy (per-request and what-if overlays mutate the
+        copy, never the shared base catalog)."""
 
+        return Statistics(
+            cardinality=dict(self.cardinality),
+            entry_cardinality=dict(self.entry_cardinality),
+            ndv=dict(self.ndv),
+            fanout=dict(self.fanout),
+            default_cardinality=self.default_cardinality,
+            default_ndv=self.default_ndv,
+            default_fanout=self.default_fanout,
+        )
+
+    @staticmethod
+    def from_instance(
+        instance: Instance, sample: Optional[int] = None
+    ) -> "Statistics":
+        """Collect statistics from a database instance.
+
+        Without ``sample`` every extent is scanned in full and the numbers
+        are exact.  With ``sample=n`` at most ``n`` elements per extent are
+        examined: cardinalities stay exact (``len`` is O(1)), per-attribute
+        NDVs are scaled estimates (observed NDV extrapolated linearly and
+        capped at the cardinality), and fan-outs/entry sizes are sample
+        means.  This keeps advisor what-if costing cheap on large
+        instances; estimates depend on set iteration order, so exact-mode
+        callers (golden tests) should leave ``sample`` off.
+        """
+
+        if sample is not None and sample < 1:
+            raise ReproError(
+                f"sample must be >= 1 (or None for a full scan), got {sample}"
+            )
         stats = Statistics()
         for name in instance.names():
             value = instance[name]
             if isinstance(value, frozenset):
                 stats.cardinality[name] = float(len(value))
-                _collect_attr_stats(stats, name, value, instance)
+                _collect_attr_stats(stats, name, value, instance, sample=sample)
             elif isinstance(value, DictValue):
                 stats.cardinality[name] = float(len(value))
-                entries = list(value.values())
+                entries = _capped(value.values(), sample)
                 set_entries = [e for e in entries if isinstance(e, frozenset)]
                 if set_entries:
                     total = sum(len(e) for e in set_entries)
                     stats.entry_cardinality[name] = total / len(set_entries)
                 row_entries = [e for e in entries if isinstance(e, Row)]
                 if row_entries:
-                    _collect_attr_stats(stats, name, frozenset(), instance, row_entries)
+                    # NDV extrapolation must scale by the *row* population,
+                    # not the whole dict: for mixed set/row dicts estimate
+                    # it from the sampled row fraction (exact when the
+                    # sample covers the dict or the entries are all rows).
+                    row_population = len(value) * len(row_entries) / len(entries)
+                    _collect_attr_stats(
+                        stats,
+                        name,
+                        frozenset(),
+                        instance,
+                        row_entries,
+                        sample=sample,
+                        population=row_population,
+                    )
         return stats
 
 
-def _collect_attr_stats(stats, name, collection, instance, rows=None):
-    """NDV and fan-out per attribute of a set of rows/oids."""
+def _capped(iterable, sample: Optional[int]) -> List:
+    """The whole iterable, or its first ``sample`` elements."""
 
-    elements = rows if rows is not None else list(collection)
+    if sample is None:
+        return list(iterable)
+    return list(islice(iterable, int(sample)))
+
+
+def _collect_attr_stats(
+    stats, name, collection, instance, rows=None, sample=None, population=None
+):
+    """NDV and fan-out per attribute of a set of rows/oids.
+
+    With ``sample``, only that many elements are examined and observed NDVs
+    are scaled by ``population / examined`` (capped at the population) —
+    the standard linear extrapolation, cheap and good enough for ranking.
+    """
+
+    # cap BEFORE materializing: a sampled scan of a large extent must not
+    # allocate a full-extent list just to truncate it
+    source = rows if rows is not None else collection
+    if population is None:
+        population = len(source)
+    elements = _capped(source, sample)
+    examined = len(elements)
+    scale = (
+        population / examined
+        if sample is not None and examined and population > examined
+        else 1.0
+    )
     per_attr_values: Dict[str, set] = {}
     per_attr_fanout: Dict[str, list] = {}
     for element in elements:
@@ -102,7 +173,9 @@ def _collect_attr_stats(stats, name, collection, instance, rows=None):
                 per_attr_values.setdefault(attr, set()).add(value)
     for attr, values in per_attr_values.items():
         if values:
-            stats.ndv[f"{name}.{attr}"] = float(len(values))
+            stats.ndv[f"{name}.{attr}"] = min(
+                float(len(values)) * scale, float(population)
+            )
     for attr, sizes in per_attr_fanout.items():
         if sizes:
             stats.fanout[f"{name}.{attr}"] = sum(sizes) / len(sizes)

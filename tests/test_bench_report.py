@@ -1,0 +1,132 @@
+"""Units for the ``make bench-report`` aggregator (``benchmarks/report.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_report_module():
+    path = REPO_ROOT / "benchmarks" / "report.py"
+    spec = importlib.util.spec_from_file_location("bench_report", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_empty_root_degrades_gracefully(tmp_path):
+    report = _load_report_module()
+    assert "no BENCH_e*.json artifacts" in report.render(report.collect(tmp_path))
+
+
+def test_known_and_unknown_benchmarks_render(tmp_path):
+    report = _load_report_module()
+    (tmp_path / "BENCH_e13.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "e13_semcache",
+                "tier": "smoke",
+                "workloads": [
+                    {
+                        "workload": "e5_rs",
+                        "cold_seconds": 1.0,
+                        "warm_seconds": 0.25,
+                        "answers_equal": True,
+                    }
+                ],
+            }
+        )
+    )
+    (tmp_path / "BENCH_e16.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "e16_advisor",
+                "tier": "smoke",
+                "workloads": [
+                    {
+                        "workload": "e5_rs",
+                        "chosen": ["ADV_V0"],
+                        "estimated_baseline_total": 100.0,
+                        "estimated_tuned_total": 10.0,
+                        "empty_steady_seconds": 0.4,
+                        "advised_steady_seconds": 0.1,
+                    }
+                ],
+            }
+        )
+    )
+    # a future benchmark nothing knows about yet: listed, not crashed on
+    (tmp_path / "BENCH_e99.json").write_text(
+        json.dumps({"benchmark": "e99_future", "workloads": [{"workload": "x"}]})
+    )
+    out = report.render(report.collect(tmp_path))
+    assert "E13 semantic result cache" in out and "4.0x" in out
+    assert "E16 physical design advisor" in out and "ADV_V0" in out
+    assert "e99_future" in out and "- x" in out
+
+
+def test_unreadable_artifact_is_reported_not_fatal(tmp_path):
+    report = _load_report_module()
+    (tmp_path / "BENCH_e12.json").write_text("{not json")
+    out = report.render(report.collect(tmp_path))
+    assert "unreadable" in out
+
+
+def test_stale_artifact_shape_degrades_to_generic_listing(tmp_path):
+    """A known benchmark name whose payload misses expected keys (an old
+    artifact) must not abort the whole report."""
+
+    report = _load_report_module()
+    (tmp_path / "BENCH_e13.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "e13_semcache",
+                "workloads": [{"workload": "e5_rs"}],  # no timing keys
+            }
+        )
+    )
+    (tmp_path / "BENCH_e15.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "e15_prepared",
+                "tier": "smoke",
+                "workloads": [
+                    {
+                        "workload": "e5_rs",
+                        "reoptimized_steady_seconds": 1.0,
+                        "prepared_steady_seconds": 0.5,
+                    }
+                ],
+            }
+        )
+    )
+    out = report.render(report.collect(tmp_path))
+    assert "- e5_rs" in out          # the stale e13 row still listed
+    assert "2.0x" in out             # the healthy e15 row fully rendered
+
+
+def test_non_dict_payloads_degrade_gracefully(tmp_path):
+    report = _load_report_module()
+    # top-level array instead of an object
+    (tmp_path / "BENCH_e12.json").write_text(json.dumps([1, 2, 3]))
+    # known benchmark whose workloads are not dicts
+    (tmp_path / "BENCH_e13.json").write_text(
+        json.dumps({"benchmark": "e13_semcache", "workloads": ["oops"]})
+    )
+    out = report.render(report.collect(tmp_path))
+    assert "unexpected top-level JSON shape" in out
+    assert "- oops" in out
+
+
+def test_renders_the_repo_root_without_crashing():
+    """The live repo root always renders — with the artifact table when
+    the bench smokes have run, with the pointer message on a fresh clone
+    (BENCH_*.json is gitignored, and CI's tier-1 phase runs before the
+    smoke phase that emits them)."""
+
+    report = _load_report_module()
+    out = report.render(report.collect(REPO_ROOT))
+    assert "BENCH_e12.json" in out or "no BENCH_e*.json artifacts" in out

@@ -263,3 +263,51 @@ class TestServeRepl:
         out = self._run(monkeypatch, capsys, [".help"])
         assert ".stats" in out
         assert "bye" in out
+
+    def test_stats_includes_plan_cache_counters(self, monkeypatch, capsys):
+        out = self._run(monkeypatch, capsys, [".stats", ".quit"])
+        assert "plan cache: hits=0 misses=0" in out
+        assert "invalidations=0" in out
+
+
+class TestTune:
+    def test_tune_reports_a_design(self, capsys):
+        code = main(["tune", "--workload", "rs", "--budget", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "physical design advisor" in out
+        assert "chosen design" in out
+        assert "total estimated workload cost" in out
+        # the rs canonical query (R join S) admits an advisor structure
+        assert "ADV_" in out
+
+    def test_tune_apply_installs_and_reruns(self, tmp_path, capsys):
+        query = tmp_path / "q.oql"
+        query.write_text(
+            "select struct(A = r.A, B = s.B, C = s.C) from R r, S s "
+            "where r.B = s.B"
+        )
+        code = main(
+            [
+                "tune",
+                "--workload",
+                "rs",
+                "--query",
+                str(query),
+                "--budget",
+                "1",
+                "--sample",
+                "100",
+                "--apply",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "installed: ADV_" in out
+        assert "rows in" in out
+
+    def test_tune_zero_budget_reports_empty_design(self, capsys):
+        code = main(["tune", "--workload", "rs", "--max-tuples", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "empty — no candidate beat the current design" in out

@@ -59,6 +59,67 @@ class TestStatistics:
         s = Statistics.from_instance(inst)
         assert s.attr_fanout("D", "DProjs") == 2.0
 
+    def test_copy_is_independent(self):
+        s = Statistics()
+        s.set_card("R", 10).set_ndv("R", "A", 5)
+        clone = s.copy()
+        clone.set_card("R", 99).set_ndv("R", "A", 1)
+        clone.entry_cardinality["M"] = 3.0
+        clone.fanout["R.S"] = 2.0
+        assert s.card("R") == 10
+        assert s.distinct("R", "A") == 5
+        assert "M" not in s.entry_cardinality and "R.S" not in s.fanout
+
+    def test_sampled_scan_caps_work_and_keeps_cardinality_exact(self):
+        rows = frozenset(Row(A=i, B=i % 7) for i in range(500))
+        inst = Instance({"R": rows})
+        s = Statistics.from_instance(inst, sample=50)
+        # cardinality needs no scan: stays exact
+        assert s.card("R") == 500
+        # NDV is a scaled estimate, never above the cardinality
+        assert 0 < s.distinct("R", "A") <= 500
+        assert 0 < s.distinct("R", "B") <= 500
+        # a unique attribute extrapolates to (exactly) the cardinality:
+        # 50 distinct values in 50 sampled rows, scaled by 500/50
+        assert s.distinct("R", "A") == 500
+
+    def test_sampled_matches_exact_when_sample_covers_extent(self):
+        rows = frozenset(Row(A=i, B=i % 3) for i in range(20))
+        inst = Instance({"R": rows})
+        exact = Statistics.from_instance(inst)
+        sampled = Statistics.from_instance(inst, sample=1000)
+        assert sampled.cardinality == exact.cardinality
+        assert sampled.ndv == exact.ndv
+        assert sampled.fanout == exact.fanout
+
+    def test_sampled_mixed_dict_scales_ndv_by_row_population(self):
+        # 4 set entries then 4 row entries (dicts preserve insertion
+        # order): sampling the first 4 sees 2 of each, so the row
+        # population estimate is 8 * 2/4 = 4 — NDVs extrapolate to the
+        # true row count, not the whole dict size
+        data = {}
+        for i in range(2):
+            data[f"s{i}"] = frozenset({i})
+        for i in range(2):
+            data[f"r{i}"] = Row(A=i)
+        for i in range(2, 4):
+            data[f"s{i}"] = frozenset({i})
+        for i in range(2, 4):
+            data[f"r{i}"] = Row(A=i)
+        inst = Instance({"M": DictValue(data)})
+        s = Statistics.from_instance(inst, sample=4)
+        assert s.distinct("M", "A") == 4.0  # not inflated to 8
+
+    def test_sampled_dict_entries(self):
+        value = DictValue(
+            {k: frozenset(range(k + 1)) for k in range(100)}
+        )
+        inst = Instance({"M": value})
+        s = Statistics.from_instance(inst, sample=10)
+        assert s.card("M") == 100
+        # entry size is a sample mean: positive and bounded by the maximum
+        assert 0 < s.entry_card("M") <= 100
+
 
 class TestCostModel:
     def test_selective_index_beats_scan(self, stats):

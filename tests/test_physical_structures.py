@@ -69,6 +69,64 @@ class TestMaterializedView:
         view.refresh(rs_instance)
         assert Row(A=30) in rs_instance["V"]
 
+    def test_install_fires_mutation_listeners(self, rs_instance):
+        # Database.apply_design leans on this: installing a view is an
+        # instance mutation, so plan-cache/semcache invalidation sees it.
+        seen = []
+        rs_instance.subscribe(seen.append)
+        view = MaterializedView(
+            "V", parse_query("select struct(A = r.A) from R r")
+        )
+        view.install(rs_instance)
+        assert seen == ["V"]
+        view.refresh(rs_instance)
+        assert seen == ["V", "V"]
+
+    def test_install_returns_value_equal_to_stored_extent(self, rs_instance):
+        view = MaterializedView(
+            "V", parse_query("select struct(B = s.B, C = s.C) from S s")
+        )
+        value = view.install(rs_instance)
+        assert value is rs_instance["V"]
+        assert value == frozenset({Row(B=5, C="x"), Row(B=5, C="y")})
+
+    def test_refresh_after_row_removal_shrinks_the_extent(self, rs_instance):
+        view = MaterializedView(
+            "V",
+            parse_query(
+                "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B"
+            ),
+        )
+        view.install(rs_instance)
+        assert len(rs_instance["V"]) == 2
+        rs_instance["S"] = frozenset({Row(K=7, B=5, C="x")})
+        value = view.refresh(rs_instance)
+        assert value == frozenset({Row(A=10, C="x")})
+        # a refreshed view satisfies its own constraint pair again
+        assert check_all(view.constraints(), rs_instance) == []
+
+    def test_stale_view_detected_then_repaired_by_refresh(self, rs_instance):
+        view = MaterializedView(
+            "V", parse_query("select struct(A = r.A) from R r")
+        )
+        view.install(rs_instance)
+        rs_instance["R"] = rs_instance["R"] | {Row(K=3, A=30, B=9)}
+        # stale: cV is violated (a base row has no view image) until refresh
+        assert check_all(view.constraints(), rs_instance) != []
+        view.refresh(rs_instance)
+        assert check_all(view.constraints(), rs_instance) == []
+
+    def test_install_into_mutated_instance_uses_live_base(self, rs_instance):
+        rs_instance["R"] = rs_instance["R"] | {Row(K=3, A=30, B=5)}
+        view = MaterializedView(
+            "V",
+            parse_query(
+                "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B"
+            ),
+        )
+        value = view.install(rs_instance)
+        assert Row(A=30, C="x") in value and Row(A=30, C="y") in value
+
     def test_view_requires_struct_output(self):
         with pytest.raises(ConstraintError):
             MaterializedView("V", parse_query("select r.A from R r"))
