@@ -3,14 +3,16 @@
 #   make test         tier-1 suite (what CI gates on)
 #   make check        the full gate: tier-1 tests, bench smokes, golden suite
 #   make golden       regenerate tests/golden/* (review the diff!)
+#   make lint         bytecode-compile src + parser-roundtrip lint
 #   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json ..
-#                     BENCH_e16.json)
+#                     BENCH_e17.json)
 #   make bench-report aggregate the BENCH_e*.json artifacts into one table
 #   make bench-e12    the full E12 pruning benchmark
 #   make bench-e13    the full E13 semantic-cache benchmark
 #   make bench-e14    the full E14 hybrid view-join-base benchmark
 #   make bench-e15    the full E15 prepared-query / plan-cache benchmark
 #   make bench-e16    the full E16 physical-design-advisor benchmark
+#   make bench-e17    the full E17 parameterized-template benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -20,8 +22,8 @@ PYTEST := PYTHONPATH=src python -m pytest
 
 GOLDEN_FILES := tests/test_golden_plans.py tests/test_advisor.py
 
-.PHONY: test check golden bench bench-smoke bench-report \
-	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16
+.PHONY: test check lint golden bench bench-smoke bench-report \
+	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17
 
 test:
 	$(PYTEST) -x -q
@@ -29,10 +31,14 @@ test:
 # The chained gate: unit/integration tests first (excluding the smoke and
 # golden markers so failures localize), then the benchmark smokes, then the
 # cross-strategy golden suite.
-check:
+check: lint
 	$(PYTEST) -x -q -m "not bench_smoke and not golden"
 	$(PYTEST) -q -m bench_smoke tests/test_bench_smoke.py
 	$(PYTEST) -q -m golden $(GOLDEN_FILES)
+
+lint:
+	python -m compileall -q src
+	PYTHONPATH=src python -m repro.lint
 
 golden:
 	GOLDEN_REGEN=1 $(PYTEST) -q -m golden $(GOLDEN_FILES)
@@ -58,6 +64,9 @@ bench-e15:
 
 bench-e16:
 	$(PYTEST) -q benchmarks/bench_e16_advisor.py
+
+bench-e17:
+	$(PYTEST) -q benchmarks/bench_e17_templates.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

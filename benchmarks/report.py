@@ -105,6 +105,22 @@ def _e16_rows(data: Dict) -> List[Dict[str, str]]:
     ]
 
 
+def _e17_rows(data: Dict) -> List[Dict[str, str]]:
+    return [
+        {
+            "workload": wl["workload"],
+            "headline": (
+                f"{wl['templates']} templates x "
+                f"{wl['bindings_per_template']} bindings: "
+                f"steady rebound {wl['rebound_steady_seconds']:.3f}s"
+                f" -> template {wl['template_steady_seconds']:.3f}s "
+                f"({_speedup(wl['rebound_steady_seconds'], wl['template_steady_seconds'])})"
+            ),
+        }
+        for wl in data.get("workloads", ())
+    ]
+
+
 def _generic_rows(data: Dict) -> List[Dict[str, str]]:
     workloads = data.get("workloads", ())
     if not isinstance(workloads, (list, tuple)):
@@ -126,6 +142,7 @@ ROW_BUILDERS: Dict[str, Callable[[Dict], List[Dict[str, str]]]] = {
     "e14_hybrid": _e14_rows,
     "e15_prepared": _e15_rows,
     "e16_advisor": _e16_rows,
+    "e17_templates": _e17_rows,
 }
 
 TITLES: Dict[str, str] = {
@@ -134,6 +151,7 @@ TITLES: Dict[str, str] = {
     "e14_hybrid": "E14 hybrid view-join-base rewrites",
     "e15_prepared": "E15 prepared queries / plan cache",
     "e16_advisor": "E16 physical design advisor (empty vs advised)",
+    "e17_templates": "E17 parameterized templates (rebound vs template)",
 }
 
 

@@ -45,7 +45,12 @@ from repro.chase.containment import (
 )
 from repro.constraints.checker import check_all, holds
 from repro.constraints.epcd import EPCD
-from repro.errors import ReproDeprecationWarning, ReproError
+from repro.errors import (
+    ParameterBindingError,
+    QuerySyntaxError,
+    ReproDeprecationWarning,
+    ReproError,
+)
 from repro.exec.engine import execute, explain
 from repro.model.instance import Instance
 from repro.model.schema import Schema
@@ -108,6 +113,7 @@ from repro.query.paths import (
     Dom,
     Lookup,
     NFLookup,
+    Param,
     Path,
     SName,
     Var,
@@ -156,6 +162,9 @@ __all__ = [
     "NFLookup",
     "Oid",
     "OidType",
+    "Param",
+    "ParameterBindingError",
+    "QuerySyntaxError",
     "OptimizationResult",
     "Optimizer",
     "Path",

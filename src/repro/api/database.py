@@ -30,21 +30,24 @@ the migration notes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, FrozenSet, Mapping, Optional, Sequence
+import math
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.context import OptimizeContext
 from repro.api.plancache import PlanCache, PlanCacheInfo
 from repro.api.workloads import build_workload
 from repro.constraints.epcd import EPCD
-from repro.errors import ReproError
+from repro.errors import ParameterBindingError, ReproError
 from repro.exec.engine import ExecutionResult, execute, explain
 from repro.model.instance import Instance
 from repro.model.schema import Schema
-from repro.optimizer.cost import CostModel
+from repro.model.values import Oid, Row
+from repro.optimizer.cost import CostModel, _attr_of
 from repro.optimizer.optimizer import OptimizationResult, Plan
 from repro.optimizer.statistics import Statistics
 from repro.query.ast import PCQuery
+from repro.query.paths import Const, Param, Path
 
 
 @dataclass(frozen=True)
@@ -56,24 +59,43 @@ class CacheConfig:
     defaults :meth:`Database.session` wires into new sessions;
     ``max_rewrite_views`` caps the per-request rewrite candidates exactly
     as :class:`~repro.semcache.cache.SemanticCache` does.
+
+    ``skew_replan_ratio`` is the parameter-binding skew guard: when a
+    :class:`PreparedQuery` binds a constant whose observed frequency
+    differs from the NDV-uniform selectivity the cached plan was costed
+    with by at least this factor (either direction), the binding is
+    re-optimized under adjusted statistics and parked in a skew-tagged
+    plan-cache variant entry.  ``None`` disables the guard.
     """
 
     plan_cache_size: Optional[int] = 128
     semantic_cache: bool = True
     hybrid: bool = True
     max_rewrite_views: int = 8
+    skew_replan_ratio: Optional[float] = 8.0
 
 
 class PreparedQuery:
-    """A query optimized once, executable many times.
+    """A query (or ``$x``-parameterized template) optimized once,
+    executable many times.
 
     Construction (via :meth:`Database.prepare`) canonicalizes the query
     and runs chase/backchase exactly once, parking the result in the
-    database's plan cache.  :meth:`run` re-fetches the entry by key on
-    every call, so it is **invalidation-aware**: after an instance
-    mutation drops the entry, the next run transparently re-optimizes
-    against the database's refreshed statistics; otherwise it re-executes
-    the cached best plan with no chase/backchase at all (plan-cache hit).
+    database's plan cache keyed on the *template* (parameters renamed
+    positionally), so every binding of the template — and every
+    alpha-variant — shares one entry.  :meth:`run` re-fetches the entry
+    by key on every call, so it is **invalidation-aware**: after an
+    instance mutation drops the entry, the next run transparently
+    re-optimizes against the database's refreshed statistics; otherwise
+    it substitutes the bound constants into the cached best plan and
+    executes it with no chase/backchase at all (plan-cache hit).
+
+    Parameterized templates additionally pass a **selectivity-skew
+    guard** at bind time: when the observed frequency of a bound constant
+    deviates from the NDV-uniform estimate the plan was costed with by at
+    least :attr:`CacheConfig.skew_replan_ratio`, the binding re-optimizes
+    under adjusted statistics into a skew-tagged variant entry (bindings
+    in the same log2 skew bucket then share *that* plan).
     """
 
     def __init__(
@@ -85,30 +107,51 @@ class PreparedQuery:
         self.database = database
         self.query = query
         self.strategy = strategy
+        #: parameter names in template order (first occurrence in the
+        #: source text) — the keywords :meth:`run` accepts.
+        self.params: Tuple[str, ...] = query.param_names()
+        # Canonical-occurrence order: position i here lines up with
+        # position i of the cache entry's ``params`` tuple, whatever the
+        # entry's own names were (alpha-variant sharing).
+        self._canonical_params: Tuple[str, ...] = (
+            query.canonical().param_names()
+        )
         # Optimize eagerly: prepare pays the planning cost (including the
         # query's memoized canonicalization) so run() doesn't have to.
-        self._last_result = database.optimize(query, strategy=strategy)
+        self._last_result, self._entry_params = database._optimize_entry(
+            query, strategy=strategy
+        )
 
     @property
     def optimization(self) -> OptimizationResult:
         """The current optimization result (refreshed through the plan
         cache, so it tracks invalidations)."""
 
-        self._last_result = self.database.optimize(
-            self.query, strategy=self.strategy
+        self._last_result, self._entry_params = (
+            self.database._optimize_entry(self.query, strategy=self.strategy)
         )
         return self._last_result
 
     @property
     def plan(self) -> Plan:
+        """The current winning plan — for a template, with the ``$x``
+        markers still in place (:meth:`run` substitutes them)."""
+
         return self.optimization.best
 
     def run(
         self,
         instance: Optional[Instance] = None,
         overlays: Optional[Mapping[str, Any]] = None,
+        **bindings: Any,
     ) -> ExecutionResult:
         """Execute the prepared plan.
+
+        For a template, pass one keyword per ``$`` marker
+        (``prepared.run(x=3)``); the values are substituted into the
+        cached winning plan as constants at execution time — no
+        chase/backchase re-entry.  :class:`ParameterBindingError` is
+        raised on missing or unknown names.
 
         ``instance`` substitutes the target database for this call;
         ``overlays`` executes against a read-through overlay of the
@@ -116,12 +159,62 @@ class PreparedQuery:
         :meth:`~repro.model.instance.Instance.overlay` semantics).
         """
 
-        return self.database.execute_plan(
-            self.plan, instance=instance, overlays=overlays
-        )
+        db = self.database
+        if not self.params:
+            if bindings:
+                unknown = ", ".join(f"${n}" for n in sorted(bindings))
+                raise ParameterBindingError(
+                    f"unknown parameter(s) {unknown} — this query declares "
+                    f"no $-markers"
+                )
+            return db.execute_plan(
+                self.plan, instance=instance, overlays=overlays
+            )
+        missing = [n for n in self.params if n not in bindings]
+        unknown = [n for n in bindings if n not in self.params]
+        if missing or unknown:
+            problems = []
+            if missing:
+                problems.append(
+                    "unbound parameter(s) "
+                    + ", ".join(f"${n}" for n in missing)
+                )
+            if unknown:
+                problems.append(
+                    "unknown parameter(s) "
+                    + ", ".join(f"${n}" for n in sorted(unknown))
+                )
+            declared = ", ".join(f"${n}" for n in self.params)
+            raise ParameterBindingError(
+                "; ".join(problems) + f" — this template declares {declared}"
+            )
+
+        adjustments = db._skew_adjustments(self.query, bindings)
+        if adjustments:
+            result, entry_params = db._optimize_skew_variant(
+                self.query, adjustments, strategy=self.strategy
+            )
+        else:
+            result, entry_params = db._optimize_entry(
+                self.query, strategy=self.strategy
+            )
+            self._last_result, self._entry_params = result, entry_params
+        # Positional mapping: the entry may have been cached under an
+        # alpha-variant template, so translate our canonical-order names
+        # onto the entry's before substituting.
+        mapping: Dict[str, Path] = {}
+        for i, name in enumerate(self._canonical_params):
+            value = bindings[name]
+            mapping[entry_params[i]] = (
+                value if isinstance(value, Path) else Const(value)
+            )
+        bound = result.best.query.substitute_params(mapping)
+        plan = dc_replace(result.best, query=bound)
+        return db.execute_plan(plan, instance=instance, overlays=overlays)
 
     def explain(self) -> str:
-        """The operator tree the next :meth:`run` would execute."""
+        """The operator tree the next :meth:`run` would execute (for a
+        template, with the ``$x`` markers in place of the constants)."""
 
         return explain(
             self.plan.query, use_hash_joins=self.database.context.use_hash_joins
@@ -186,6 +279,11 @@ class Database:
         )
         size = self.cache_config.plan_cache_size
         self._plan_cache = PlanCache(max_size=size) if size != 0 else None
+        # (rel, attr) -> (value -> count, total rows counted): the skew
+        # guard's frequency cache, dropped wholesale on any mutation.
+        self._freq_cache: Dict[
+            Tuple[str, str], Tuple[Dict[Any, int], int]
+        ] = {}
         self._listener = None
         if instance is not None:
             self._listener = instance.subscribe(self._on_mutation)
@@ -273,6 +371,7 @@ class Database:
         self._stats_dirty = False
         if self._plan_cache is not None:
             self._plan_cache.clear()
+        self._freq_cache.clear()
         return statistics
 
     def _on_mutation(self, name: str) -> None:
@@ -280,6 +379,7 @@ class Database:
             self._stats_dirty = True
         if self._plan_cache is not None:
             self._plan_cache.invalidate_source(name)
+        self._freq_cache.clear()
 
     def close(self) -> None:
         """Detach the mutation listener (sessions detach separately)."""
@@ -307,31 +407,75 @@ class Database:
         A hit returns the retained :class:`OptimizationResult` with no
         chase/backchase work; a miss optimizes under the database context
         (per-call ``strategy`` override supported) and caches the result
-        keyed on canonical form + context fingerprint.
+        keyed on template key (canonical form with parameters renamed
+        positionally) + context fingerprint, so every binding and every
+        alpha-variant of a ``$x`` template probes one entry.
         ``use_plan_cache=False`` bypasses the cache entirely — no counters
         move (the re-optimization arm of ``bench_e15``)."""
 
-        ctx = self.context
+        result, _ = self._optimize_entry(
+            query, strategy=strategy, use_plan_cache=use_plan_cache
+        )
+        return result
+
+    def _optimize_entry(
+        self,
+        query: PCQuery,
+        strategy: Optional[str] = None,
+        use_plan_cache: bool = True,
+        variant: str = "",
+        context: Optional[OptimizeContext] = None,
+    ) -> Tuple[OptimizationResult, Tuple[str, ...]]:
+        """:meth:`optimize` plus the cache entry's parameter tuple.
+
+        ``variant`` suffixes the template key — the skew guard's
+        ``#skew:...`` tags, which alone separate variant entries from the
+        base entry (the fingerprint deliberately excludes statistics, so
+        every binding in a skew bucket shares the bucket's first plan);
+        ``context`` substitutes the optimization context for this call
+        (skew-adjusted statistics).  The returned params are the entry's
+        own canonical-order names (the positional contract of
+        :class:`~repro.api.plancache.PlanCacheEntry`).
+        """
+
+        ctx = context if context is not None else self.context
         if strategy is not None and strategy != ctx.strategy:
             ctx = ctx.override(strategy=strategy)
         if self._plan_cache is None or not use_plan_cache:
-            return ctx.optimizer().optimize(query)
-        key = (query.canonical_key(), ctx.fingerprint())
+            result = ctx.optimizer().optimize(query)
+            return result, query.canonical().param_names()
+        key = (query.template_key() + variant, ctx.fingerprint())
         entry = self._plan_cache.get(key)
         if entry is None:
             result = ctx.optimizer().optimize(query)
             entry = self._plan_cache.put(
-                key, result, self._dependencies(query, result)
+                key,
+                result,
+                self._dependencies(query, result),
+                params=query.canonical().param_names(),
             )
-        return entry.result
+        return entry.result, entry.params
 
     def execute(
         self,
         query: PCQuery,
         overlays: Optional[Mapping[str, Any]] = None,
+        params: Optional[Mapping[str, Any]] = None,
     ) -> ExecutionResult:
-        """Optimize (through the plan cache) and run the winning plan."""
+        """Optimize (through the plan cache) and run the winning plan.
 
+        A ``$x`` template needs ``params`` (one value per marker); the
+        call routes through :meth:`prepare`/:meth:`PreparedQuery.run`, so
+        repeated bindings hit the template's plan-cache entry."""
+
+        if params:
+            return self.prepare(query).run(overlays=overlays, **dict(params))
+        if query.has_params():
+            declared = ", ".join(f"${n}" for n in query.param_names())
+            raise ParameterBindingError(
+                f"unbound parameter(s) {declared} — pass params= or use "
+                f"prepare(query).run(...)"
+            )
         result = self.optimize(query)
         return self.execute_plan(result.best, overlays=overlays)
 
@@ -344,6 +488,12 @@ class Database:
         """Run an already-optimized plan against the database's instance
         (or ``instance``), optionally through a read-through overlay."""
 
+        if plan.query.has_params():
+            declared = ", ".join(f"${n}" for n in plan.query.param_names())
+            raise ParameterBindingError(
+                f"plan contains unbound parameter(s) {declared} — bind them "
+                f"via PreparedQuery.run(...) before execution"
+            )
         target = instance if instance is not None else self.instance
         if target is None:
             raise ReproError(
@@ -559,6 +709,116 @@ class Database:
         if self.instance is not None:
             names |= self.instance.class_dict_names()
         return frozenset(names)
+
+    # -- the parameter-binding skew guard --------------------------------------
+
+    def _value_counts(self, rel: str, attr: str) -> Tuple[Dict[Any, int], int]:
+        """Observed frequency of each base value of ``rel.attr`` (oids
+        dereferenced, mirroring the statistics observer), memoized until
+        the next instance mutation."""
+
+        key = (rel, attr)
+        cached = self._freq_cache.get(key)
+        if cached is not None:
+            return cached
+        counts: Dict[Any, int] = {}
+        total = 0
+        value = self.instance.get(rel) if self.instance is not None else None
+        if isinstance(value, frozenset):
+            for element in value:
+                row = element
+                if isinstance(element, Oid):
+                    try:
+                        row = self.instance.deref(element)
+                    except ReproError:
+                        continue
+                if not isinstance(row, Row):
+                    continue
+                v = row.get(attr)
+                if isinstance(v, (str, int, float, bool)):
+                    counts[v] = counts.get(v, 0) + 1
+                    total += 1
+        self._freq_cache[key] = (counts, total)
+        return counts, total
+
+    def _skew_adjustments(
+        self, query: PCQuery, bindings: Mapping[str, Any]
+    ) -> List[Tuple[int, str, str, int, float]]:
+        """Skewed ``var.attr = $p`` conditions of this binding.
+
+        For each equality between a parameter and a binding-variable
+        attribute, compare the NDV-uniform selectivity the cached plan was
+        costed with (``1 / distinct(rel, attr)``) against the bound
+        constant's observed frequency; when the ratio crosses
+        :attr:`CacheConfig.skew_replan_ratio` in either direction, emit
+        ``(canonical position, rel, attr, log2 bucket, adjusted NDV)``.
+        Positions and buckets are alpha- and value-bucket-invariant, so a
+        variant entry is shared by every binding in the same skew class.
+        """
+
+        threshold = self.cache_config.skew_replan_ratio
+        if threshold is None or self.instance is None:
+            return []
+        order = query.canonical().param_names()
+        sources = {b.var: b.source for b in query.bindings}
+        stats = self.context.statistics
+        out: List[Tuple[int, str, str, int, float]] = []
+        seen = set()
+        for cond in query.conditions:
+            for param_side, attr_side in (
+                (cond.left, cond.right),
+                (cond.right, cond.left),
+            ):
+                if not isinstance(param_side, Param):
+                    continue
+                info = _attr_of(attr_side, sources)
+                if info is None:
+                    continue
+                rel, attr = info
+                counts, total = self._value_counts(rel, attr)
+                if not total:
+                    continue
+                value = bindings.get(param_side.name)
+                if isinstance(value, Const):
+                    value = value.value
+                if not isinstance(value, (str, int, float, bool)):
+                    continue
+                planned = 1.0 / max(stats.distinct(rel, attr), 1.0)
+                actual = max(counts.get(value, 0), 0.5) / total
+                ratio = actual / planned
+                if 1.0 / threshold < ratio < threshold:
+                    continue
+                pos = order.index(param_side.name)
+                dedup = (pos, rel, attr)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                bucket = int(round(math.log2(ratio)))
+                adjusted_ndv = min(max(1.0 / actual, 1.0), float(total))
+                out.append((pos, rel, attr, bucket, adjusted_ndv))
+        out.sort()
+        return out
+
+    def _optimize_skew_variant(
+        self,
+        query: PCQuery,
+        adjustments: List[Tuple[int, str, str, int, float]],
+        strategy: Optional[str] = None,
+    ) -> Tuple[OptimizationResult, Tuple[str, ...]]:
+        """Re-optimize a skewed binding under adjusted statistics, cached
+        in a ``#skew:...``-tagged variant entry of the plan cache."""
+
+        tag = "#skew:" + ",".join(
+            f"p{pos}.{rel}.{attr}@{bucket}"
+            for pos, rel, attr, bucket, _ in adjustments
+        )
+        adjusted = self.context.statistics.copy()
+        for _, rel, attr, _, ndv in adjustments:
+            adjusted.set_ndv(rel, attr, ndv)
+        ctx = self.context.override(statistics=adjusted)
+        return self._optimize_entry(
+            query, strategy=strategy, variant=tag, context=ctx
+        )
 
     def __repr__(self) -> str:
         parts = [f"{len(self.context.constraints)} constraints"]

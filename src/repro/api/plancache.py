@@ -29,7 +29,11 @@ from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.optimizer.optimizer import OptimizationResult
 
-#: cache key: (canonical query form, context fingerprint)
+#: cache key: (template key [+ "#skew:..." variant tag], context fingerprint).
+#: The template key is the canonical form with parameters renamed
+#: positionally (PCQuery.template_key), so every binding of a template —
+#: and every alpha-variant of it — probes one entry; skew-replanned
+#: variants get their own suffix-tagged entries.
 Key = Tuple[str, str]
 
 DEFAULT_MAX_SIZE = 128
@@ -50,10 +54,18 @@ class PlanCacheInfo:
 
 @dataclass
 class PlanCacheEntry:
-    """One cached optimization: the full result plus its dependency set."""
+    """One cached optimization: the full result plus its dependency set.
+
+    ``params`` records the parameter names of the optimized query in
+    canonical (positional) order.  Alpha-variant templates (``$x`` vs
+    ``$y``) share one entry via :meth:`PCQuery.template_key`; a caller
+    binding its own template maps values onto the entry's plans by
+    position, so the stored names never leak into the caller's API.
+    """
 
     result: OptimizationResult
     dependencies: FrozenSet[str]
+    params: Tuple[str, ...] = ()
 
 
 class PlanCache:
@@ -88,8 +100,11 @@ class PlanCache:
         key: Key,
         result: OptimizationResult,
         dependencies: FrozenSet[str],
+        params: Tuple[str, ...] = (),
     ) -> PlanCacheEntry:
-        entry = PlanCacheEntry(result=result, dependencies=dependencies)
+        entry = PlanCacheEntry(
+            result=result, dependencies=dependencies, params=params
+        )
         if key in self._entries:
             self._unlink(key)
         self._entries[key] = entry

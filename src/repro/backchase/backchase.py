@@ -36,11 +36,123 @@ from repro.constraints.epcd import EPCD
 from repro.errors import BackchaseError
 from repro.query import paths as P
 from repro.query.ast import Binding, Eq, PathOutput, PCQuery, StructOutput
-from repro.query.paths import Path, Var
+from repro.query.paths import Dom, Lookup, Path, Var
 
 # When enabled, backchase steps additionally verify the query ⊑ candidate
 # direction that is guaranteed by construction (used by the test suite).
 PARANOID_CHECKS = False
+
+
+# -- failing-lookup safety ---------------------------------------------------
+#
+# The chase-based equivalence test of condition (3) reasons under *certain
+# answer* semantics: a lookup term M[k] denotes "the entry, which exists".
+# At runtime a failing lookup with an absent key raises instead of
+# producing nothing, so a candidate that rewrote a dom-guard away can be
+# provably equivalent yet crash — e.g. rewriting ``r in R where r.A = 1``
+# to ``t in IRA[1]`` is equivalent on every instance satisfying the index
+# constraints, but errors when no row has A = 1 (1 ∉ dom(IRA)).  Every
+# accepted candidate therefore also passes ``plan_lookups_safe``: each
+# failing lookup's key must be provably present in its dictionary's domain
+# *at the point the lookup evaluates*, using only the bindings already in
+# scope (and conditions already checked).  Presence is decided with the
+# chase: the prefix query in scope is chased and the key must be congruent
+# to a dom-bound variable of the same dictionary.  Unsafe candidates are
+# rejected — the guarded form survives as the normal form, and the
+# optimizer's non-failing refinement still turns it into ``M{k}``.
+
+
+def _failing_lookup_safe(
+    lookup: Lookup,
+    prefix: Sequence[Binding],
+    conditions: Sequence[Eq],
+    engine: ChaseEngine,
+) -> bool:
+    """Is ``lookup``'s key provably in ``dom`` of its dictionary, given the
+    bindings/conditions in scope when the lookup evaluates?"""
+
+    # Syntactic guard (PC restriction 2 shape): the key is a variable
+    # bound to the domain of the same dictionary.
+    if isinstance(lookup.key, Var):
+        for b in prefix:
+            if (
+                isinstance(b.source, Dom)
+                and b.var == lookup.key.name
+                and str(b.source.base) == str(lookup.base)
+            ):
+                return True
+    if not prefix:
+        return False
+    premise = PCQuery(
+        PathOutput(Var(prefix[-1].var)), tuple(prefix), tuple(conditions)
+    )
+    chased, cc = engine.chase_with_cc(premise)
+    rename = {b.var: Var(f"_v{i}") for i, b in enumerate(premise.bindings)}
+    base_c = P.substitute(lookup.base, rename)
+    key_c = P.substitute(lookup.key, rename)
+
+    def same(a: Path, b: Path) -> bool:
+        if a == b:
+            return True
+        return a in cc and b in cc and cc.find(a) == cc.find(b)
+
+    for b in chased.bindings:
+        if (
+            isinstance(b.source, Dom)
+            and same(b.source.base, base_c)
+            and same(Var(b.var), key_c)
+        ):
+            return True
+    return False
+
+
+def plan_lookups_safe(query: PCQuery, engine: ChaseEngine) -> bool:
+    """True iff every failing lookup in ``query`` is evaluation-safe.
+
+    Checked per occurrence against what is in scope at its evaluation
+    point: a binding source sees strictly earlier bindings plus conditions
+    that have already fired; a condition side sees the bindings up to its
+    firing level; output paths see everything.
+    """
+
+    if not any(
+        isinstance(term, Lookup) for term in query.all_terms()
+    ):
+        return True
+
+    var_level = {b.var: i for i, b in enumerate(query.bindings)}
+
+    def cond_level(c: Eq) -> int:
+        fv = P.free_vars(c.left) | P.free_vars(c.right)
+        return max((var_level.get(v, 0) for v in fv), default=-1)
+
+    def path_safe(path: Path, prefix_len: int, conds: Sequence[Eq]) -> bool:
+        return all(
+            _failing_lookup_safe(
+                term, query.bindings[:prefix_len], conds, engine
+            )
+            for term in P.subterms(path)
+            if isinstance(term, Lookup)
+        )
+
+    for i, b in enumerate(query.bindings):
+        fired = tuple(c for c in query.conditions if cond_level(c) < i)
+        if not path_safe(b.source, i, fired):
+            return False
+    for c in query.conditions:
+        level = cond_level(c)
+        fired = tuple(
+            c2 for c2 in query.conditions if c2 is not c and cond_level(c2) < level
+        )
+        if not path_safe(c.left, level + 1, fired) or not path_safe(
+            c.right, level + 1, fired
+        ):
+            return False
+    all_conds = tuple(query.conditions)
+    for out in query.output.paths():
+        if not path_safe(out, len(query.bindings), all_conds):
+            return False
+    return True
 
 
 def toposort_bindings(query: PCQuery) -> PCQuery:
@@ -274,6 +386,8 @@ def try_remove_binding(
                 f"construction invariant violated: query ⋢ candidate after "
                 f"removing {var!r} from {query}"
             )
+        if not plan_lookups_safe(candidate, engine):
+            return None
     return candidate
 
 

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 from repro.backchase.backchase import (
     _rewrite_output,
     _surviving_conditions,
+    plan_lookups_safe,
     quick_simplify_conditions,
     toposort_bindings,
 )
@@ -91,6 +92,8 @@ def restrict_to_bindings(
         if not is_contained_in(candidate, query, deps, engine):
             return None
         if not is_contained_in(query, candidate, deps, engine):
+            return None
+        if not plan_lookups_safe(candidate, engine):
             return None
     return candidate
 

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.backchase.backchase import (
     BackchaseStats,
     build_candidate,
+    plan_lookups_safe,
     quick_simplify_conditions,
 )
 from repro.chase.chase import ChaseEngine
@@ -157,6 +158,8 @@ def pruned_minimal_subqueries(
                 continue
             stats.candidates_explored += 1
             if not equivalent_to_root(candidate, current):
+                continue
+            if not plan_lookups_safe(candidate, engine):
                 continue
             stats.steps_applied += 1
             reduced_any = True

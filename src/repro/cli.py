@@ -5,6 +5,7 @@ Usage::
     python -m repro optimize --query q.oql [--ddl schema.ddl]
                              [--constraints extra.epcd] [--physical R,S,I]
                              [--strategy full|pruned] [--verbose]
+                             [--param x=3 ...]
                              [--cache] [--hybrid|--no-hybrid] [--query q2.oql ...]
     python -m repro chase    --query q.oql --constraints c.epcd
     python -m repro minimize --query q.oql [--constraints c.epcd]
@@ -15,11 +16,13 @@ Usage::
                              [--query q.oql ...] [--budget N]
                              [--max-tuples N] [--sample N] [--apply]
 
-``optimize`` accepts ``--query`` repeatedly; with ``--cache`` each
-optimized query is registered in a plan-level semantic cache so later
-queries in the same invocation can be rewritten onto earlier results.
-``serve-repl`` starts an interactive caching query service over a built-in
-workload instance (type ``.help`` at the prompt).  ``tune`` runs the
+``optimize`` accepts ``--query`` repeatedly; queries may carry ``$name``
+parameter markers, bound with ``--param name=value`` (repeatable).  With
+``--cache`` each optimized query is registered in a plan-level semantic
+cache so later queries in the same invocation can be rewritten onto
+earlier results.  ``serve-repl`` starts an interactive caching query
+service over a built-in workload instance (type ``.help`` at the prompt;
+``\\set x 3`` binds template parameters).  ``tune`` runs the
 workload-driven physical design advisor against the named workload's
 *logical* core (hand-written design stripped): candidate views and index
 dictionaries are mined from the query mix (default: the scenario's
@@ -96,6 +99,43 @@ def _read_query(args):
         return parse_query(handle.read())
 
 
+def parse_param_literal(text: str):
+    """The value of a ``--param name=value`` / ``\\set`` literal: int,
+    float, ``true``/``false``, quoted string, or bare string."""
+
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    return text
+
+
+def _parse_param_args(pairs) -> dict:
+    """``--param name=value`` pairs (repeatable) into a binding dict."""
+
+    bindings = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        name = name.strip().lstrip("$")
+        if not sep or not name:
+            raise ReproError(
+                f"--param expects NAME=VALUE, got {pair!r}"
+            )
+        bindings[name] = parse_param_literal(value.strip())
+    return bindings
+
+
 def _print_verbose_stats(result) -> None:
     print("backchase counters:")
     for counter, value in result.backchase_stats.as_dict().items():
@@ -121,11 +161,23 @@ def cmd_optimize(args) -> int:
         from repro.semcache import SemanticCache
 
         cache = SemanticCache(context=db.context)
+    params = _parse_param_args(getattr(args, "param", None))
     for query_path in args.query:
         if len(args.query) > 1:
             print(f"=== {query_path} ===")
         with open(query_path) as handle:
             query = parse_query(handle.read())
+        if query.has_params():
+            if params:
+                # Bind before optimizing: the reported plan is the one this
+                # binding would execute (Database.prepare shares the
+                # template's plan-cache entry across bindings instead).
+                query = query.bind_params(
+                    {n: params[n] for n in query.param_names() if n in params}
+                )
+            else:
+                markers = ", ".join(f"${n}" for n in query.param_names())
+                print(f"template with parameters {markers} (bind with --param)")
         if cache is not None:
             cache.record_lookup()
             # Plan-level hybrid: no instance exists here, so the base side
@@ -182,7 +234,13 @@ REPL_WORKLOADS = ("rs", "rabc", "projdept", "oo_asr")
 REPL_HELP = """\
 Enter one PC query per line, e.g.:
   select struct(A = r.A) from R r, S s where r.B = s.B
+Queries may use $name parameter markers; bind them first:
+  \\set x 3
+  select struct(A = r.A) from R r where r.A = $x
 Commands:
+  \\set NAME VALUE   bind a $NAME parameter (int/float/true/false/string)
+  \\unset NAME       drop a binding
+  \\set              list current bindings
   .stats   cache, session and plan-cache counters
   .views   cached views (name, size, hits)
   .help    this message
@@ -217,6 +275,7 @@ def cmd_serve_repl(args) -> int:
         f"semantic cache {cache_state}.  .help for commands"
     )
     stream = sys.stdin
+    bindings: dict = {}
     while True:
         print("> ", end="", flush=True)
         line = stream.readline()
@@ -229,6 +288,28 @@ def cmd_serve_repl(args) -> int:
             break
         if line == ".help":
             print(REPL_HELP)
+            continue
+        if line.startswith("\\set"):
+            parts = line.split(None, 2)
+            if len(parts) == 1:
+                if bindings:
+                    for name in sorted(bindings):
+                        print(f"  ${name} = {bindings[name]!r}")
+                else:
+                    print("  (no bindings)")
+            elif len(parts) == 3:
+                name = parts[1].lstrip("$")
+                bindings[name] = parse_param_literal(parts[2])
+                print(f"  ${name} = {bindings[name]!r}")
+            else:
+                print("usage: \\set NAME VALUE  (or \\set to list)")
+            continue
+        if line.startswith("\\unset"):
+            parts = line.split()
+            if len(parts) == 2:
+                bindings.pop(parts[1].lstrip("$"), None)
+            else:
+                print("usage: \\unset NAME")
             continue
         if line == ".stats":
             print(session.stats.report())
@@ -248,7 +329,14 @@ def cmd_serve_repl(args) -> int:
             continue
         try:
             query = parse_query(line)
-            result = session.run(query)
+            params = None
+            if query.has_params():
+                params = {
+                    n: bindings[n]
+                    for n in query.param_names()
+                    if n in bindings
+                }
+            result = session.run(query, params=params)
         except ReproError as exc:
             print(f"error: {exc}")
             continue
@@ -355,6 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the full backchase counters "
         "(explored/pruned/containment-cache traffic)",
+    )
+    p_opt.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="bind a $NAME template parameter before optimizing "
+        "(repeatable; int/float/true/false/quoted-string literals)",
     )
     p_opt.add_argument(
         "--cache",

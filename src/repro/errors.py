@@ -24,11 +24,55 @@ class InstanceError(ReproError):
 
 
 class QuerySyntaxError(ReproError):
-    """Raised by the parser on malformed concrete syntax."""
+    """Raised by the parser on malformed concrete syntax.
 
-    def __init__(self, message: str, position: int = -1) -> None:
+    Carries the raw character ``position`` (offset into the source, -1 if
+    unknown).  Once the parser attaches the source text via
+    :meth:`with_source`, the rendered message upgrades the offset to
+    ``line:column`` plus a caret snippet — multi-line ``.oql`` files
+    (``optimize --query``) get usable positions instead of a flat offset.
+    """
+
+    def __init__(
+        self, message: str, position: int = -1, source: "str | None" = None
+    ) -> None:
         super().__init__(message)
+        self.raw_message = message
         self.position = position
+        self.source = None
+        self.line = -1
+        self.column = -1
+        if source is not None:
+            self.with_source(source)
+
+    def with_source(self, source: str) -> "QuerySyntaxError":
+        """Attach the source text, computing line/column from the offset."""
+
+        self.source = source
+        if self.position >= 0:
+            # Clamp EOF positions onto the last character so the caret
+            # still lands inside the snippet.
+            offset = min(self.position, len(source))
+            before = source[:offset]
+            self.line = before.count("\n") + 1
+            self.column = offset - (before.rfind("\n") + 1) + 1
+        return self
+
+    def __str__(self) -> str:
+        if self.source is None or self.position < 0:
+            return self.raw_message
+        lines = self.source.split("\n")
+        line_text = lines[self.line - 1] if 0 < self.line <= len(lines) else ""
+        caret = " " * (self.column - 1) + "^"
+        return (
+            f"{self.line}:{self.column}: {self.raw_message}\n"
+            f"  {line_text}\n"
+            f"  {caret}"
+        )
+
+
+class ParameterBindingError(ReproError):
+    """A template was bound with missing or unknown ``$`` parameters."""
 
 
 class QueryValidationError(ReproError):

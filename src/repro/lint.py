@@ -1,0 +1,116 @@
+"""Parser-roundtrip lint: parse → format → re-parse must be stable.
+
+``python -m repro.lint [file.oql ...]`` checks that every query it is
+given — plus a built-in corpus covering the whole surface syntax
+(navigation joins, dictionary lookups, ``dom``, negative and float
+literals, ``$name`` template parameters) — survives the printer/parser
+round trip with its canonical key (and, for templates, its template key)
+intact.  A drift between :mod:`repro.query.printer` and
+:mod:`repro.query.parser` is exactly the kind of bug that corrupts the
+plan cache silently (two spellings of one query stop sharing an entry),
+so CI runs this as a standalone step next to ``python -m compileall``.
+
+Exit status: 0 when every query round-trips, 1 otherwise (one line per
+failure).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Tuple
+
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+from repro.query.printer import format_query
+
+#: queries exercising every construct the printer has to re-emit
+BUILTIN_CORPUS: Tuple[Tuple[str, str], ...] = (
+    (
+        "join",
+        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+    ),
+    (
+        "path-output",
+        "select r.A from R r where r.B = 2",
+    ),
+    (
+        "dict-lookup",
+        "select struct(N = I[k].Name) from dom(I) k where k = 3",
+    ),
+    (
+        "navigation",
+        'select struct(PN = s, DN = d.DName) from depts d, d.DProjs s '
+        'where s = "P1"',
+    ),
+    (
+        "literals",
+        "select struct(A = r.A) from R r "
+        "where r.A = -2 and r.B = 1.5 and r.C = true and r.D = \"x\"",
+    ),
+    (
+        "template",
+        "select struct(A = r.A, C = s.C) from R r, S s "
+        "where r.B = s.B and s.C = $c and r.A = $a",
+    ),
+    (
+        "template-dup-param",
+        "select struct(A = r.A) from R r, S s "
+        "where r.A = $x and s.C = $x and r.B = s.B",
+    ),
+)
+
+
+def check_roundtrip(name: str, text: str) -> List[str]:
+    """Problems (empty = clean) with one query's print/parse round trip."""
+
+    problems: List[str] = []
+    try:
+        query = parse_query(text)
+    except ReproError as exc:
+        return [f"{name}: does not parse: {exc}"]
+    printed = format_query(query)
+    try:
+        reparsed = parse_query(printed)
+    except ReproError as exc:
+        return [f"{name}: printed form does not re-parse: {exc}"]
+    if reparsed.canonical_key() != query.canonical_key():
+        problems.append(f"{name}: canonical key drifts across print/parse")
+    if reparsed.template_key() != query.template_key():
+        problems.append(f"{name}: template key drifts across print/parse")
+    if reparsed.param_names() != query.param_names():
+        problems.append(f"{name}: parameter list drifts across print/parse")
+    return problems
+
+
+def run_lint(paths: Iterable[str] = ()) -> List[str]:
+    """All round-trip problems over the built-in corpus plus ``paths``."""
+
+    problems: List[str] = []
+    for name, text in BUILTIN_CORPUS:
+        problems.extend(check_roundtrip(name, text))
+    for path in paths:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            problems.append(f"{path}: {exc}")
+            continue
+        problems.extend(check_roundtrip(path, text))
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    problems = run_lint(args)
+    for problem in problems:
+        print(f"lint: {problem}", file=sys.stderr)
+    checked = len(BUILTIN_CORPUS) + len(args)
+    if problems:
+        print(f"lint: {len(problems)} problem(s) in {checked} queries")
+        return 1
+    print(f"lint: {checked} queries round-trip clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

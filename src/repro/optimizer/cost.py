@@ -23,6 +23,7 @@ from repro.query.paths import (
     Dom,
     Lookup,
     NFLookup,
+    Param,
     Path,
     SName,
     Var,
@@ -115,10 +116,15 @@ def _selectivity(cond: Eq, sources: Dict[str, Path], stats: Statistics) -> float
         # trusted (the default would otherwise displace DEFAULT_SELECTIVITY).
         return stats.ndv.get(f"{info[0]}.{info[1]}")
 
-    left_const = isinstance(left, Const)
-    right_const = isinstance(right, Const)
+    # A binding marker ($x) prices like an unknown constant: templates are
+    # costed with the catalog's 1/NDV guess, which the bind-time skew
+    # guard later compares against the actual bound value's frequency.
+    left_const = isinstance(left, (Const, Param))
+    right_const = isinstance(right, (Const, Param))
     if left_const and right_const:
-        return 1.0 if left.value == right.value else 0.0
+        if isinstance(left, Const) and isinstance(right, Const):
+            return 1.0 if left.value == right.value else 0.0
+        return 1.0 if left is right else DEFAULT_SELECTIVITY
     if left_const or right_const:
         other = right if left_const else left
         ndv = ndv_of(other)

@@ -77,6 +77,14 @@ class StructOutput:
             tuple((name, P.substitute(path, mapping)) for name, path in self.fields)
         )
 
+    def substitute_params(self, mapping: Dict[str, Path]) -> "StructOutput":
+        return StructOutput(
+            tuple(
+                (name, P.substitute_params(path, mapping))
+                for name, path in self.fields
+            )
+        )
+
 
 @dataclass(frozen=True)
 class PathOutput:
@@ -92,6 +100,9 @@ class PathOutput:
 
     def substitute(self, mapping: Dict[str, Path]) -> "PathOutput":
         return PathOutput(P.substitute(self.path, mapping))
+
+    def substitute_params(self, mapping: Dict[str, Path]) -> "PathOutput":
+        return PathOutput(P.substitute_params(self.path, mapping))
 
 
 Output = Union[StructOutput, PathOutput]
@@ -175,6 +186,77 @@ class PCQuery:
 
     def size(self) -> int:
         return len(self.bindings) + len(self.conditions)
+
+    # -- parameters (binding markers) ---------------------------------------
+
+    def param_names(self) -> Tuple[str, ...]:
+        """Parameter names (``$x`` markers), in first-occurrence order over
+        bindings, then conditions, then the output clause (cached)."""
+
+        cached = self.__dict__.get("_param_names")
+        if cached is None:
+            seen: Dict[str, None] = {}
+            for path in self.all_paths():
+                for name in P.param_names(path):
+                    seen.setdefault(name, None)
+            cached = tuple(seen)
+            object.__setattr__(self, "_param_names", cached)
+        return cached
+
+    def has_params(self) -> bool:
+        return bool(self.param_names())
+
+    def substitute_params(self, mapping: Dict[str, Path]) -> "PCQuery":
+        """Replace parameters by paths everywhere in the query."""
+
+        return PCQuery(
+            self.output.substitute_params(mapping),
+            tuple(
+                Binding(b.var, P.substitute_params(b.source, mapping))
+                for b in self.bindings
+            ),
+            tuple(
+                Eq(
+                    P.substitute_params(c.left, mapping),
+                    P.substitute_params(c.right, mapping),
+                )
+                for c in self.conditions
+            ),
+        )
+
+    def bind_params(self, values: "Dict[str, object]") -> "PCQuery":
+        """Substitute constants for every parameter.
+
+        ``values`` maps parameter names to Python base values (or ready
+        :class:`Path` nodes).  Every parameter must be bound and every key
+        must name a parameter; violations raise
+        :class:`~repro.errors.ParameterBindingError` so a typo'd binding
+        fails loudly instead of executing a half-bound template.
+        """
+
+        from repro.errors import ParameterBindingError
+
+        params = self.param_names()
+        missing = [name for name in params if name not in values]
+        if missing:
+            raise ParameterBindingError(
+                "unbound parameter(s) "
+                + ", ".join(f"${name}" for name in missing)
+                + " — pass a value for every $-marker in the template"
+            )
+        unknown = [name for name in values if name not in params]
+        if unknown:
+            known = ", ".join(f"${name}" for name in params) or "(none)"
+            raise ParameterBindingError(
+                "unknown parameter(s) "
+                + ", ".join(f"${name}" for name in unknown)
+                + f" — this template declares {known}"
+            )
+        mapping = {
+            name: value if isinstance(value, Path) else P.Const(value)
+            for name, value in values.items()
+        }
+        return self.substitute_params(mapping)
 
     # -- validation ----------------------------------------------------------
 
@@ -278,6 +360,42 @@ class PCQuery:
         if cached is None:
             cached = str(self.canonical())
             object.__setattr__(self, "_canonical_key", cached)
+        return cached
+
+    def canonical_template(self) -> "PCQuery":
+        """Canonical form with parameters renamed positionally to _p0.._pn.
+
+        Parameters canonicalize like variables — by occurrence order in the
+        canonical form — so alpha-variant templates (``$x`` vs ``$y``)
+        share one template key and therefore one plan-cache entry.  The
+        renaming lives *outside* :meth:`canonical` on purpose: the chase
+        and containment engines compare terms across two different
+        queries, and renaming both sides' parameters positionally could
+        spuriously identify unrelated markers.
+        """
+
+        canon = self.canonical()
+        order = canon.param_names()
+        mapping: Dict[str, Path] = {
+            name: P.Param(f"_p{i}") for i, name in enumerate(order)
+        }
+        return canon.substitute_params(mapping)
+
+    def template_key(self) -> str:
+        """Cache key shared by every alpha-variant of this template.
+
+        Equals :meth:`canonical_key` for parameter-free queries, so callers
+        can use it unconditionally.
+        """
+
+        cached = self.__dict__.get("_template_key")
+        if cached is None:
+            cached = (
+                str(self.canonical_template())
+                if self.param_names()
+                else self.canonical_key()
+            )
+            object.__setattr__(self, "_template_key", cached)
         return cached
 
     # -- display ----------------------------------------------------------------

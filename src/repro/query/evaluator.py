@@ -23,6 +23,7 @@ from repro.query.paths import (
     Dom,
     Lookup,
     NFLookup,
+    Param,
     Path,
     SName,
     Var,
@@ -42,6 +43,11 @@ def eval_path(path: Path, env: Env, instance: Instance) -> Any:
             raise QueryExecutionError(f"unbound variable {path.name!r}") from None
     if isinstance(path, Const):
         return path.value
+    if isinstance(path, Param):
+        raise QueryExecutionError(
+            f"unbound parameter ${path.name}: bind it before execution "
+            f"(PCQuery.bind_params or PreparedQuery.run({path.name}=...))"
+        )
     if isinstance(path, SName):
         return instance[path.name]
     if isinstance(path, Attr):

@@ -25,7 +25,17 @@ from typing import List, Optional, Set, Tuple
 
 from repro.errors import QuerySyntaxError
 from repro.query.ast import Binding, Eq, PathOutput, PCQuery, StructOutput
-from repro.query.paths import Attr, Const, Dom, Lookup, NFLookup, Path, SName, Var
+from repro.query.paths import (
+    Attr,
+    Const,
+    Dom,
+    Lookup,
+    NFLookup,
+    Param,
+    Path,
+    SName,
+    Var,
+)
 
 _KEYWORDS = {
     "select",
@@ -48,6 +58,7 @@ _TOKEN_RE = re.compile(
   | (?P<arrow>->)
   | (?P<string>"(?:[^"\\]|\\.)*")
   | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
   | (?P<punct>[.,()\[\]{}=])
     """,
@@ -174,7 +185,12 @@ class _Parser:
             return Const(tok.text[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
         if tok.kind == "number":
             self.advance()
+            # Const() normalizes whole-number floats to ints, so `1.0`
+            # and `1` parse to the same node.
             return Const(float(tok.text) if "." in tok.text else int(tok.text))
+        if tok.kind == "param":
+            self.advance()
+            return Param(tok.text[1:])
         if tok.kind == "ident":
             self.advance()
             if tok.text in self.scope:
@@ -347,22 +363,37 @@ class _Parser:
 
 
 def parse_query(source: str) -> PCQuery:
-    """Parse a PC query from concrete syntax."""
+    """Parse a PC query from concrete syntax.
 
-    return _Parser(source).parse_query()
+    ``$name`` markers parse to :class:`~repro.query.paths.Param` binding
+    markers (query templates); bind them with
+    :meth:`~repro.query.ast.PCQuery.bind_params` or
+    ``Database.prepare(...).run(name=...)``.
+    """
+
+    try:
+        return _Parser(source).parse_query()
+    except QuerySyntaxError as err:
+        raise err.with_source(source)
 
 
 def parse_path(source: str, scope: Optional[Set[str]] = None) -> Path:
     """Parse a standalone path; names in ``scope`` become variables."""
 
-    parser = _Parser(source)
-    parser.scope = set(scope or ())
-    path = parser.parse_path()
-    parser.expect_eof()
-    return path
+    try:
+        parser = _Parser(source)
+        parser.scope = set(scope or ())
+        path = parser.parse_path()
+        parser.expect_eof()
+        return path
+    except QuerySyntaxError as err:
+        raise err.with_source(source)
 
 
 def parse_constraint(source: str, name: str = "c"):
     """Parse an EPCD from concrete syntax."""
 
-    return _Parser(source).parse_constraint(name)
+    try:
+        return _Parser(source).parse_constraint(name)
+    except QuerySyntaxError as err:
+        raise err.with_source(source)

@@ -80,12 +80,23 @@ class Var(Path):
 
 
 class Const(Path):
-    """A constant at base type (string, int, float, bool)."""
+    """A constant at base type (string, int, float, bool).
+
+    Numeric constants are *normalized*: a whole-number float collapses to
+    the equal int (``Const(1.0) is Const(1)``), so ``where x.a = 1`` and
+    ``where x.a = 1.0`` share one structural key, one canonical form and
+    one congruence class — Python already evaluates them equal, and the
+    chase's constant-clash detection compares by value, so two spellings
+    of the same number must be the same ground term.  Bools are untouched
+    (``True`` stays distinct from ``1``).
+    """
 
     __slots__ = ("value",)
     _intern: Dict[Any, "Const"] = {}
 
     def __new__(cls, value: Any) -> "Const":
+        if type(value) is float and value.is_integer():
+            value = int(value)
         key = ("c", type(value).__name__, value)
         obj = cls._intern.get(key)
         if obj is not None:
@@ -98,6 +109,38 @@ class Const(Path):
         obj._fvs = _EMPTY
         obj._size = 1
         cls._intern[key] = obj
+        return obj
+
+
+class Param(Path):
+    """A binding marker ``$name``: a placeholder for a constant.
+
+    A parameter is an *uninterpreted* ground term — no free variables, no
+    value, equal only to itself — so the chase and backchase treat every
+    occurrence of ``$x`` as one opaque constant.  Any equivalence proven
+    for the template therefore holds under every binding of its
+    parameters (the proof never inspects the constant's value), which is
+    what makes it sound to optimize a template once and substitute
+    constants into the cached winning plan at execution time.  The price
+    is conservatism: constant-clash pruning (``1 = 2`` is unsatisfiable)
+    does not extend to parameters, since ``$x = $y`` may hold.
+    """
+
+    __slots__ = ("name",)
+    _intern: Dict[Any, "Param"] = {}
+
+    def __new__(cls, name: str) -> "Param":
+        obj = cls._intern.get(name)
+        if obj is not None:
+            return obj
+        obj = object.__new__(cls)
+        obj.name = name
+        obj._key = ("$", name)
+        obj._hash = hash(obj._key)
+        obj._str = f"${name}"
+        obj._fvs = _EMPTY
+        obj._size = 1
+        cls._intern[name] = obj
         return obj
 
 
@@ -297,6 +340,27 @@ def substitute(path: Path, mapping: Dict[str, Path]) -> Path:
     if new_kids == kids:
         return path
     return rebuild(path, new_kids)
+
+
+def param_names(path: Path) -> Tuple[str, ...]:
+    """Parameter names in the path, in first-occurrence order."""
+
+    seen: Dict[str, None] = {}
+    for term in subterms(path):
+        if isinstance(term, Param):
+            seen.setdefault(term.name, None)
+    return tuple(seen)
+
+
+def substitute_params(path: Path, mapping: Dict[str, Path]) -> Path:
+    """Replace parameters by paths (typically constants) per ``mapping``."""
+
+    def fn(term: Path) -> Path:
+        if isinstance(term, Param):
+            return mapping.get(term.name, term)
+        return term
+
+    return transform(path, fn)
 
 
 def transform(path: Path, fn: Callable[[Path], Path]) -> Path:

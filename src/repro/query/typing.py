@@ -36,6 +36,7 @@ from repro.query.paths import (
     Dom,
     Lookup,
     NFLookup,
+    Param,
     Path,
     SName,
     Var,
@@ -54,6 +55,13 @@ def type_of_path(path: Path, schema: Schema, env: Dict[str, Type]) -> Type:
         if ty is None:
             raise QueryValidationError(f"constant {path.value!r} is not a base value")
         return ty
+    if isinstance(path, Param):
+        # A binding marker stands for a yet-unknown base constant; base
+        # types compare loosely, so templates typecheck like their
+        # bindings will.
+        from repro.model.types import base_type
+
+        return base_type("param")
     if isinstance(path, SName):
         return schema.type_of(path.name)
     if isinstance(path, Attr):

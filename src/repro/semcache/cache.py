@@ -352,6 +352,11 @@ class SemanticCache:
         query's syntactic sources (e.g. class dictionaries read through
         oid dereference)."""
 
+        if query.has_params():
+            # A template has no extent of its own — cacheable results
+            # exist only per binding (CachedSession binds before lookup).
+            self.stats.rejected += 1
+            return None
         key = query.canonical_key()
         if key in self._exact and self._exact[key] in self._views:
             existing = self._views[self._exact[key]]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 from repro.constraints.epcd import EPCD
 from repro.exec.engine import execute
@@ -113,10 +113,22 @@ class CachedSession:
 
     # -- the request path ------------------------------------------------------
 
-    def run(self, query: PCQuery) -> SessionResult:
+    def run(
+        self,
+        query: PCQuery,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> SessionResult:
         """Answer ``query``: exact hit, (hybrid) cache rewrite, or cold
-        execution."""
+        execution.
 
+        A ``$x`` template needs ``params`` (one value per marker); the
+        binding is substituted *before* the cache walks its tiers, so
+        exact entries are keyed per (template, binding) — distinct
+        bindings populate distinct entries, repeats of a binding hit its
+        own."""
+
+        query = query.bind_params(dict(params) if params else {}) \
+            if (params or query.has_params()) else query
         start = time.perf_counter()
         if not self.enabled:
             execution = execute(

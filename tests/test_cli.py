@@ -85,6 +85,69 @@ class TestCommands:
         }
         assert best["pruned"] == best["full"]
 
+    def test_optimize_param_binds_template(self, files, tmp_path, capsys):
+        _, _, constraints, _ = files
+        template = tmp_path / "t.oql"
+        template.write_text("select r.A from R r where r.B = $b\n")
+        code = main(
+            [
+                "optimize",
+                "--query",
+                str(template),
+                "--constraints",
+                str(constraints),
+                "--physical",
+                "R,SB",
+                "--param",
+                "b=5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "universal plan" in out
+        # bound before optimizing: the reported plans carry the constant
+        assert "$b" not in out
+        assert "SB" in out
+
+    def test_optimize_unbound_template_prompts_for_param(
+        self, files, tmp_path, capsys
+    ):
+        _, _, constraints, _ = files
+        template = tmp_path / "t.oql"
+        template.write_text("select r.A from R r where r.B = $b\n")
+        code = main(
+            [
+                "optimize",
+                "--query",
+                str(template),
+                "--constraints",
+                str(constraints),
+                "--physical",
+                "R,SB",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "template with parameters $b (bind with --param)" in out
+        # the template itself still optimizes ($b is an opaque constant)
+        assert "universal plan" in out
+
+    def test_optimize_param_rejects_malformed_binding(self, files, capsys):
+        _, query, constraints, _ = files
+        code = main(
+            [
+                "optimize",
+                "--query",
+                str(query),
+                "--constraints",
+                str(constraints),
+                "--param",
+                "not-a-binding",
+            ]
+        )
+        assert code == 1
+        assert "NAME=VALUE" in capsys.readouterr().err
+
     def test_chase(self, files, capsys):
         _, query, constraints, _ = files
         code = main(
@@ -268,6 +331,41 @@ class TestServeRepl:
         out = self._run(monkeypatch, capsys, [".stats", ".quit"])
         assert "plan cache: hits=0 misses=0" in out
         assert "invalidations=0" in out
+
+    def test_set_binds_template_parameters(self, monkeypatch, capsys):
+        template = (
+            "select struct(A = r.A) from R r, S s "
+            "where r.B = s.B and s.C = $c"
+        )
+        out = self._run(
+            monkeypatch,
+            capsys,
+            [
+                template,  # unbound: must error, not crash the loop
+                "\\set c 3",
+                "\\set",  # listing shows the binding
+                template,  # cold execution under c=3
+                template,  # exact hit for the same (template, binding)
+                "\\unset c",
+                template,  # unbound again after \unset
+                ".quit",
+            ],
+        )
+        assert out.count("error:") == 2
+        assert "unbound parameter" in out
+        assert "$c = 3" in out
+        assert "[cold]" in out
+        assert "[exact via _SC" in out
+
+    def test_set_usage_errors_keep_serving(self, monkeypatch, capsys):
+        out = self._run(
+            monkeypatch,
+            capsys,
+            ["\\set c", "\\unset", "\\set", ".quit"],
+        )
+        assert "usage: \\set NAME VALUE" in out
+        assert "usage: \\unset NAME" in out
+        assert "(no bindings)" in out
 
 
 class TestTune:

@@ -1,0 +1,472 @@
+"""Parameterized query templates (``$x`` markers) end to end.
+
+Covers the whole binding-marker stack of this PR: tokenizer/parser
+support and literal normalization, the :class:`~repro.query.paths.Param`
+leaf and its canonical/template keying, ``bind_params`` and its errors,
+unbound-parameter guards at every execution entry point, the
+:class:`~repro.api.database.PreparedQuery` template path (one plan-cache
+miss serving many bindings, with counters proving it), the
+selectivity-skew replan guard, per-binding semantic-cache entries, the
+``line:column`` syntax-error rendering, and a property test pinning
+``prepare(template).run(**b)`` ≡ cold execution across randomized
+bindings and mid-sequence mutations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CacheConfig,
+    Database,
+    Instance,
+    Param,
+    ParameterBindingError,
+    QuerySyntaxError,
+    ReproError,
+    Row,
+    evaluate,
+    parse_query,
+)
+from repro.errors import QueryExecutionError
+from repro.physical.indexes import SecondaryIndex
+from repro.query import paths as P
+
+
+def rs_database(**kwargs) -> Database:
+    return Database.from_workload(
+        "rs", n_r=60, n_s=60, b_values=30, seed=5, **kwargs
+    )
+
+
+TEMPLATE_C = (
+    "select struct(A = r.A, C = s.C) "
+    "from R r, S s where r.B = s.B and s.C = $c"
+)
+
+
+# -- literal normalization (satellite: parser.py Const coercion) --------------
+
+
+class TestLiteralNormalization:
+    def test_whole_float_and_int_are_one_const(self):
+        assert P.Const(1.0) is P.Const(1)
+        assert type(P.Const(1.0).value) is int
+        assert P.Const(1.5) is not P.Const(1)
+
+    def test_bools_stay_distinct_from_ints(self):
+        assert P.Const(True) is not P.Const(1)
+        assert P.Const(False) is not P.Const(0)
+
+    def test_parsed_queries_share_canonical_keys(self):
+        q_int = parse_query("select r.A from R r where r.A = 1")
+        q_float = parse_query("select r.A from R r where r.A = 1.0")
+        assert q_int.canonical_key() == q_float.canonical_key()
+        q_frac = parse_query("select r.A from R r where r.A = 1.5")
+        assert q_frac.canonical_key() != q_int.canonical_key()
+
+    def test_negative_literals_parse(self):
+        query = parse_query("select r.A from R r where r.A = -2 and r.B = -1.5")
+        consts = [
+            term.value
+            for path in query.all_paths()
+            for term in P.subterms(path)
+            if isinstance(term, P.Const)
+        ]
+        assert -2 in consts and -1.5 in consts
+
+    def test_normalized_literal_evaluates(self):
+        instance = Instance({"R": frozenset({Row(A=1, B=2)})})
+        q_float = parse_query("select r.A from R r where r.A = 1.0")
+        assert evaluate(q_float, instance) == frozenset({1})
+
+
+# -- syntax errors carry line:column + caret (satellite) ----------------------
+
+
+class TestSyntaxErrorLocation:
+    def test_line_column_and_caret(self):
+        text = "select struct(A = r.A)\nfrom R r\nwhere r.A = = 2"
+        with pytest.raises(QuerySyntaxError) as exc_info:
+            parse_query(text)
+        err = exc_info.value
+        assert err.line == 3
+        assert err.column >= 1
+        rendered = str(err)
+        assert f"{err.line}:{err.column}:" in rendered
+        assert "where r.A = = 2" in rendered
+        assert "^" in rendered
+        # the caret points inside the offending line
+        caret_line = rendered.splitlines()[-1]
+        assert caret_line.strip() == "^"
+
+    def test_raw_offset_preserved(self):
+        with pytest.raises(QuerySyntaxError) as exc_info:
+            parse_query("select ?? from R r")
+        assert exc_info.value.position >= 0
+
+    def test_errors_without_source_render_plain(self):
+        err = QuerySyntaxError("boom", position=3)
+        assert str(err) == "boom"
+        err.with_source("0123456")
+        assert str(err).startswith("1:4: boom")
+
+
+# -- Param leaves and template keys -------------------------------------------
+
+
+class TestParamAst:
+    def test_parse_and_intern(self):
+        query = parse_query(TEMPLATE_C)
+        assert query.has_params()
+        assert query.param_names() == ("c",)
+        assert Param("c") is Param("c")
+        assert str(Param("c")) == "$c"
+
+    def test_duplicate_markers_unify(self):
+        query = parse_query(
+            "select struct(A = r.A) from R r, S s "
+            "where r.A = $x and s.C = $x and r.B = s.B"
+        )
+        assert query.param_names() == ("x",)
+
+    def test_template_key_is_alpha_invariant(self):
+        q_x = parse_query("select r.A from R r where r.A = $x")
+        q_y = parse_query("select r.A from R r where r.A = $y")
+        assert q_x.template_key() == q_y.template_key()
+        assert q_x.canonical_key() != q_y.canonical_key()
+
+    def test_shared_marker_and_distinct_markers_differ(self):
+        q_shared = parse_query(
+            "select struct(A = r.A) from R r, S s "
+            "where r.A = $x and s.C = $x and r.B = s.B"
+        )
+        q_distinct = parse_query(
+            "select struct(A = r.A) from R r, S s "
+            "where r.A = $x and s.C = $y and r.B = s.B"
+        )
+        assert q_shared.template_key() != q_distinct.template_key()
+
+    def test_template_key_of_plain_query_is_canonical_key(self):
+        query = parse_query("select r.A from R r where r.A = 1")
+        assert query.template_key() == query.canonical_key()
+
+    def test_param_may_collide_with_variable_name(self):
+        query = parse_query("select struct(A = x.A) from R x where x.A = $x")
+        assert query.param_names() == ("x",)
+        bound = query.bind_params({"x": 7})
+        assert not bound.has_params()
+        instance = Instance({"R": frozenset({Row(A=7), Row(A=8)})})
+        assert evaluate(bound, instance) == frozenset({Row(A=7)})
+
+    def test_param_in_output_clause(self):
+        query = parse_query(
+            "select struct(A = r.A, Tag = $tag) from R r where r.B = $b"
+        )
+        # first-occurrence order walks bindings, then conditions, then output
+        assert query.param_names() == ("b", "tag")
+        bound = query.bind_params({"tag": "hit", "b": 2})
+        instance = Instance({"R": frozenset({Row(A=1, B=2), Row(A=3, B=4)})})
+        results = evaluate(bound, instance)
+        assert results == frozenset({Row(A=1, Tag="hit")})
+
+
+class TestBindParams:
+    def test_binds_constants(self):
+        query = parse_query(TEMPLATE_C)
+        bound = query.bind_params({"c": 3})
+        assert not bound.has_params()
+        assert bound.canonical_key() == parse_query(
+            TEMPLATE_C.replace("$c", "3")
+        ).canonical_key()
+
+    def test_missing_binding_raises(self):
+        query = parse_query(TEMPLATE_C)
+        with pytest.raises(ParameterBindingError, match=r"unbound.*\$c"):
+            query.bind_params({})
+
+    def test_unknown_binding_raises(self):
+        query = parse_query(TEMPLATE_C)
+        with pytest.raises(ParameterBindingError, match=r"unknown.*\$d"):
+            query.bind_params({"c": 1, "d": 2})
+
+    def test_unbound_param_refuses_to_evaluate(self):
+        query = parse_query(TEMPLATE_C)
+        instance = Instance(
+            {"R": frozenset({Row(A=1, B=2)}), "S": frozenset({Row(B=2, C=3)})}
+        )
+        with pytest.raises(QueryExecutionError, match=r"unbound parameter \$c"):
+            evaluate(query, instance)
+
+
+# -- canonicalization pins (satellite 3: binding-order sensitivity) -----------
+
+
+class TestCanonicalBindingOrderPin:
+    def test_from_clause_order_changes_the_canonical_key(self):
+        """Pinned limitation (see ROADMAP "Known non-guarantees"):
+        ``canonical()`` renames variables by binding order, so permuting
+        the from clause changes the canonical key and such variants do
+        not share plan-cache entries.  This test documents the current
+        behavior; making canonicalization order-insensitive would have to
+        preserve chase/containment semantics and the golden plans."""
+
+        q_rs = parse_query(
+            "select struct(A = r.A) from R r, S s where r.B = s.B"
+        )
+        q_sr = parse_query(
+            "select struct(A = r.A) from S s, R r where r.B = s.B"
+        )
+        assert q_rs.canonical_key() != q_sr.canonical_key()
+        # semantically they are the same query: same answers everywhere
+        instance = Instance(
+            {"R": frozenset({Row(A=1, B=2)}), "S": frozenset({Row(B=2, C=3)})}
+        )
+        assert evaluate(q_rs, instance) == evaluate(q_sr, instance)
+
+
+# -- the PreparedQuery template path ------------------------------------------
+
+
+class TestPreparedTemplates:
+    def test_one_miss_serves_many_bindings(self):
+        db = rs_database()
+        template = parse_query(TEMPLATE_C)
+        prepared = db.prepare(template)
+        assert prepared.params == ("c",)
+
+        bindings = [3, 7, 11, 3]
+        for c in bindings:
+            got = prepared.run(c=c).results
+            cold = evaluate(template.bind_params({"c": c}), db.instance)
+            assert got == cold
+        info = db.plan_cache_info()
+        assert info.misses == 1  # the eager prepare, and nothing else
+        assert info.hits == len(bindings)  # every run() probed and hit
+        db.close()
+
+    def test_alpha_variant_templates_share_the_entry(self):
+        db = rs_database()
+        prepared_c = db.prepare(parse_query(TEMPLATE_C))
+        prepared_z = db.prepare(parse_query(TEMPLATE_C.replace("$c", "$z")))
+        assert db.plan_cache_info().misses == 1
+        assert prepared_c.run(c=3).results == prepared_z.run(z=3).results
+        db.close()
+
+    def test_run_validates_binding_names(self):
+        db = rs_database()
+        prepared = db.prepare(parse_query(TEMPLATE_C))
+        with pytest.raises(ParameterBindingError, match=r"unbound.*\$c"):
+            prepared.run()
+        with pytest.raises(ParameterBindingError, match=r"unknown.*\$d"):
+            prepared.run(c=1, d=2)
+        plain = db.prepare(parse_query("select r.A from R r where r.A = 1"))
+        with pytest.raises(ParameterBindingError, match="no .-markers"):
+            plain.run(c=1)
+        db.close()
+
+    def test_execute_routes_params_and_guards_templates(self):
+        db = rs_database()
+        template = parse_query(TEMPLATE_C)
+        got = db.execute(template, params={"c": 3}).results
+        assert got == evaluate(template.bind_params({"c": 3}), db.instance)
+        with pytest.raises(ParameterBindingError, match=r"unbound.*\$c"):
+            db.execute(template)
+        with pytest.raises(ParameterBindingError, match=r"unbound"):
+            db.execute_plan(db.optimize(template).best)
+        db.close()
+
+    def test_mutation_reoptimizes_then_serves_fresh_answers(self):
+        db = rs_database()
+        template = parse_query(TEMPLATE_C)
+        prepared = db.prepare(template)
+        before = prepared.run(c=3).results
+        assert before == evaluate(template.bind_params({"c": 3}), db.instance)
+
+        # grow S mid-sequence: the entry drops, the next run re-optimizes
+        new_s = frozenset(set(db.instance["S"]) | {Row(B=0, C=3)})
+        db.instance["S"] = new_s
+        after = prepared.run(c=3).results
+        assert after == evaluate(template.bind_params({"c": 3}), db.instance)
+        assert db.plan_cache_info().misses == 2  # prepare + post-mutation
+        db.close()
+
+    def test_explain_keeps_the_markers(self):
+        db = rs_database()
+        prepared = db.prepare(parse_query(TEMPLATE_C))
+        assert "$c" in prepared.explain()
+        db.close()
+
+
+# -- the selectivity-skew guard -----------------------------------------------
+
+
+def skewed_database(**config_kwargs) -> Database:
+    """40 R rows: A=1 thirty times (the skewed value), A=2..11 once each.
+
+    NDV(R.A) = 11, so the uniform estimate prices every binding at ~1/11
+    of the extent; A=1 actually selects 75% (ratio ~8.25, over the
+    default threshold of 8) while A=2 selects 2.5% (ratio ~0.28, inside
+    the band).
+    """
+
+    rows = {Row(A=1, N=i) for i in range(30)}
+    rows |= {Row(A=a, N=100 + a) for a in range(2, 12)}
+    instance = Instance({"R": frozenset(rows)})
+    return Database(
+        instance=instance,
+        cache_config=CacheConfig(**config_kwargs) if config_kwargs else None,
+    )
+
+
+SKEW_TEMPLATE = "select struct(N = r.N) from R r where r.A = $x"
+
+
+class TestSkewGuard:
+    def test_skewed_binding_gets_a_variant_entry(self):
+        db = skewed_database()
+        template = parse_query(SKEW_TEMPLATE)
+        prepared = db.prepare(template)  # miss 1: the base template entry
+
+        common = prepared.run(x=2).results  # in-band: base entry hit
+        assert common == evaluate(template.bind_params({"x": 2}), db.instance)
+        assert db.plan_cache_info().misses == 1
+
+        skewed = prepared.run(x=1).results  # skewed: variant entry miss
+        assert skewed == evaluate(template.bind_params({"x": 1}), db.instance)
+        info = db.plan_cache_info()
+        assert info.misses == 2
+        assert info.size == 2  # base entry + one #skew: variant
+
+        prepared.run(x=1)  # same skew bucket: the variant entry hits
+        assert db.plan_cache_info().misses == 2
+        db.close()
+
+    def test_guard_disabled_never_replans(self):
+        db = skewed_database(skew_replan_ratio=None)
+        template = parse_query(SKEW_TEMPLATE)
+        prepared = db.prepare(template)
+        for x in (1, 2, 1, 5):
+            got = prepared.run(x=x).results
+            assert got == evaluate(template.bind_params({"x": x}), db.instance)
+        info = db.plan_cache_info()
+        assert info.misses == 1
+        assert info.size == 1
+        db.close()
+
+    def test_mutation_clears_the_frequency_cache(self):
+        db = skewed_database()
+        db._value_counts("R", "A")
+        assert ("R", "A") in db._freq_cache
+        db.instance["R"] = frozenset({Row(A=1, N=0)})
+        assert not db._freq_cache
+        db.close()
+
+
+# -- per-binding semantic-cache entries ---------------------------------------
+
+
+class TestSessionTemplates:
+    def test_exact_entries_are_keyed_per_binding(self):
+        db = rs_database()
+        session = db.session(hybrid=False)
+        template = parse_query(TEMPLATE_C)
+
+        first = session.run(template, params={"c": 3})
+        assert first.source == "cold"
+        repeat = session.run(template, params={"c": 3})
+        assert repeat.source == "exact"
+        assert repeat.results == first.results
+        other = session.run(template, params={"c": 7})
+        assert other.source != "exact"  # a different binding, its own entry
+        assert other.results == evaluate(
+            template.bind_params({"c": 7}), db.instance
+        )
+        session.close()
+        db.close()
+
+    def test_unbound_template_is_rejected(self):
+        db = rs_database()
+        session = db.session()
+        with pytest.raises(ParameterBindingError, match=r"unbound.*\$c"):
+            session.run(parse_query(TEMPLATE_C))
+        session.close()
+        db.close()
+
+    def test_cache_register_rejects_templates(self):
+        db = rs_database()
+        session = db.session()
+        rejected_before = session.cache.stats.rejected
+        assert session.cache.register(parse_query(TEMPLATE_C)) is None
+        assert session.cache.stats.rejected == rejected_before + 1
+        session.close()
+        db.close()
+
+
+# -- property: prepared templates ≡ cold execution under mutation -------------
+
+
+@st.composite
+def binding_scripts(draw):
+    """A small R/S instance (with a secondary index, so the backchase has
+    real plan choices) plus a run/mutate script over one template."""
+
+    def rows_r():
+        return frozenset(
+            Row(A=draw(st.integers(0, 3)), B=draw(st.integers(0, 3)))
+            for _ in range(draw(st.integers(1, 8)))
+        )
+
+    r = rows_r()
+    s = frozenset(
+        Row(B=draw(st.integers(0, 3)), C=draw(st.integers(0, 3)))
+        for _ in range(draw(st.integers(1, 8)))
+    )
+    steps = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("run"),
+                    st.integers(0, 4),
+                    st.integers(0, 4),
+                ),
+                st.tuples(st.just("mutate"), st.just(None), st.just(None)),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    mutations = [rows_r() for _ in steps]
+    return r, s, steps, mutations
+
+
+@given(binding_scripts())
+@settings(max_examples=25, deadline=None)
+def test_prepared_template_matches_cold_execution(script):
+    r, s, steps, mutations = script
+    instance = Instance({"R": r, "S": s})
+    index = SecondaryIndex("IRA", "R", "A")
+    index.install(instance, None)
+    db = Database(
+        instance=instance,
+        constraints=index.constraints(),
+        physical_names=frozenset({"R", "S", "IRA"}),
+    )
+    template = parse_query(
+        "select struct(A = r.A, C = s.C) from R r, S s "
+        "where r.B = s.B and r.A = $a and s.C = $c"
+    )
+    prepared = db.prepare(template)
+    for i, (op, a, c) in enumerate(steps):
+        if op == "mutate":
+            new_r = mutations[i]
+            db.instance["R"] = new_r
+            SecondaryIndex("IRA", "R", "A").install(db.instance, None)
+        else:
+            got = prepared.run(a=a, c=c).results
+            cold = evaluate(
+                template.bind_params({"a": a, "c": c}), db.instance
+            )
+            assert got == cold, (a, c)
+    db.close()
