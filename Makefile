@@ -5,7 +5,7 @@
 #   make golden       regenerate tests/golden/* (review the diff!)
 #   make lint         bytecode-compile src + parser-roundtrip lint
 #   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json ..
-#                     BENCH_e17.json)
+#                     BENCH_e18.json)
 #   make bench-report aggregate the BENCH_e*.json artifacts into one table
 #   make bench-e12    the full E12 pruning benchmark
 #   make bench-e13    the full E13 semantic-cache benchmark
@@ -13,6 +13,7 @@
 #   make bench-e15    the full E15 prepared-query / plan-cache benchmark
 #   make bench-e16    the full E16 physical-design-advisor benchmark
 #   make bench-e17    the full E17 parameterized-template benchmark
+#   make bench-e18    the full E18 observability-overhead benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -23,7 +24,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 GOLDEN_FILES := tests/test_golden_plans.py tests/test_advisor.py
 
 .PHONY: test check lint golden bench bench-smoke bench-report \
-	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17
+	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17 bench-e18
 
 test:
 	$(PYTEST) -x -q
@@ -67,6 +68,9 @@ bench-e16:
 
 bench-e17:
 	$(PYTEST) -q benchmarks/bench_e17_templates.py
+
+bench-e18:
+	$(PYTEST) -q benchmarks/bench_e18_obs.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

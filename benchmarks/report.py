@@ -121,6 +121,47 @@ def _e17_rows(data: Dict) -> List[Dict[str, str]]:
     ]
 
 
+def _phase_latency(wl: Dict) -> str:
+    """Per-phase latency columns out of a workload's embedded
+    ``Database.metrics()`` snapshot (the E18 emission); empty when the
+    artifact predates the metrics field."""
+
+    metrics = wl.get("metrics")
+    if not isinstance(metrics, dict):
+        return ""
+    histograms = metrics.get("histograms")
+    if not isinstance(histograms, dict):
+        return ""
+    phases = []
+    for name, hist in sorted(histograms.items()):
+        if not name.startswith("latency.phase."):
+            continue
+        try:
+            phases.append(
+                f"{name[len('latency.phase.'):]} "
+                f"{hist['total_seconds']:.3f}s/{hist['count']}"
+            )
+        except (KeyError, TypeError):
+            continue
+    return " | ".join(phases)
+
+
+def _e18_rows(data: Dict) -> List[Dict[str, str]]:
+    rows = []
+    for wl in data.get("workloads", ()):
+        headline = (
+            f"silent {wl['silent_seconds']:.3f}s -> traced "
+            f"{wl['traced_seconds']:.3f}s "
+            f"(x{wl['overhead_ratio']:.2f}), "
+            f"{wl['spans_traced']} spans"
+        )
+        phases = _phase_latency(wl)
+        if phases:
+            headline += f"; phases: {phases}"
+        rows.append({"workload": wl["workload"], "headline": headline})
+    return rows
+
+
 def _generic_rows(data: Dict) -> List[Dict[str, str]]:
     workloads = data.get("workloads", ())
     if not isinstance(workloads, (list, tuple)):
@@ -143,6 +184,7 @@ ROW_BUILDERS: Dict[str, Callable[[Dict], List[Dict[str, str]]]] = {
     "e15_prepared": _e15_rows,
     "e16_advisor": _e16_rows,
     "e17_templates": _e17_rows,
+    "e18_obs": _e18_rows,
 }
 
 TITLES: Dict[str, str] = {
@@ -152,6 +194,7 @@ TITLES: Dict[str, str] = {
     "e15_prepared": "E15 prepared queries / plan cache",
     "e16_advisor": "E16 physical design advisor (empty vs advised)",
     "e17_templates": "E17 parameterized templates (rebound vs template)",
+    "e18_obs": "E18 observability overhead (silent vs traced)",
 }
 
 

@@ -1,0 +1,77 @@
+"""One traced request through the cache tiers: spans → metrics → ANALYZE.
+
+``repro.obs`` is the observability spine every layer reports into:
+
+* a **tracer** (``ObsConfig(tracing=True)``) records hierarchical spans
+  for each request — façade → plan cache → chase → backchase → cost →
+  executor — rendered as a per-request waterfall and exportable as JSONL;
+* a **metrics registry** unifies the legacy counter families (plan
+  cache, semantic cache, backchase, containment cache) behind one
+  ``db.metrics()`` snapshot, with per-phase latency histograms and a
+  slow-query log;
+* **EXPLAIN ANALYZE** (``db.explain(q, analyze=True)``) runs the cached
+  winning plan with counting proxies between the operators and prints
+  actual rows/loops/probes/self-time next to the cost model's estimates.
+
+Tracing is off by default and free when off; counters flow either way.
+
+Run:  python examples/observability.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, parse_query
+from repro.obs import ObsConfig
+
+
+def main() -> None:
+    # -- 1. build with tracing on (default config traces nothing) ---------
+    db = Database.from_workload(
+        "rs",
+        n_r=500,
+        n_s=500,
+        b_values=100,
+        obs=ObsConfig(tracing=True, slow_query_threshold=0.05),
+    )
+    query = db.workload.query  # the canonical R ⋈ S join
+
+    # -- 2. one cold request: every phase shows up in the waterfall -------
+    db.execute(query)  # cold: chase + backchase + cost + exec
+    print(db.query_report().render())
+    print()
+
+    # -- 3. a warm repeat: the same request is a plan-cache hit -----------
+    db.execute(query)  # warm: plan_cache.lookup hit, execution only
+    print(db.query_report().render())
+    print()
+
+    # -- 4. the semantic-cache tiers trace too ----------------------------
+    session = db.session()
+    q = parse_query("select struct(A = r.A, B = r.B) from R r where r.A = 4")
+    session.run(q)  # cold → registered as a cached view
+    session.run(q)  # exact hit, no plan runs
+    print(db.query_report().render())  # the exact hit's timeline
+    print()
+
+    # -- 5. the unified metrics snapshot ----------------------------------
+    # counters + per-phase latency histograms + live source snapshots
+    # (plan cache, semantic cache) + the slow-query ring buffer; the same
+    # data as one JSON-able dict via db.metrics().
+    print(db.metrics_report())
+    print()
+
+    # -- 6. per-operator EXPLAIN ANALYZE ----------------------------------
+    print(db.explain(query, analyze=True).render())
+    print()
+
+    # -- 7. export the spans for offline tooling --------------------------
+    path = "trace_sample.jsonl"
+    db.obs.tracer.export_jsonl(path)
+    print(f"wrote {len(db.obs.tracer)} spans to {path}")
+
+    session.close()
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -99,6 +99,16 @@ from repro.api import (
     PreparedQuery,
     build_workload,
 )
+from repro.obs import (
+    AnalyzeResult,
+    MetricsRegistry,
+    Observability,
+    ObsConfig,
+    QueryReport,
+    SlowQueryLog,
+    Tracer,
+    analyze_query,
+)
 from repro.advisor import (
     AdvisorReport,
     DesignBudget,
@@ -127,15 +137,23 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessSupportRelation",
     "AdvisorReport",
+    "AnalyzeResult",
     "Attr",
     "CacheConfig",
     "Database",
     "DesignBudget",
+    "MetricsRegistry",
+    "Observability",
+    "ObsConfig",
     "OptimizeContext",
     "PhysicalDesignAdvisor",
     "PlanCacheInfo",
     "PreparedQuery",
+    "QueryReport",
     "ReproDeprecationWarning",
+    "SlowQueryLog",
+    "Tracer",
+    "analyze_query",
     "build_workload",
     "logical_database",
     "BOOL",

@@ -34,6 +34,7 @@ from typing import FrozenSet, Optional, Sequence, Tuple
 
 from repro.constraints.epcd import EPCD
 from repro.errors import OptimizationError
+from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.optimizer.cost import CostModel
 from repro.optimizer.statistics import Statistics
 
@@ -62,6 +63,10 @@ class OptimizeContext:
     max_backchase_nodes: int = 20_000
     reorder: bool = True
     use_hash_joins: bool = False
+    #: The request tracer every consuming layer reports spans to.  Like
+    #: statistics, it is an observation channel, not part of the physical
+    #: design: excluded from equality and from :meth:`fingerprint`.
+    tracer: Tracer = field(default=NOOP_TRACER, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -86,14 +91,17 @@ class OptimizeContext:
         statistics: Optional[Statistics] = None,
         cost_model: Optional[CostModel] = None,
         strategy: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> "OptimizeContext":
         """A new context with the given fields replaced.
 
         ``extra_constraints`` are appended to (not substituted for) the
         constraint set — the semantic cache's per-request view pairs;
         ``physical_names`` replaces the plan filter (``None`` disables
-        it); ``statistics``/``cost_model``/``strategy`` replace their
-        fields when given.  Everything else is carried over.
+        it); ``statistics``/``cost_model``/``strategy``/``tracer``
+        replace their fields when given.  Everything else is carried
+        over — in particular the tracer, so per-request overlays keep
+        reporting to the same request timeline.
         """
 
         base = (
@@ -110,6 +118,7 @@ class OptimizeContext:
             statistics=statistics or self.statistics,
             cost_model=cost_model or self.cost_model,
             strategy=strategy or self.strategy,
+            tracer=tracer or self.tracer,
         )
 
     def optimizer(self):

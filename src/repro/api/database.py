@@ -31,8 +31,10 @@ the migration notes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace as dc_replace
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+import time
+import weakref
+from dataclasses import asdict, dataclass, replace as dc_replace
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.context import OptimizeContext
 from repro.api.plancache import PlanCache, PlanCacheInfo
@@ -43,6 +45,8 @@ from repro.exec.engine import ExecutionResult, execute, explain
 from repro.model.instance import Instance
 from repro.model.schema import Schema
 from repro.model.values import Oid, Row
+from repro.obs import Observability, ObsConfig
+from repro.obs.analyze import AnalyzeResult, analyze_query
 from repro.optimizer.cost import CostModel, _attr_of
 from repro.optimizer.optimizer import OptimizationResult, Plan
 from repro.optimizer.statistics import Statistics
@@ -189,28 +193,45 @@ class PreparedQuery:
                 "; ".join(problems) + f" — this template declares {declared}"
             )
 
-        adjustments = db._skew_adjustments(self.query, bindings)
-        if adjustments:
-            result, entry_params = db._optimize_skew_variant(
-                self.query, adjustments, strategy=self.strategy
+        start = time.perf_counter()
+        with db.obs.tracer.span("db.run_prepared") as sp:
+            adjustments = db._skew_adjustments(self.query, bindings)
+            if adjustments:
+                db.obs.tracer.event(
+                    "skew.replan",
+                    conditions=len(adjustments),
+                    buckets=",".join(str(b) for *_, b, _ in adjustments),
+                )
+                result, entry_params = db._optimize_skew_variant(
+                    self.query, adjustments, strategy=self.strategy
+                )
+            else:
+                result, entry_params = db._optimize_entry(
+                    self.query, strategy=self.strategy
+                )
+                self._last_result, self._entry_params = result, entry_params
+            # Positional mapping: the entry may have been cached under an
+            # alpha-variant template, so translate our canonical-order names
+            # onto the entry's before substituting.
+            mapping: Dict[str, Path] = {}
+            for i, name in enumerate(self._canonical_params):
+                value = bindings[name]
+                mapping[entry_params[i]] = (
+                    value if isinstance(value, Path) else Const(value)
+                )
+            bound = result.best.query.substitute_params(mapping)
+            plan = dc_replace(result.best, query=bound)
+            execution = db.execute_plan(
+                plan, instance=instance, overlays=overlays
             )
-        else:
-            result, entry_params = db._optimize_entry(
-                self.query, strategy=self.strategy
-            )
-            self._last_result, self._entry_params = result, entry_params
-        # Positional mapping: the entry may have been cached under an
-        # alpha-variant template, so translate our canonical-order names
-        # onto the entry's before substituting.
-        mapping: Dict[str, Path] = {}
-        for i, name in enumerate(self._canonical_params):
-            value = bindings[name]
-            mapping[entry_params[i]] = (
-                value if isinstance(value, Path) else Const(value)
-            )
-        bound = result.best.query.substitute_params(mapping)
-        plan = dc_replace(result.best, query=bound)
-        return db.execute_plan(plan, instance=instance, overlays=overlays)
+            sp.set(rows=len(execution.results), skew=bool(adjustments))
+        db.obs.slow_log.observe(
+            str(self.query),
+            time.perf_counter() - start,
+            source="prepared",
+            rows=len(execution.results),
+        )
+        return execution
 
     def explain(self) -> str:
         """The operator tree the next :meth:`run` would execute (for a
@@ -244,11 +265,21 @@ class Database:
         cache_config: Optional[CacheConfig] = None,
         workload: Any = None,
         statistics_sample: Optional[int] = None,
+        obs: Optional[Union[Observability, ObsConfig]] = None,
     ) -> None:
         self.schema = schema
         self.instance = instance
         self.cache_config = cache_config or CacheConfig()
         self.workload = workload
+        # One observability bundle per database: tracer (threaded into the
+        # context below, so every layer reports to it), metrics registry
+        # and slow-query log.  Default: tracing off, metrics live.
+        if obs is None:
+            obs = Observability()
+        elif isinstance(obs, ObsConfig):
+            obs = Observability(obs)
+        self.obs = obs
+        self._session_seq = 0
         # With no explicit catalog the statistics are observed from the
         # instance and kept fresh: a mutation marks them dirty and the
         # next optimization recomputes them.  ``statistics_sample`` caps
@@ -276,6 +307,10 @@ class Database:
             max_backchase_nodes=max_backchase_nodes,
             reorder=reorder,
             use_hash_joins=use_hash_joins,
+            tracer=obs.tracer,
+        )
+        self.obs.registry.register_source(
+            "plan_cache", lambda: asdict(self.plan_cache_info())
         )
         size = self.cache_config.plan_cache_size
         self._plan_cache = PlanCache(max_size=size) if size != 0 else None
@@ -298,6 +333,7 @@ class Database:
         strategy: str = "pruned",
         cache_config: Optional[CacheConfig] = None,
         use_hash_joins: bool = False,
+        obs: Optional[Union[Observability, ObsConfig]] = None,
         **builder_kwargs,
     ) -> "Database":
         """A database over a built-in workload: ``"rs"``, ``"rabc"``,
@@ -317,6 +353,7 @@ class Database:
             cache_config=cache_config,
             use_hash_joins=use_hash_joins,
             workload=wl,
+            obs=obs,
         )
 
     # -- context and statistics ------------------------------------------------
@@ -396,9 +433,20 @@ class Database:
 
     # -- the request lifecycle -------------------------------------------------
 
+    @staticmethod
+    def _coerce_query(query: Union[PCQuery, str]) -> PCQuery:
+        """Accept OQL text anywhere a query is expected (the CLI and the
+        examples read much better for it)."""
+
+        if isinstance(query, str):
+            from repro.query.parser import parse_query
+
+            return parse_query(query)
+        return query
+
     def optimize(
         self,
-        query: PCQuery,
+        query: Union[PCQuery, str],
         strategy: Optional[str] = None,
         use_plan_cache: bool = True,
     ) -> OptimizationResult:
@@ -413,9 +461,16 @@ class Database:
         ``use_plan_cache=False`` bypasses the cache entirely — no counters
         move (the re-optimization arm of ``bench_e15``)."""
 
-        result, _ = self._optimize_entry(
-            query, strategy=strategy, use_plan_cache=use_plan_cache
-        )
+        query = self._coerce_query(query)
+        with self.obs.tracer.span("db.optimize") as sp:
+            result, _ = self._optimize_entry(
+                query, strategy=strategy, use_plan_cache=use_plan_cache
+            )
+            sp.set(
+                strategy=result.strategy,
+                plans=len(result.plans),
+                best_cost=round(result.best.cost, 3),
+            )
         return result
 
     def _optimize_entry(
@@ -446,6 +501,11 @@ class Database:
             return result, query.canonical().param_names()
         key = (query.template_key() + variant, ctx.fingerprint())
         entry = self._plan_cache.get(key)
+        self.obs.tracer.event(
+            "plan_cache.lookup",
+            hit=entry is not None,
+            variant=variant or None,
+        )
         if entry is None:
             result = ctx.optimizer().optimize(query)
             entry = self._plan_cache.put(
@@ -458,7 +518,7 @@ class Database:
 
     def execute(
         self,
-        query: PCQuery,
+        query: Union[PCQuery, str],
         overlays: Optional[Mapping[str, Any]] = None,
         params: Optional[Mapping[str, Any]] = None,
     ) -> ExecutionResult:
@@ -468,6 +528,7 @@ class Database:
         call routes through :meth:`prepare`/:meth:`PreparedQuery.run`, so
         repeated bindings hit the template's plan-cache entry."""
 
+        query = self._coerce_query(query)
         if params:
             return self.prepare(query).run(overlays=overlays, **dict(params))
         if query.has_params():
@@ -476,8 +537,18 @@ class Database:
                 f"unbound parameter(s) {declared} — pass params= or use "
                 f"prepare(query).run(...)"
             )
-        result = self.optimize(query)
-        return self.execute_plan(result.best, overlays=overlays)
+        start = time.perf_counter()
+        with self.obs.tracer.span("db.execute") as sp:
+            result = self.optimize(query)
+            execution = self.execute_plan(result.best, overlays=overlays)
+            sp.set(rows=len(execution.results))
+        self.obs.slow_log.observe(
+            str(query),
+            time.perf_counter() - start,
+            source="execute",
+            rows=len(execution.results),
+        )
+        return execution
 
     def execute_plan(
         self,
@@ -503,7 +574,12 @@ class Database:
             plan.query, target, overlays=overlays, context=self.context
         )
 
-    def explain(self, query: PCQuery, session=None) -> str:
+    def explain(
+        self,
+        query: Union[PCQuery, str],
+        session=None,
+        analyze: bool = False,
+    ) -> Union[str, AnalyzeResult]:
         """The plan text of what executing ``query`` would run.
 
         Without ``session``: the operator tree of the plan-cached winner —
@@ -513,17 +589,39 @@ class Database:
         explains to the empty string (no plan runs), a rewrite/hybrid hit
         shows cached extents tagged ``[cached]``, a miss shows the cold
         execution of the raw query.  Peeks only: no cache counters move
-        and no views are credited."""
+        and no views are credited.
 
+        ``analyze=True`` is EXPLAIN ANALYZE: the plan actually *runs*
+        (with the same overlay semantics the plain path would use) under
+        per-operator instrumentation, returning an
+        :class:`~repro.obs.analyze.AnalyzeResult` whose ``render()``
+        prints actual rows / loops / probes / wall time per operator next
+        to the cost model's row estimates; ``result.rows`` always equals
+        ``len(execute(query))``."""
+
+        query = self._coerce_query(query)
         use_hash_joins = self.context.use_hash_joins
         if session is None:
-            return explain(
-                self.optimize(query).best.query, use_hash_joins=use_hash_joins
-            )
+            best = self.optimize(query).best.query
+            if analyze:
+                return self._analyze(best, use_hash_joins)
+            return explain(best, use_hash_joins=use_hash_joins)
         use_hash_joins = session.use_hash_joins
         if not session.enabled:
+            if analyze:
+                return self._analyze(query, use_hash_joins)
             return explain(query, use_hash_joins=use_hash_joins)
         if session.cache.peek_exact(query) is not None:
+            if analyze:
+                # exact hits return the stored result; no operators run —
+                # report the stored cardinality with an empty operator table
+                stored = session.cache.peek_exact(query)
+                return AnalyzeResult(
+                    query=query,
+                    results=stored.result,
+                    elapsed_seconds=0.0,
+                    plan_text="",
+                )
             return ""  # exact hits return the stored result; nothing runs
         rewrite = session.cache.plan_rewrite(
             query,
@@ -534,21 +632,63 @@ class Database:
             record=False,
         )
         if rewrite is not None:
+            if analyze:
+                return self._analyze(
+                    rewrite.query,
+                    use_hash_joins,
+                    overlays={v.name: v.extent for v in rewrite.views},
+                    instance=session.instance,
+                )
             return explain(
                 rewrite.query,
                 use_hash_joins=use_hash_joins,
                 cached_names=frozenset(rewrite.view_names()),
             )
+        if analyze:
+            return self._analyze(
+                query, use_hash_joins, instance=session.instance
+            )
         return explain(query, use_hash_joins=use_hash_joins)
 
+    def _analyze(
+        self,
+        plan_query: PCQuery,
+        use_hash_joins: bool,
+        overlays: Optional[Mapping[str, Any]] = None,
+        instance: Optional[Instance] = None,
+    ) -> AnalyzeResult:
+        target = instance if instance is not None else self.instance
+        if target is None:
+            raise ReproError(
+                "explain(analyze=True) needs an instance to execute against"
+            )
+        if plan_query.has_params():
+            declared = ", ".join(f"${n}" for n in plan_query.param_names())
+            raise ParameterBindingError(
+                f"cannot analyze a template with unbound parameter(s) "
+                f"{declared} — bind them first"
+            )
+        return analyze_query(
+            plan_query,
+            target,
+            use_hash_joins=use_hash_joins,
+            overlays=overlays,
+            statistics=self.context.statistics,
+            cost_model=self.context.cost_model,
+        )
+
     def prepare(
-        self, query: PCQuery, strategy: Optional[str] = None
+        self, query: Union[PCQuery, str], strategy: Optional[str] = None
     ) -> PreparedQuery:
         """Canonicalize + optimize once; returns a :class:`PreparedQuery`
         whose :meth:`~PreparedQuery.run` skips chase/backchase on every
         repeat (plan-cache hits)."""
 
-        return PreparedQuery(self, query, strategy=strategy)
+        query = self._coerce_query(query)
+        with self.obs.tracer.span("db.prepare") as sp:
+            prepared = PreparedQuery(self, query, strategy=strategy)
+            sp.set(params=len(prepared.params))
+        return prepared
 
     def session(
         self,
@@ -569,13 +709,30 @@ class Database:
         config = self.cache_config
         options.setdefault("max_rewrite_views", config.max_rewrite_views)
         options.setdefault("use_hash_joins", self.context.use_hash_joins)
-        return CachedSession(
+        options.setdefault("slow_log", self.obs.slow_log)
+        sess = CachedSession(
             self.instance,
             context=self.context,
             hybrid=config.hybrid if hybrid is None else hybrid,
             enabled=config.semantic_cache if enabled is None else enabled,
             **options,
         )
+        # Surface the session's CacheStats in metrics().  Weakly held: a
+        # dead session's source reports None and the registry omits it.
+        self._session_seq += 1
+        name = (
+            "semcache"
+            if self._session_seq == 1
+            else f"semcache#{self._session_seq}"
+        )
+        ref = weakref.ref(sess)
+
+        def semcache_source():
+            live = ref()
+            return live.stats.as_dict() if live is not None else None
+
+        self.obs.registry.register_source(name, semcache_source)
+        return sess
 
     # -- physical design tuning ------------------------------------------------
 
@@ -679,6 +836,42 @@ class Database:
             # drop retained plans, but keep the caller's catalog
             self.clear_plan_cache()
         return installed
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The database's request tracer (``db.tracer.enable()`` turns
+        span recording on; it is threaded into every layer already)."""
+
+        return self.obs.tracer
+
+    def metrics(self) -> Dict[str, Any]:
+        """One JSON-ready snapshot of everything observable: registry
+        counters/gauges/histograms, the live legacy counter families
+        (plan cache, per-session semantic-cache stats), the slow-query
+        log and the tracing state."""
+
+        snapshot = self.obs.registry.snapshot()
+        snapshot["slow_queries"] = self.obs.slow_log.as_dicts()
+        snapshot["tracing"] = {
+            "enabled": self.obs.tracer.enabled,
+            "spans_recorded": len(self.obs.tracer),
+        }
+        return snapshot
+
+    def metrics_report(self) -> str:
+        """:meth:`metrics` rendered for humans (the REPL's ``\\metrics``)."""
+
+        lines = [self.obs.registry.render()]
+        lines.append(self.obs.slow_log.render())
+        return "\n".join(lines)
+
+    def query_report(self, request_id: Optional[int] = None):
+        """The :class:`~repro.obs.report.QueryReport` timeline of one
+        traced request (default: the most recent)."""
+
+        return self.obs.report(request_id)
 
     # -- plan-cache bookkeeping ------------------------------------------------
 

@@ -180,11 +180,14 @@ class ChaseEngine:
         deps: Sequence[EPCD],
         max_steps: int = DEFAULT_MAX_STEPS,
         containment_cache_size=DEFAULT_CACHE_SIZE,
+        tracer=None,
     ) -> None:
         from repro.chase.cache import DEFAULT_MAX_SIZE, ContainmentCache
+        from repro.obs.trace import NOOP_TRACER
 
         self.deps = list(deps)
         self.max_steps = max_steps
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._cache: Dict[str, PCQuery] = {}
         self._cc_cache: Dict[str, "CongruenceClosure"] = {}
         self.cache_hits = 0
@@ -213,7 +216,14 @@ class ChaseEngine:
         cached = self.containment.get(key)
         if cached is not None:
             return cached
-        return self.containment.put(key, is_contained_in(q1, q2, self.deps, self))
+        # Only computed (cache-missing) verdicts get a span: cache hits
+        # are the hot path and already counted by cache_info().
+        with self.tracer.span("chase.containment") as sp:
+            verdict = self.containment.put(
+                key, is_contained_in(q1, q2, self.deps, self)
+            )
+            sp.set(contained=verdict)
+        return verdict
 
     def chase(self, query: PCQuery) -> PCQuery:
         """Chase the canonical form of ``query`` (cached)."""

@@ -7,6 +7,7 @@ Usage::
                              [--strategy full|pruned] [--verbose]
                              [--param x=3 ...]
                              [--cache] [--hybrid|--no-hybrid] [--query q2.oql ...]
+                             [--workload rs|rabc|projdept|oo_asr] [--analyze]
     python -m repro chase    --query q.oql --constraints c.epcd
     python -m repro minimize --query q.oql [--constraints c.epcd]
     python -m repro check    --constraints c.epcd   (syntax check)
@@ -15,14 +16,26 @@ Usage::
     python -m repro tune     --workload rs|rabc|projdept|oo_asr
                              [--query q.oql ...] [--budget N]
                              [--max-tuples N] [--sample N] [--apply]
+    python -m repro metrics  --workload rs|rabc|projdept|oo_asr
+                             [--query q.oql ...] [--repeat N] [--param x=3 ...]
+                             [--trace] [--json]
 
 ``optimize`` accepts ``--query`` repeatedly; queries may carry ``$name``
 parameter markers, bound with ``--param name=value`` (repeatable).  With
 ``--cache`` each optimized query is registered in a plan-level semantic
 cache so later queries in the same invocation can be rewritten onto
-earlier results.  ``serve-repl`` starts an interactive caching query
-service over a built-in workload instance (type ``.help`` at the prompt;
-``\\set x 3`` binds template parameters).  ``tune`` runs the
+earlier results.  ``--workload`` optimizes against a built-in scenario
+(its constraints, physical design, statistics and instance) instead of
+``--ddl``/``--constraints`` files, and ``--analyze`` — EXPLAIN ANALYZE —
+additionally *runs* each winning plan under per-operator instrumentation
+(actual rows/loops/probes/time next to the cost model's estimates; needs
+the instance, hence ``--workload``).  ``serve-repl`` starts an
+interactive caching query service over a built-in workload instance
+(type ``.help`` at the prompt; ``\\set x 3`` binds template parameters,
+``\\timing`` traces requests, ``\\metrics`` dumps the metrics registry).
+``metrics`` runs a query mix through a cached session and prints the
+unified metrics snapshot (``--json`` for machine-readable,
+``--trace`` to include the last request's span timeline).  ``tune`` runs the
 workload-driven physical design advisor against the named workload's
 *logical* core (hand-written design stripped): candidate views and index
 dictionaries are mined from the query mix (default: the scenario's
@@ -143,30 +156,53 @@ def _print_verbose_stats(result) -> None:
 
 
 def cmd_optimize(args) -> int:
-    constraints = _gather_constraints(args)
-    physical = (
-        frozenset(name.strip() for name in args.physical.split(","))
-        if args.physical
-        else None
-    )
-    db = Database(
-        constraints=constraints,
-        physical_names=physical,
-        max_chase_steps=args.max_chase_steps,
-        max_backchase_nodes=args.max_backchase_nodes,
-        strategy=args.strategy,
-    )
+    if args.analyze and not args.workload:
+        raise ReproError(
+            "--analyze runs the plan, which needs an instance: "
+            "pick one with --workload"
+        )
+    if args.workload:
+        if args.ddl or args.constraints or args.physical:
+            raise ReproError(
+                "--workload brings its own schema/constraints/design; "
+                "drop --ddl/--constraints/--physical"
+            )
+        db = Database.from_workload(args.workload, strategy=args.strategy)
+    else:
+        if not args.query:
+            raise ReproError(
+                "--query is required (only --workload supplies a default "
+                "query: the scenario's canonical one)"
+            )
+        constraints = _gather_constraints(args)
+        physical = (
+            frozenset(name.strip() for name in args.physical.split(","))
+            if args.physical
+            else None
+        )
+        db = Database(
+            constraints=constraints,
+            physical_names=physical,
+            max_chase_steps=args.max_chase_steps,
+            max_backchase_nodes=args.max_backchase_nodes,
+            strategy=args.strategy,
+        )
     cache = None
     if args.cache:
         from repro.semcache import SemanticCache
 
         cache = SemanticCache(context=db.context)
     params = _parse_param_args(getattr(args, "param", None))
-    for query_path in args.query:
-        if len(args.query) > 1:
-            print(f"=== {query_path} ===")
-        with open(query_path) as handle:
-            query = parse_query(handle.read())
+    if args.query:
+        queries = []
+        for query_path in args.query:
+            with open(query_path) as handle:
+                queries.append((query_path, parse_query(handle.read())))
+    else:
+        queries = [(f"workload {args.workload}", db.workload.query)]
+    for label, query in queries:
+        if len(queries) > 1:
+            print(f"=== {label} ===")
         if query.has_params():
             if params:
                 # Bind before optimizing: the reported plan is the one this
@@ -202,10 +238,56 @@ def cmd_optimize(args) -> int:
         print(result.report())
         if args.verbose:
             _print_verbose_stats(result)
+        if args.analyze:
+            print()
+            print(db.explain(query, analyze=True).render())
     if cache is not None and args.verbose:
         print("cache counters:")
         for counter, value in cache.stats.as_dict().items():
             print(f"  {counter}: {value}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run a query mix through a cached session over a built-in workload
+    and print the unified observability snapshot."""
+
+    import json
+
+    from repro.obs import ObsConfig
+
+    db = Database.from_workload(
+        args.workload, obs=ObsConfig(tracing=args.trace)
+    )
+    queries = []
+    for query_path in args.query or ():
+        with open(query_path) as handle:
+            queries.append(parse_query(handle.read()))
+    if not queries:
+        queries = [db.workload.query]
+    params = _parse_param_args(getattr(args, "param", None))
+    session = db.session()
+    try:
+        for _ in range(args.repeat):
+            for query in queries:
+                bound = None
+                if query.has_params():
+                    bound = {
+                        n: params[n]
+                        for n in query.param_names()
+                        if n in params
+                    }
+                session.run(query, params=bound)
+        if args.json:
+            print(json.dumps(db.metrics(), indent=2, sort_keys=True))
+        else:
+            print(db.metrics_report())
+            if args.trace:
+                print()
+                print(db.query_report().render())
+    finally:
+        session.close()
+        db.close()
     return 0
 
 
@@ -241,7 +323,11 @@ Commands:
   \\set NAME VALUE   bind a $NAME parameter (int/float/true/false/string)
   \\unset NAME       drop a binding
   \\set              list current bindings
-  .stats   cache, session and plan-cache counters
+  \\timing           toggle request tracing (prints a span timeline per query)
+  \\metrics          the full metrics registry: counters, latency
+                    histograms, plan-cache and semantic-cache sources,
+                    slow-query log
+  .stats   alias for \\metrics
   .views   cached views (name, size, hits)
   .help    this message
   .quit    exit (EOF works too)"""
@@ -276,6 +362,7 @@ def cmd_serve_repl(args) -> int:
     )
     stream = sys.stdin
     bindings: dict = {}
+    timing = False
     while True:
         print("> ", end="", flush=True)
         line = stream.readline()
@@ -311,15 +398,19 @@ def cmd_serve_repl(args) -> int:
             else:
                 print("usage: \\unset NAME")
             continue
-        if line == ".stats":
-            print(session.stats.report())
-            info = db.plan_cache_info()
-            print(
-                f"plan cache: hits={info.hits} misses={info.misses} "
-                f"size={info.size}/{info.max_size} "
-                f"evictions={info.evictions} "
-                f"invalidations={info.invalidations}"
-            )
+        if line == "\\timing":
+            timing = not timing
+            if timing:
+                db.obs.tracer.enable()
+            else:
+                db.obs.tracer.disable()
+            print(f"timing {'on' if timing else 'off'}")
+            continue
+        if line in (".stats", "\\metrics"):
+            # One rendering for both spellings: the full registry snapshot
+            # (sources include the plan cache and this session's
+            # CacheStats) plus the slow-query log.
+            print(db.metrics_report())
             continue
         if line == ".views":
             for view in session.cache.views():
@@ -347,6 +438,8 @@ def cmd_serve_repl(args) -> int:
             f"{len(result)} rows [{via}] "
             f"in {result.elapsed_seconds * 1000:.1f} ms"
         )
+        if timing:
+            print(db.query_report().render())
     session.close()
     db.close()
     print("bye")
@@ -408,9 +501,10 @@ def build_parser() -> argparse.ArgumentParser:
             if multi_query:
                 p.add_argument(
                     "--query",
-                    required=True,
                     action="append",
-                    help="file with one PC query (repeatable)",
+                    help="file with one PC query (repeatable; with "
+                    "--workload, defaults to the scenario's canonical "
+                    "query)",
                 )
             else:
                 p.add_argument("--query", required=True, help="file with one PC query")
@@ -464,7 +558,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --cache: admit plans mixing cached results and base "
         "relations (--no-hybrid restores all-or-nothing view-only rewrites)",
     )
+    p_opt.add_argument(
+        "--workload",
+        choices=REPL_WORKLOADS,
+        help="optimize against a built-in scenario (constraints, physical "
+        "design, statistics and instance) instead of --ddl/--constraints",
+    )
+    p_opt.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: also run each winning plan with "
+        "per-operator instrumentation (actual rows/loops/probes/time "
+        "next to estimates; requires --workload for the instance)",
+    )
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="run a query mix through a cached session and dump the "
+        "unified metrics snapshot",
+    )
+    p_met.add_argument(
+        "--workload",
+        choices=REPL_WORKLOADS,
+        required=True,
+        help="instance to serve the mix against",
+    )
+    p_met.add_argument(
+        "--query",
+        action="append",
+        help="file with one PC query (repeatable; default: the "
+        "scenario's canonical query)",
+    )
+    p_met.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="run the mix N times (default 2: the second pass shows "
+        "cache-hit counters moving)",
+    )
+    p_met.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="bind a $NAME template parameter (repeatable)",
+    )
+    p_met.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request tracing and print the last request's "
+        "span timeline",
+    )
+    p_met.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw Database.metrics() snapshot as JSON",
+    )
+    p_met.set_defaults(func=cmd_metrics)
 
     p_chase = sub.add_parser("chase", help="chase to the universal plan")
     common(p_chase)

@@ -14,6 +14,7 @@ from typing import Any, FrozenSet, Mapping, Optional
 from repro.exec.operators import Counters
 from repro.exec.planner import compile_query
 from repro.model.instance import Instance
+from repro.obs.trace import NOOP_TRACER
 from repro.query.ast import PCQuery
 
 
@@ -37,6 +38,7 @@ def execute(
     counters: Optional[Counters] = None,
     overlays: Optional[Mapping[str, Any]] = None,
     context=None,
+    tracer=None,
 ) -> ExecutionResult:
     """Compile and run a plan, collecting results into a frozenset.
 
@@ -49,21 +51,35 @@ def execute(
     ``[cached]`` in the plan text.
 
     ``context`` (an :class:`~repro.api.context.OptimizeContext`) supplies
-    execution flags — currently ``use_hash_joins`` — so façade callers
-    need not unpack them by hand.
+    execution flags — currently ``use_hash_joins`` — and the request
+    tracer, so façade callers need not unpack them by hand.  ``tracer``
+    passed directly wins over the context's (for callers like
+    :class:`~repro.semcache.session.CachedSession` that manage their
+    execution flags themselves but still report to the request timeline).
     """
 
     if context is not None:
         use_hash_joins = use_hash_joins or context.use_hash_joins
+        if tracer is None:
+            tracer = context.tracer
+    if tracer is None:
+        tracer = NOOP_TRACER
     counters = counters or Counters()
     cached_names = frozenset(overlays) if overlays else None
     plan = compile_query(
         query, counters, use_hash_joins=use_hash_joins, cached_names=cached_names
     )
     target = instance.overlay(dict(overlays)) if overlays else instance
-    start = time.perf_counter()
-    results = frozenset(plan.results(target))
-    elapsed = time.perf_counter() - start
+    with tracer.span("phase.exec") as span:
+        start = time.perf_counter()
+        results = frozenset(plan.results(target))
+        elapsed = time.perf_counter() - start
+        span.set(
+            rows=len(results),
+            tuples=counters.tuples,
+            probes=counters.probes,
+            cached_scans=bool(cached_names),
+        )
     return ExecutionResult(
         results=results,
         counters=counters,

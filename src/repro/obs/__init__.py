@@ -1,0 +1,98 @@
+"""repro.obs — tracing, metrics and EXPLAIN ANALYZE for the whole stack.
+
+One observability layer across optimize → cache → execute:
+
+- :mod:`repro.obs.trace` — span/event :class:`Tracer` (zero-cost no-op
+  when disabled), threaded through
+  :attr:`~repro.api.context.OptimizeContext.tracer` into every layer;
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` unifying the four
+  legacy counter families (containment ``cache_info()``,
+  ``BackchaseStats``, semcache ``CacheStats``, ``plan_cache_info()``)
+  behind their existing APIs, plus per-phase latency histograms;
+- :mod:`repro.obs.slowlog` — ring-buffer :class:`SlowQueryLog`;
+- :mod:`repro.obs.report` — per-request :class:`QueryReport` timelines;
+- :mod:`repro.obs.analyze` — :func:`analyze_query`, the EXPLAIN ANALYZE
+  engine behind ``Database.explain(q, analyze=True)``.
+
+:class:`Observability` bundles one tracer + registry + slow log per
+:class:`~repro.api.database.Database`, built from an :class:`ObsConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.analyze import AnalyzeResult, OpStats, analyze_query
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import QueryReport
+from repro.obs.slowlog import (
+    DEFAULT_CAPACITY,
+    DEFAULT_THRESHOLD_SECONDS,
+    SlowQuery,
+    SlowQueryLog,
+)
+from repro.obs.trace import DEFAULT_MAX_SPANS, NOOP_TRACER, Span, Tracer
+
+__all__ = [
+    "AnalyzeResult",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "ObsConfig",
+    "Observability",
+    "OpStats",
+    "QueryReport",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "analyze_query",
+]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """How much observability a :class:`~repro.api.database.Database`
+    carries.
+
+    The default (``tracing=False``) records no spans — only the metrics
+    registry (whose legacy sources are free) and the slow-query log are
+    live.  ``tracing=True`` turns on span recording and thereby the
+    per-phase latency histograms.
+    """
+
+    tracing: bool = False
+    max_spans: int = DEFAULT_MAX_SPANS
+    slow_query_threshold: float = DEFAULT_THRESHOLD_SECONDS
+    slow_log_capacity: int = DEFAULT_CAPACITY
+
+
+class Observability:
+    """One tracer + metrics registry + slow-query log, wired together."""
+
+    def __init__(self, config: ObsConfig = ObsConfig()) -> None:
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(
+            enabled=config.tracing,
+            registry=self.registry,
+            max_spans=config.max_spans,
+        )
+        self.slow_log = SlowQueryLog(
+            threshold_seconds=config.slow_query_threshold,
+            capacity=config.slow_log_capacity,
+        )
+
+    def report(self, request_id=None) -> QueryReport:
+        """The :class:`QueryReport` timeline for one traced request
+        (default: the most recent)."""
+
+        return QueryReport.from_tracer(self.tracer, request_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(tracing={self.tracer.enabled}, "
+            f"{len(self.tracer)} spans, {len(self.slow_log)} slow queries)"
+        )

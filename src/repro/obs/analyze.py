@@ -1,0 +1,363 @@
+"""EXPLAIN ANALYZE: run a plan with per-operator instrumentation.
+
+:func:`analyze_query` compiles a plan exactly like
+:func:`repro.exec.engine.execute` (same planner, same operators, same
+overlay semantics) and then runs it with every operator individually
+instrumented: rows produced, loop iterations (input rows consumed),
+dictionary probes, *empty* probes (lookups that found nothing — the
+runtime signature of a mis-estimated join), filtered rows, and inclusive /
+self wall time per operator.  The result renders next to the cost model's
+per-operator row estimates, making estimation error visible operator by
+operator — the classic EXPLAIN ANALYZE contract.
+
+The production hot path pays nothing for this: instrumentation happens by
+giving each operator of a **freshly compiled** plan its own
+:class:`~repro.exec.operators.Counters`, interposing timing proxies
+between parent and child, and shadowing ``rows`` with an instance-level
+instrumented variant on the two binding operators.  Plans compiled by
+:func:`~repro.exec.planner.compile_query` outside this module are
+untouched (the overhead-guard test in ``tests/test_obs.py`` pins that).
+
+The per-operator row *estimates* replay the cost model's own level-by-
+level simulation (:mod:`repro.optimizer.cost`) against the compiled
+operator chain, so "est rows" here and ``estimate_cost`` never disagree
+about what the model believed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional
+
+from repro.errors import QueryExecutionError
+from repro.exec.operators import (
+    Counters,
+    Filter,
+    HashJoinBind,
+    Operator,
+    Project,
+    ScanBind,
+    Singleton,
+)
+from repro.exec.planner import compile_query
+from repro.model.instance import Instance
+from repro.optimizer.cost import (
+    CostModel,
+    _selectivity,
+    _source_cardinality,
+    estimate_cost,
+)
+from repro.query.ast import Eq, PCQuery
+from repro.query.evaluator import eval_path
+
+__all__ = ["OpStats", "AnalyzeResult", "analyze_query"]
+
+
+@dataclass
+class OpStats:
+    """Measured (and, with statistics, estimated) behavior of one operator."""
+
+    label: str
+    est_rows: Optional[float] = None
+    rows: int = 0
+    loops: int = 0
+    probes: int = 0
+    empty_probes: int = 0
+    filtered: int = 0
+    hash_builds: int = 0
+    seconds: float = 0.0
+    self_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "est_rows": (
+                round(self.est_rows, 3) if self.est_rows is not None else None
+            ),
+            "rows": self.rows,
+            "loops": self.loops,
+            "probes": self.probes,
+            "empty_probes": self.empty_probes,
+            "filtered": self.filtered,
+            "hash_builds": self.hash_builds,
+            "seconds": round(self.seconds, 6),
+            "self_seconds": round(self.self_seconds, 6),
+        }
+
+
+@dataclass
+class AnalyzeResult:
+    """The outcome of one instrumented run."""
+
+    query: PCQuery
+    results: FrozenSet[Any]
+    elapsed_seconds: float
+    plan_text: str
+    op_stats: List[OpStats] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    estimated_cost: Optional[float] = None
+
+    @property
+    def rows(self) -> int:
+        """Distinct result rows — always ``len(execute(query))``."""
+
+        return len(self.results)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rows": self.rows,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "estimated_cost": (
+                round(self.estimated_cost, 3)
+                if self.estimated_cost is not None
+                else None
+            ),
+            "operators": [stat.as_dict() for stat in self.op_stats],
+        }
+
+    def render(self) -> str:
+        """The per-operator table: actuals next to estimates."""
+
+        header = (
+            f"EXPLAIN ANALYZE: {self.rows} rows in "
+            f"{self.elapsed_seconds * 1000:.2f}ms"
+        )
+        if self.estimated_cost is not None:
+            header += f" (estimated cost {self.estimated_cost:.1f})"
+        width = max((len(s.label) for s in self.op_stats), default=8)
+        width = max(width, len("operator"))
+        lines = [header]
+        lines.append(
+            f"  {'operator':<{width}}  {'est rows':>9} {'rows':>7} "
+            f"{'loops':>7} {'probes':>7} {'empty':>6} {'filtered':>8} "
+            f"{'time ms':>9} {'self ms':>9}"
+        )
+        for stat in self.op_stats:
+            est = (
+                f"{stat.est_rows:.1f}" if stat.est_rows is not None else "-"
+            )
+            lines.append(
+                f"  {stat.label:<{width}}  {est:>9} {stat.rows:>7} "
+                f"{stat.loops:>7} {stat.probes:>7} {stat.empty_probes:>6} "
+                f"{stat.filtered:>8} {stat.seconds * 1000:>9.3f} "
+                f"{stat.self_seconds * 1000:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+class _TimedChild:
+    """Timing proxy between a parent operator and its child: counts the
+    child's produced rows and accumulates its inclusive wall time."""
+
+    __slots__ = ("op", "stat")
+
+    def __init__(self, op: Operator, stat: OpStats) -> None:
+        self.op = op
+        self.stat = stat
+
+    def rows(self, instance: Instance):
+        clock = time.perf_counter
+        stat = self.stat
+        iterator = self.op.rows(instance)
+        while True:
+            t0 = clock()
+            try:
+                env = next(iterator)
+            except StopIteration:
+                stat.seconds += clock() - t0
+                return
+            stat.seconds += clock() - t0
+            stat.rows += 1
+            yield env
+
+
+def _instrumented_scan_rows(op: ScanBind, stat: OpStats, instance: Instance):
+    # Mirrors ScanBind.rows with one addition: count input environments
+    # whose source collection came up empty (failed lookups).
+    for env in op.child.rows(instance):
+        op.counters.probes += op._source_probes
+        collection = eval_path(op.source, env, instance)
+        if not isinstance(collection, frozenset):
+            raise QueryExecutionError(
+                f"binding source {op.source} is not a set"
+            )
+        if not collection:
+            stat.empty_probes += 1
+            continue
+        for element in collection:
+            op.counters.tuples += 1
+            child_env = dict(env)
+            child_env[op.var] = element
+            yield child_env
+
+
+def _instrumented_hash_rows(
+    op: HashJoinBind, stat: OpStats, instance: Instance
+):
+    # Mirrors HashJoinBind.rows with one addition: count probe keys that
+    # missed the build table entirely.
+    table = op._build(instance)
+    for env in op.child.rows(instance):
+        op.counters.probes += 1
+        key = eval_path(op.probe_key, env, instance)
+        matches = table.get(key, ())
+        if not matches:
+            stat.empty_probes += 1
+            continue
+        for element in matches:
+            op.counters.tuples += 1
+            child_env = dict(env)
+            child_env[op.var] = element
+            yield child_env
+
+
+def _chain(plan: Project) -> List[Operator]:
+    """The compiled operator chain bottom-up: unit first, project last."""
+
+    ops: List[Operator] = []
+    op: Operator = plan
+    while True:
+        ops.append(op)
+        child = getattr(op, "child", None)
+        if child is None:
+            break
+        op = child
+    ops.reverse()
+    return ops
+
+
+def _op_label(op: Operator) -> str:
+    # explain() renders the whole chain up to this operator; the last
+    # line is this operator's own label, guaranteed to match the plan
+    # text character for character.
+    return op.explain().rsplit("\n", 1)[-1].strip()
+
+
+def _estimated_rows(
+    ops: List[Operator], query: PCQuery, stats
+) -> Dict[int, float]:
+    """Per-operator output-row estimates from the cost model's own
+    level-by-level multiplicity walk (see ``estimate_cost``)."""
+
+    sources = {b.var: b.source for b in query.bindings}
+    estimates: Dict[int, float] = {}
+    m = 1.0
+    for op in ops:
+        if isinstance(op, Singleton):
+            estimates[id(op)] = 1.0
+        elif isinstance(op, ScanBind):
+            m *= _source_cardinality(op.source, stats)
+            estimates[id(op)] = m
+        elif isinstance(op, HashJoinBind):
+            m *= _source_cardinality(op.build_source, stats)
+            # the equijoin folded into the operator still filters
+            m *= _selectivity(Eq(op.build_key, op.probe_key), sources, stats)
+            estimates[id(op)] = m
+        elif isinstance(op, Filter):
+            for cond in op.conditions:
+                m *= _selectivity(cond, sources, stats)
+            estimates[id(op)] = m
+        elif isinstance(op, Project):
+            estimates[id(op)] = m
+    return estimates
+
+
+def analyze_query(
+    query: PCQuery,
+    instance: Instance,
+    use_hash_joins: bool = False,
+    overlays: Optional[Mapping[str, Any]] = None,
+    statistics=None,
+    cost_model: Optional[CostModel] = None,
+    context=None,
+) -> AnalyzeResult:
+    """Run ``query`` with per-operator instrumentation.
+
+    Mirrors :func:`repro.exec.engine.execute` (planner flags, overlay
+    semantics, frozenset result) but reports an :class:`OpStats` per
+    operator, bottom-up in plan-text order.  ``statistics`` (or
+    ``context.statistics``) enables the estimated-rows column and the
+    total estimated cost; without them only actuals are reported.
+    """
+
+    if context is not None:
+        use_hash_joins = use_hash_joins or context.use_hash_joins
+        if statistics is None:
+            statistics = context.statistics
+        if cost_model is None:
+            cost_model = context.cost_model
+    cached_names = frozenset(overlays) if overlays else None
+    plan = compile_query(
+        query, use_hash_joins=use_hash_joins, cached_names=cached_names
+    )
+    # Render before instrumenting: the timing proxies interposed below
+    # replace .child links and cannot explain() themselves.
+    plan_text = plan.explain()
+    ops = _chain(plan)
+
+    estimates = (
+        _estimated_rows(ops, query, statistics) if statistics is not None else {}
+    )
+    stats_by_op: Dict[int, OpStats] = {}
+    for op in ops:
+        stat = OpStats(label=_op_label(op), est_rows=estimates.get(id(op)))
+        stats_by_op[id(op)] = stat
+        op.counters = Counters()
+        if isinstance(op, ScanBind):
+            op.rows = (
+                lambda inst, _op=op, _stat=stat:
+                _instrumented_scan_rows(_op, _stat, inst)
+            )
+        elif isinstance(op, HashJoinBind):
+            op.rows = (
+                lambda inst, _op=op, _stat=stat:
+                _instrumented_hash_rows(_op, _stat, inst)
+            )
+    # Interpose the timing proxies parent → child (every op except the
+    # root Project has a parent; the root is timed by the outer loop).
+    for op in ops[1:]:
+        op.child = _TimedChild(op.child, stats_by_op[id(op.child)])
+
+    target = instance.overlay(dict(overlays)) if overlays else instance
+    project_stat = stats_by_op[id(plan)]
+    clock = time.perf_counter
+    out: List[Any] = []
+    start = clock()
+    for value in plan.results(target):
+        out.append(value)
+    elapsed = clock() - start
+    results = frozenset(out)
+    project_stat.rows = len(out)
+    project_stat.seconds = elapsed
+
+    merged = Counters()
+    op_stats: List[OpStats] = []
+    for i, op in enumerate(ops):
+        stat = stats_by_op[id(op)]
+        stat.probes = op.counters.probes
+        stat.filtered = op.counters.filtered
+        stat.hash_builds = op.counters.hash_builds
+        stat.loops = 1 if i == 0 else stats_by_op[id(ops[i - 1])].rows
+        child_seconds = stats_by_op[id(ops[i - 1])].seconds if i else 0.0
+        stat.self_seconds = max(stat.seconds - child_seconds, 0.0)
+        merged.tuples += op.counters.tuples
+        merged.probes += op.counters.probes
+        merged.filtered += op.counters.filtered
+        merged.hash_builds += op.counters.hash_builds
+        op_stats.append(stat)
+
+    estimated_cost = (
+        estimate_cost(query, statistics, cost_model)
+        if statistics is not None
+        else None
+    )
+    return AnalyzeResult(
+        query=query,
+        results=results,
+        elapsed_seconds=elapsed,
+        plan_text=plan_text,
+        op_stats=op_stats,
+        counters=merged,
+        estimated_cost=estimated_cost,
+    )

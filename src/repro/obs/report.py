@@ -1,0 +1,90 @@
+"""Per-request timeline rendering for traced requests.
+
+A :class:`QueryReport` turns one request's recorded spans (from
+:meth:`Tracer.request_spans <repro.obs.trace.Tracer.request_spans>`) into
+a human-readable waterfall: indentation mirrors span nesting, offsets are
+relative to the request's first span, and attributes (cache tier,
+candidate counts, pruned branches, template key) print inline.  This is
+the "why was this request slow" view — one glance shows which tier
+answered and where the time went.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["QueryReport"]
+
+
+def _format_attrs(attrs: Optional[Dict[str, Any]]) -> str:
+    if not attrs:
+        return ""
+    return "  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+class QueryReport:
+    """A rendered timeline for one traced request."""
+
+    def __init__(self, spans: Sequence, request_id: Optional[int] = None) -> None:
+        self.spans = list(spans)
+        self.request_id = request_id if request_id is not None else (
+            self.spans[0].request_id if self.spans else None
+        )
+
+    @classmethod
+    def from_tracer(
+        cls, tracer, request_id: Optional[int] = None
+    ) -> "QueryReport":
+        """The report for one request recorded by ``tracer`` (default:
+        the most recent)."""
+
+        return cls(tracer.request_spans(request_id), request_id)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time of the request's root span (0.0 if empty)."""
+
+        return self.spans[0].duration if self.spans else 0.0
+
+    def span_named(self, name: str):
+        """The first span with ``name``, or ``None``."""
+
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Summed duration per ``phase.*`` span name (the per-request
+        phase breakdown: parse/chase/backchase/cost/exec)."""
+
+        phases: Dict[str, float] = {}
+        for span in self.spans:
+            if span.name.startswith("phase."):
+                key = span.name[len("phase."):]
+                phases[key] = phases.get(key, 0.0) + span.duration
+        return phases
+
+    def render(self) -> str:
+        if not self.spans:
+            return "query report: (no spans recorded — is tracing enabled?)"
+        origin = self.spans[0].start
+        header = f"query report (request {self.request_id}"
+        header += f", total {self.total_seconds * 1000:.2f}ms)"
+        lines: List[str] = [header]
+        base_depth = min(span.depth for span in self.spans)
+        for span in self.spans:
+            indent = "  " * (span.depth - base_depth)
+            offset = (span.start - origin) * 1000.0
+            lines.append(
+                f"  {offset:8.2f}ms {indent}{span.name}"
+                f" ({span.duration * 1000:.2f}ms)"
+                f"{_format_attrs(span.attrs)}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryReport(request={self.request_id}, "
+            f"{len(self.spans)} spans, {self.total_seconds * 1000:.2f}ms)"
+        )

@@ -1,0 +1,288 @@
+"""Request tracing: a lightweight span/event API for the whole stack.
+
+Every layer of the pipeline — the :class:`~repro.api.database.Database`
+façade, the plan cache, the semantic cache tier walk, the chase engine,
+the pruned backchase and the executor — reports what it did through one
+:class:`Tracer`, threaded via
+:attr:`repro.api.context.OptimizeContext.tracer`.  A **span** is a named,
+timed interval with attributes (cache tier, candidate counts, row counts);
+an **event** is a zero-length span.  Completed spans land in a bounded
+ring buffer grouped by *request* (each top-level span opens a new request)
+and can be exported as JSONL or rendered as a per-request timeline
+(:class:`repro.obs.report.QueryReport`).
+
+**Zero-cost when disabled.**  The default tracer everywhere is the shared
+disabled singleton :data:`NOOP_TRACER`: ``tracer.span(...)`` then returns
+the one preallocated :class:`_NoopSpan`, records nothing, and allocates
+nothing that survives the call — the overhead-guard test in
+``tests/test_obs.py`` holds the hot path to that.  Instrumented layers may
+also check :attr:`Tracer.enabled` to skip attribute computation entirely.
+
+The tracer doubles as the **metrics feed**: when constructed with a
+:class:`~repro.obs.metrics.MetricsRegistry`, every completed span's
+duration is observed into the ``latency.<name>`` histogram (phase spans —
+``phase.parse`` / ``phase.chase`` / ``phase.backchase`` / ``phase.cost`` /
+``phase.exec`` — become the per-phase latency histograms), and
+:meth:`Tracer.add_counters` accumulates a counter-family dict (e.g. a
+:class:`~repro.backchase.backchase.BackchaseStats` snapshot delta) into
+registry counters.  Counter accumulation works even while span recording
+is disabled, so metrics never require paying for tracing.
+
+This module imports nothing from the rest of the package, so every layer
+can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+__all__ = ["Span", "Tracer", "NOOP_TRACER"]
+
+DEFAULT_MAX_SPANS = 4096
+
+
+class Span:
+    """One named, timed interval with attributes.
+
+    Used as a context manager (``with tracer.span("phase.chase") as sp:``);
+    :meth:`set` attaches attributes any time before exit.  Exceptions
+    propagate (the span still closes, tagged ``error``).
+    """
+
+    __slots__ = (
+        "tracer", "name", "attrs", "start", "end", "depth", "request_id", "seq"
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Optional[Dict[str, Any]],
+        depth: int,
+        request_id: int,
+        seq: int,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start = tracer._clock()
+        self.end: Optional[float] = None
+        self.depth = depth
+        self.request_id = request_id
+        self.seq = seq
+
+    @property
+    def duration(self) -> float:
+        """Seconds from enter to exit (0.0 while still open)."""
+
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on this span."""
+
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.set(error=exc_type.__name__)
+        self.tracer._finish(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration * 1000:.2f}ms, "
+            f"request={self.request_id}, attrs={self.attrs or {}})"
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    name = "<noop>"
+    attrs: Optional[Dict[str, Any]] = None
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Bounded span recorder + metrics feed.
+
+    ``enabled`` gates span recording only; :meth:`add_counters` (the
+    counter-family accumulation used by the optimizer and chase engine)
+    always flows to the attached registry, so the metrics surface works
+    with tracing off.  Spans beyond ``max_spans`` evict oldest-first —
+    an eviction only ever loses history, never correctness.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry=None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        clock=time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry
+        self.spans: Deque[Span] = deque(maxlen=max_spans)
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._request_seq = 0
+        self._span_seq = 0
+        self._origin = clock()
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Open a span; returns the :data:`NOOP_SPAN` singleton when
+        disabled (no allocation survives the call)."""
+
+        if not self.enabled:
+            return NOOP_SPAN
+        if not self._stack:
+            self._request_seq += 1
+        self._span_seq += 1
+        span = Span(
+            self,
+            name,
+            attrs or None,
+            depth=len(self._stack),
+            request_id=self._request_seq,
+            seq=self._span_seq,
+        )
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, **attrs: Any) -> Any:
+        """Record a zero-length span (a point annotation)."""
+
+        if not self.enabled:
+            return NOOP_SPAN
+        span = self.span(name, **attrs)
+        span.__exit__(None, None, None)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock()
+        # Close any unexited children first (defensive: a generator that
+        # never ran to completion), then pop this span.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.spans.append(span)
+        if self.registry is not None:
+            self.registry.observe_span(span.name, span.duration)
+
+    # -- the metrics feed ------------------------------------------------------
+
+    def add_counters(self, group: str, values: Mapping[str, Any]) -> None:
+        """Accumulate a counter-family snapshot delta (e.g. one search's
+        ``BackchaseStats.as_dict()``) into ``<group>.<name>`` registry
+        counters.  No-op without a registry; works with tracing disabled."""
+
+        if self.registry is None:
+            return
+        self.registry.add_counters(group, values)
+
+    # -- control ---------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop recorded spans (open spans and request numbering survive)."""
+
+        self.spans.clear()
+
+    # -- introspection / export ------------------------------------------------
+
+    def requests(self) -> List[int]:
+        """Request ids with recorded spans, oldest first."""
+
+        seen: List[int] = []
+        for span in self.spans:
+            if not seen or seen[-1] != span.request_id:
+                if span.request_id not in seen:
+                    seen.append(span.request_id)
+        return seen
+
+    def request_spans(self, request_id: Optional[int] = None) -> List[Span]:
+        """Completed spans of one request (default: the latest), in
+        start order."""
+
+        if request_id is None:
+            if not self.spans:
+                return []
+            request_id = self.spans[-1].request_id
+        spans = [s for s in self.spans if s.request_id == request_id]
+        spans.sort(key=lambda s: s.seq)
+        return spans
+
+    def span_record(self, span: Span) -> Dict[str, Any]:
+        """One span as a JSON-ready dict (times relative to the tracer's
+        origin, milliseconds)."""
+
+        return {
+            "request": span.request_id,
+            "seq": span.seq,
+            "name": span.name,
+            "depth": span.depth,
+            "start_ms": round((span.start - self._origin) * 1000.0, 3),
+            "duration_ms": round(span.duration * 1000.0, 3),
+            "attrs": dict(span.attrs) if span.attrs else {},
+        }
+
+    def to_jsonl(self) -> str:
+        """Every recorded span, one JSON object per line (export format)."""
+
+        return "\n".join(
+            json.dumps(self.span_record(span), sort_keys=True, default=str)
+            for span in self.spans
+        )
+
+    def export_jsonl(self, path) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the span count."""
+
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self.spans)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.spans)} spans)"
+
+
+#: The shared disabled tracer — the default everywhere a tracer is not
+#: explicitly wired.  Never enable this instance (it is shared across
+#: every context constructed without one); build a real Tracer instead.
+NOOP_TRACER = Tracer(enabled=False, max_spans=1)

@@ -43,9 +43,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backchase.backchase import BackchaseStats, minimal_subqueries
+from repro.chase.cache import CacheInfo
 from repro.chase.chase import ChaseEngine, ChaseResult, chase
 from repro.constraints.epcd import EPCD
 from repro.errors import OptimizationError, ReproDeprecationWarning
+from repro.obs.trace import NOOP_TRACER
 from repro.optimizer.cost import CostModel, estimate_cost
 from repro.optimizer.refine import (
     nonfailing_refinement,
@@ -93,6 +95,9 @@ class OptimizationResult:
     best: Plan
     backchase_stats: BackchaseStats
     strategy: str = "full"
+    #: the run's containment-cache counters (the engine is per-run, so
+    #: these are this optimization's own hits/misses/evictions)
+    containment: Optional[CacheInfo] = None
 
     def physical_plans(self) -> List[Plan]:
         return [p for p in self.plans if p.physical_only]
@@ -161,6 +166,7 @@ class Optimizer:
             self.max_backchase_nodes = context.max_backchase_nodes
             self.reorder = context.reorder
             self.strategy = context.strategy
+        self.tracer = context.tracer if context is not None else NOOP_TRACER
         self._context = context
         # Per-optimize() memos shared between the pruned search's bounding
         # coster and the final plan assembly.
@@ -211,7 +217,9 @@ class Optimizer:
         """
 
         strategy = strategy or self.strategy
-        engine = engine or ChaseEngine(self.constraints, self.max_chase_steps)
+        engine = engine or ChaseEngine(
+            self.constraints, self.max_chase_steps, tracer=self.tracer
+        )
         options = {}
         if strategy == "pruned":
             options = dict(
@@ -343,14 +351,28 @@ class Optimizer:
             return self._ephemeral(
                 extra_constraints, physical_names, statistics
             ).optimize(query)
-        chase_result = self.universal_plan(query)
-        universal = chase_result.query
+        tracer = self.tracer
+        with tracer.span("phase.chase") as sp:
+            chase_result = self.universal_plan(query)
+            universal = chase_result.query
+            sp.set(
+                chase_steps=len(chase_result.steps),
+                universal_bindings=len(universal.bindings),
+            )
         bc_stats = BackchaseStats()
         self._pipeline_cache: Dict[str, List[Tuple[PCQuery, bool]]] = {}
         self._plan_cache: Dict[Tuple[str, bool], Plan] = {}
 
-        engine = ChaseEngine(self.constraints, self.max_chase_steps)
-        normal_forms = self.minimal_plans(universal, bc_stats, engine=engine)
+        engine = ChaseEngine(
+            self.constraints, self.max_chase_steps, tracer=tracer
+        )
+        with tracer.span("phase.backchase", strategy=self.strategy) as sp:
+            normal_forms = self.minimal_plans(universal, bc_stats, engine=engine)
+            sp.set(
+                normal_forms=len(normal_forms),
+                candidates_explored=bc_stats.candidates_explored,
+                candidates_pruned=bc_stats.candidates_pruned,
+            )
 
         candidates: Dict[str, Tuple[PCQuery, bool]] = {}
 
@@ -359,20 +381,34 @@ class Optimizer:
             if key not in candidates:
                 candidates[key] = (plan, refined)
 
-        for form in normal_forms:
-            for variant, refined in self._variants(form, engine):
-                add(variant, refined=refined)
+        with tracer.span("phase.cost") as sp:
+            for form in normal_forms:
+                for variant, refined in self._variants(form, engine):
+                    add(variant, refined=refined)
 
-        plans: List[Plan] = [
-            self._costed(plan_query, refined)
-            for plan_query, refined in candidates.values()
-        ]
-        if not plans:
-            raise OptimizationError("backchase produced no plans")
-        plans.sort(key=lambda p: (p.cost, p.query.canonical_key()))
+            plans: List[Plan] = [
+                self._costed(plan_query, refined)
+                for plan_query, refined in candidates.values()
+            ]
+            if not plans:
+                raise OptimizationError("backchase produced no plans")
+            plans.sort(key=lambda p: (p.cost, p.query.canonical_key()))
 
-        eligible = [p for p in plans if p.physical_only] or plans
-        best = eligible[0]
+            eligible = [p for p in plans if p.physical_only] or plans
+            best = eligible[0]
+            sp.set(plans=len(plans), best_cost=round(best.cost, 3))
+        containment = engine.containment.cache_info()
+        # The engine (and bc_stats) are per-run, so every field is this
+        # run's own delta; sizes are states, not deltas, and stay out.
+        tracer.add_counters("backchase", bc_stats.as_dict())
+        tracer.add_counters(
+            "containment",
+            {
+                "hits": containment.hits,
+                "misses": containment.misses,
+                "evictions": containment.evictions,
+            },
+        )
         return OptimizationResult(
             query=query,
             universal_plan=universal,
@@ -381,6 +417,7 @@ class Optimizer:
             best=best,
             backchase_stats=bc_stats,
             strategy=self.strategy,
+            containment=containment,
         )
 
     def _ephemeral(

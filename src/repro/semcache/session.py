@@ -32,6 +32,7 @@ from typing import Any, FrozenSet, Mapping, Optional, Sequence, Tuple
 from repro.constraints.epcd import EPCD
 from repro.exec.engine import execute
 from repro.model.instance import Instance
+from repro.obs.trace import NOOP_TRACER
 from repro.optimizer.statistics import Statistics
 from repro.query.ast import PCQuery
 from repro.semcache.cache import SemanticCache
@@ -77,18 +78,24 @@ class CachedSession:
         use_hash_joins: bool = False,
         hybrid: bool = True,
         context=None,
+        slow_log=None,
         **cache_options,
     ) -> None:
         """``context`` (an :class:`~repro.api.context.OptimizeContext`)
         supplies constraints/statistics/cost model/strategy/limits in one
         value — how ``Database.session()`` wires sessions; the individual
-        arguments remain for standalone use."""
+        arguments remain for standalone use.  ``slow_log`` (a
+        :class:`~repro.obs.slowlog.SlowQueryLog`) records runs over its
+        threshold — ``Database.session()`` passes the database's."""
 
         self.instance = instance
         self.enabled = enabled
         self.register_results = register_results
         self.use_hash_joins = use_hash_joins
         self.hybrid = hybrid
+        self.context = context
+        self.tracer = context.tracer if context is not None else NOOP_TRACER
+        self.slow_log = slow_log
         self.cache = cache or SemanticCache(
             constraints, statistics=statistics, context=context, **cache_options
         )
@@ -129,10 +136,27 @@ class CachedSession:
 
         query = query.bind_params(dict(params) if params else {}) \
             if (params or query.has_params()) else query
+        tracer = self.tracer
+        with tracer.span("session.run") as root:
+            result = self._run(query, tracer)
+            root.set(source=result.source, rows=len(result.results))
+        if self.slow_log is not None:
+            self.slow_log.observe(
+                str(query),
+                result.elapsed_seconds,
+                source=f"session.{result.source}",
+                rows=len(result.results),
+            )
+        return result
+
+    def _run(self, query: PCQuery, tracer) -> SessionResult:
         start = time.perf_counter()
         if not self.enabled:
             execution = execute(
-                query, self.instance, use_hash_joins=self.use_hash_joins
+                query,
+                self.instance,
+                use_hash_joins=self.use_hash_joins,
+                tracer=tracer,
             )
             return SessionResult(
                 results=execution.results,
@@ -143,6 +167,7 @@ class CachedSession:
 
         exact = self.cache.lookup_exact(query)
         if exact is not None:
+            tracer.event("semcache.exact", hit=True, view=exact.name)
             return SessionResult(
                 results=exact.result,
                 source=EXACT,
@@ -150,13 +175,20 @@ class CachedSession:
                 view_names=(exact.name,),
             )
 
-        rewrite = self.cache.plan_rewrite(
-            query,
-            require_executable=True,
-            base_names=(
-                frozenset(self.instance.names()) if self.hybrid else None
-            ),
-        )
+        with tracer.span("semcache.rewrite") as sp:
+            rewrite = self.cache.plan_rewrite(
+                query,
+                require_executable=True,
+                base_names=(
+                    frozenset(self.instance.names()) if self.hybrid else None
+                ),
+            )
+            sp.set(hit=rewrite is not None)
+            if rewrite is not None:
+                sp.set(
+                    hybrid=rewrite.hybrid,
+                    views=",".join(rewrite.view_names()),
+                )
         if rewrite is not None:
             # Cached extents shadow nothing (the view namespace is
             # reserved); base reads fall through to the live instance at
@@ -166,6 +198,7 @@ class CachedSession:
                 self.instance,
                 use_hash_joins=self.use_hash_joins,
                 overlays={view.name: view.extent for view in rewrite.views},
+                tracer=tracer,
             )
             if self.register_results:
                 # Promote the rewrite into an exact entry: repeats of this
@@ -183,7 +216,12 @@ class CachedSession:
             )
 
         self.cache.record_miss()
-        execution = execute(query, self.instance, use_hash_joins=self.use_hash_joins)
+        execution = execute(
+            query,
+            self.instance,
+            use_hash_joins=self.use_hash_joins,
+            tracer=tracer,
+        )
         if self.register_results:
             self.cache.register(
                 query, execution.results, self._implicit_dependencies()

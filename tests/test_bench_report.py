@@ -130,3 +130,85 @@ def test_renders_the_repo_root_without_crashing():
     report = _load_report_module()
     out = report.render(report.collect(REPO_ROOT))
     assert "BENCH_e12.json" in out or "no BENCH_e*.json artifacts" in out
+
+
+def test_e18_renders_phase_latency_columns(tmp_path):
+    report = _load_report_module()
+    (tmp_path / "BENCH_e18.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "e18_obs",
+                "tier": "smoke",
+                "workloads": [
+                    {
+                        "workload": "rs",
+                        "silent_seconds": 0.40,
+                        "traced_seconds": 0.42,
+                        "overhead_ratio": 1.05,
+                        "spans_traced": 35,
+                        "metrics": {
+                            "histograms": {
+                                "latency.phase.chase": {
+                                    "total_seconds": 0.001,
+                                    "count": 1,
+                                },
+                                "latency.phase.backchase": {
+                                    "total_seconds": 0.365,
+                                    "count": 1,
+                                },
+                                "latency.phase.exec": {
+                                    "total_seconds": 0.030,
+                                    "count": 4,
+                                },
+                                "latency.db.execute": {
+                                    "total_seconds": 0.4,
+                                    "count": 4,
+                                },
+                            }
+                        },
+                    }
+                ],
+            }
+        )
+    )
+    out = report.render(report.collect(tmp_path))
+    assert "E18 observability overhead" in out
+    assert "silent 0.400s -> traced 0.420s (x1.05)" in out
+    assert "backchase 0.365s/1" in out
+    assert "exec 0.030s/4" in out
+    # non-phase histograms stay out of the phase columns
+    assert "db.execute" not in out
+
+
+def test_e18_without_metrics_snapshot_degrades_gracefully(tmp_path):
+    # an artifact emitted before the metrics field existed (or with a
+    # malformed snapshot) still gets its headline row
+    report = _load_report_module()
+    (tmp_path / "BENCH_e18.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "e18_obs",
+                "workloads": [
+                    {
+                        "workload": "rs",
+                        "silent_seconds": 0.40,
+                        "traced_seconds": 0.42,
+                        "overhead_ratio": 1.05,
+                        "spans_traced": 35,
+                    },
+                    {
+                        "workload": "projdept",
+                        "silent_seconds": 1.0,
+                        "traced_seconds": 1.1,
+                        "overhead_ratio": 1.10,
+                        "spans_traced": 35,
+                        "metrics": {"histograms": "not-a-dict"},
+                    },
+                ],
+            }
+        )
+    )
+    out = report.render(report.collect(tmp_path))
+    assert "- rs  silent 0.400s" in out
+    assert "- projdept  silent 1.000s" in out
+    assert "phases:" not in out

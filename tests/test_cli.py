@@ -281,8 +281,8 @@ class TestServeRepl:
         assert "[cold]" in out
         assert "[exact via _SC" in out
         assert "[rewrite via _SC" in out
-        assert "exact_hits: 1" in out
-        assert "rewrite_hits: 1" in out
+        assert "exact_hits=1" in out
+        assert "rewrite_hits=1" in out
         assert "tuples" in out  # .views listing
         assert out.strip().endswith("bye")
 
@@ -300,7 +300,7 @@ class TestServeRepl:
         )
         assert "semantic cache enabled (hybrid)" in out
         assert "[hybrid via _SC" in out
-        assert "hybrid_hits: 1" in out
+        assert "hybrid_hits=1" in out
         view_only = self._run(
             monkeypatch, capsys, [warm, partial, ".quit"], argv=["--no-hybrid"]
         )
@@ -327,10 +327,33 @@ class TestServeRepl:
         assert ".stats" in out
         assert "bye" in out
 
-    def test_stats_includes_plan_cache_counters(self, monkeypatch, capsys):
+    def test_stats_renders_the_full_metrics_registry(self, monkeypatch, capsys):
+        # .stats and \metrics are the same surface: the registry snapshot
+        # with the plan-cache and semantic-cache legacy families as sources.
         out = self._run(monkeypatch, capsys, [".stats", ".quit"])
-        assert "plan cache: hits=0 misses=0" in out
+        assert "plan_cache: hits=0, misses=0" in out
         assert "invalidations=0" in out
+        assert "semcache: lookups=0" in out
+        assert "slow queries" in out
+
+    def test_metrics_command_matches_stats(self, monkeypatch, capsys):
+        query = "select struct(B = s.B) from S s"
+        out = self._run(monkeypatch, capsys, [query, "\\metrics", ".quit"])
+        assert "semcache: lookups=1" in out
+        assert "plan_cache:" in out
+
+    def test_timing_toggles_request_traces(self, monkeypatch, capsys):
+        query = "select struct(B = s.B) from S s"
+        out = self._run(
+            monkeypatch,
+            capsys,
+            [query, "\\timing", query, "\\timing", query, ".quit"],
+        )
+        assert "timing on" in out and "timing off" in out
+        # exactly the traced request prints a timeline
+        assert out.count("query report (request") == 1
+        assert "session.run" in out
+        assert "semcache.exact" in out  # the repeat hit the exact tier
 
     def test_set_binds_template_parameters(self, monkeypatch, capsys):
         template = (
@@ -409,3 +432,113 @@ class TestTune:
         assert code == 0
         out = capsys.readouterr().out
         assert "empty — no candidate beat the current design" in out
+
+
+class TestOptimizeAnalyze:
+    def test_workload_analyze_prints_operator_table(self, tmp_path, capsys):
+        query = tmp_path / "q.oql"
+        query.write_text(
+            "select struct(A = r.A) from R r, S s where r.B = s.B\n"
+        )
+        code = main(
+            ["optimize", "--query", str(query), "--workload", "rs", "--analyze"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "universal plan" in out  # the optimize report still prints
+        assert "EXPLAIN ANALYZE" in out
+        assert "est rows" in out and "self ms" in out
+        # the workload's statistics inform the estimates (no bare '-')
+        assert "estimated cost" in out
+
+    def test_workload_defaults_to_the_canonical_query(self, capsys):
+        code = main(["optimize", "--workload", "rs", "--analyze"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "universal plan" in out
+        assert "EXPLAIN ANALYZE" in out
+
+    def test_query_still_required_without_a_workload(self, capsys):
+        code = main(["optimize"])
+        assert code == 1
+        assert "--query is required" in capsys.readouterr().err
+
+    def test_analyze_requires_a_workload(self, files, capsys):
+        _, query, constraints, _ = files
+        code = main(
+            [
+                "optimize",
+                "--query",
+                str(query),
+                "--constraints",
+                str(constraints),
+                "--analyze",
+            ]
+        )
+        assert code == 1
+        assert "--workload" in capsys.readouterr().err
+
+    def test_workload_rejects_schema_files(self, files, capsys):
+        _, query, constraints, _ = files
+        code = main(
+            [
+                "optimize",
+                "--query",
+                str(query),
+                "--constraints",
+                str(constraints),
+                "--workload",
+                "rs",
+            ]
+        )
+        assert code == 1
+        assert "drop --ddl/--constraints/--physical" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_default_mix_renders_registry_and_slow_log(self, capsys):
+        code = main(["metrics", "--workload", "rs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
+        assert "semcache: lookups=2" in out  # --repeat defaults to 2
+        assert "exact_hits=1" in out  # the second pass hit the cache
+        assert "plan_cache:" in out
+        assert "slow queries" in out
+
+    def test_json_snapshot_parses(self, capsys):
+        import json
+
+        code = main(["metrics", "--workload", "rs", "--json"])
+        assert code == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert set(snap) >= {"counters", "sources", "slow_queries", "tracing"}
+        assert snap["sources"]["semcache"]["exact_hits"] == 1
+        assert snap["tracing"]["enabled"] is False
+
+    def test_trace_prints_the_request_timeline(self, capsys):
+        code = main(["metrics", "--workload", "rs", "--trace", "--repeat", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query report (request" in out
+        assert "session.run" in out
+        assert "latency.session.run" in out  # span feed → histograms
+
+    def test_query_files_and_params(self, tmp_path, capsys):
+        template = tmp_path / "t.oql"
+        template.write_text("select r.A from R r where r.B = $b\n")
+        code = main(
+            [
+                "metrics",
+                "--workload",
+                "rs",
+                "--query",
+                str(template),
+                "--param",
+                "b=3",
+                "--repeat",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "semcache: lookups=1" in capsys.readouterr().out
