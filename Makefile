@@ -3,9 +3,9 @@
 #   make test         tier-1 suite (what CI gates on)
 #   make check        the full gate: tier-1 tests, bench smokes, golden suite
 #   make golden       regenerate tests/golden/* (review the diff!)
-#   make lint         bytecode-compile src + parser-roundtrip lint
+#   make lint         bytecode-compile src + parser-roundtrip/codegen lint
 #   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json ..
-#                     BENCH_e18.json)
+#                     BENCH_e19.json)
 #   make bench-report aggregate the BENCH_e*.json artifacts into one table
 #   make bench-e12    the full E12 pruning benchmark
 #   make bench-e13    the full E13 semantic-cache benchmark
@@ -14,6 +14,7 @@
 #   make bench-e16    the full E16 physical-design-advisor benchmark
 #   make bench-e17    the full E17 parameterized-template benchmark
 #   make bench-e18    the full E18 observability-overhead benchmark
+#   make bench-e19    the full E19 compiled-execution benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -24,7 +25,8 @@ PYTEST := PYTHONPATH=src python -m pytest
 GOLDEN_FILES := tests/test_golden_plans.py tests/test_advisor.py
 
 .PHONY: test check lint golden bench bench-smoke bench-report \
-	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17 bench-e18
+	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 \
+	bench-e19
 
 test:
 	$(PYTEST) -x -q
@@ -71,6 +73,9 @@ bench-e17:
 
 bench-e18:
 	$(PYTEST) -q benchmarks/bench_e18_obs.py
+
+bench-e19:
+	$(PYTEST) -q benchmarks/bench_e19_compiled.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

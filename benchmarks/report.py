@@ -162,6 +162,22 @@ def _e18_rows(data: Dict) -> List[Dict[str, str]]:
     return rows
 
 
+def _e19_rows(data: Dict) -> List[Dict[str, str]]:
+    return [
+        {
+            "workload": wl["workload"],
+            "headline": (
+                f"{len(wl['plans'])} plans: steady interpreted "
+                f"{wl['interpreted_steady_seconds']:.3f}s -> compiled "
+                f"{wl['compiled_steady_seconds']:.3f}s "
+                f"({_speedup(wl['interpreted_steady_seconds'], wl['compiled_steady_seconds'])}), "
+                f"answers equal: {wl['answers_equal']}"
+            ),
+        }
+        for wl in data.get("workloads", ())
+    ]
+
+
 def _generic_rows(data: Dict) -> List[Dict[str, str]]:
     workloads = data.get("workloads", ())
     if not isinstance(workloads, (list, tuple)):
@@ -185,6 +201,7 @@ ROW_BUILDERS: Dict[str, Callable[[Dict], List[Dict[str, str]]]] = {
     "e16_advisor": _e16_rows,
     "e17_templates": _e17_rows,
     "e18_obs": _e18_rows,
+    "e19_compiled": _e19_rows,
 }
 
 TITLES: Dict[str, str] = {
@@ -195,6 +212,7 @@ TITLES: Dict[str, str] = {
     "e16_advisor": "E16 physical design advisor (empty vs advised)",
     "e17_templates": "E17 parameterized templates (rebound vs template)",
     "e18_obs": "E18 observability overhead (silent vs traced)",
+    "e19_compiled": "E19 compiled execution (interpreted vs compiled)",
 }
 
 

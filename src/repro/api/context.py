@@ -44,6 +44,8 @@ KEEP = object()
 
 STRATEGIES = ("full", "pruned")
 
+EXEC_MODES = ("interpret", "compiled")
+
 
 @dataclass(frozen=True)
 class OptimizeContext:
@@ -63,6 +65,12 @@ class OptimizeContext:
     max_backchase_nodes: int = 20_000
     reorder: bool = True
     use_hash_joins: bool = False
+    #: How winning plans execute: ``"interpret"`` streams the operator
+    #: pipeline; ``"compiled"`` runs each plan's generated fused function
+    #: over columnar extents (:mod:`repro.exec.compile`).  EXPLAIN
+    #: ANALYZE always falls back to the interpreted pipeline (it needs
+    #: per-operator proxies).
+    exec_mode: str = "interpret"
     #: The request tracer every consuming layer reports spans to.  Like
     #: statistics, it is an observation channel, not part of the physical
     #: design: excluded from equality and from :meth:`fingerprint`.
@@ -73,6 +81,11 @@ class OptimizeContext:
             raise OptimizationError(
                 f"unknown strategy {self.strategy!r} "
                 f"(expected one of {STRATEGIES})"
+            )
+        if self.exec_mode not in EXEC_MODES:
+            raise OptimizationError(
+                f"unknown exec mode {self.exec_mode!r} "
+                f"(expected one of {EXEC_MODES})"
             )
         object.__setattr__(self, "constraints", tuple(self.constraints))
         if self.physical_names is not None:
@@ -91,6 +104,7 @@ class OptimizeContext:
         statistics: Optional[Statistics] = None,
         cost_model: Optional[CostModel] = None,
         strategy: Optional[str] = None,
+        exec_mode: Optional[str] = None,
         tracer: Optional[Tracer] = None,
     ) -> "OptimizeContext":
         """A new context with the given fields replaced.
@@ -118,6 +132,7 @@ class OptimizeContext:
             statistics=statistics or self.statistics,
             cost_model=cost_model or self.cost_model,
             strategy=strategy or self.strategy,
+            exec_mode=exec_mode or self.exec_mode,
             tracer=tracer or self.tracer,
         )
 
@@ -133,7 +148,11 @@ class OptimizeContext:
         """A stable digest of the physical design this context optimizes
         against: constraints, physical filter, strategy, limits and cost
         model — everything that can change which plan wins *except* the
-        statistics (see the module docstring).  Cached on first use.
+        statistics (see the module docstring).  ``exec_mode`` is also
+        excluded: it changes how the winner runs, never which plan wins,
+        so both modes share one plan-cache entry (the compiled artifact
+        rides along on the entry and is simply unused in interpret mode).
+        Cached on first use.
         """
 
         cached = self.__dict__.get("_fingerprint")

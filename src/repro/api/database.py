@@ -79,6 +79,26 @@ class CacheConfig:
     skew_replan_ratio: Optional[float] = 8.0
 
 
+def _raw_param_values(
+    canonical_params: Tuple[str, ...],
+    entry_params: Tuple[str, ...],
+    bindings: Mapping[str, Any],
+) -> Optional[Dict[str, Any]]:
+    """Bindings as plain runtime values keyed by the entry's own names,
+    or ``None`` when a binding is a non-constant :class:`Path` (those
+    must go through plan substitution — the interpreted fallback)."""
+
+    raw: Dict[str, Any] = {}
+    for i, name in enumerate(canonical_params):
+        value = bindings[name]
+        if isinstance(value, Const):
+            value = value.value
+        elif isinstance(value, Path):
+            return None
+        raw[entry_params[i]] = value
+    return raw
+
+
 class PreparedQuery:
     """A query (or ``$x``-parameterized template) optimized once,
     executable many times.
@@ -122,7 +142,7 @@ class PreparedQuery:
         )
         # Optimize eagerly: prepare pays the planning cost (including the
         # query's memoized canonicalization) so run() doesn't have to.
-        self._last_result, self._entry_params = database._optimize_entry(
+        self._last_result, self._entry_params, _ = database._optimize_entry(
             query, strategy=strategy
         )
 
@@ -131,7 +151,7 @@ class PreparedQuery:
         """The current optimization result (refreshed through the plan
         cache, so it tracks invalidations)."""
 
-        self._last_result, self._entry_params = (
+        self._last_result, self._entry_params, _ = (
             self.database._optimize_entry(self.query, strategy=self.strategy)
         )
         return self._last_result
@@ -171,8 +191,18 @@ class PreparedQuery:
                     f"unknown parameter(s) {unknown} — this query declares "
                     f"no $-markers"
                 )
+            result, entry_params, entry = db._optimize_entry(
+                self.query, strategy=self.strategy
+            )
+            self._last_result, self._entry_params = result, entry_params
+            if db.context.exec_mode == "compiled" and entry is not None:
+                execution = db._execute_compiled_entry(
+                    entry, {}, instance=instance, overlays=overlays
+                )
+                if execution is not None:
+                    return execution
             return db.execute_plan(
-                self.plan, instance=instance, overlays=overlays
+                result.best, instance=instance, overlays=overlays
             )
         missing = [n for n in self.params if n not in bindings]
         unknown = [n for n in bindings if n not in self.params]
@@ -202,28 +232,42 @@ class PreparedQuery:
                     conditions=len(adjustments),
                     buckets=",".join(str(b) for *_, b, _ in adjustments),
                 )
-                result, entry_params = db._optimize_skew_variant(
+                result, entry_params, entry = db._optimize_skew_variant(
                     self.query, adjustments, strategy=self.strategy
                 )
             else:
-                result, entry_params = db._optimize_entry(
+                result, entry_params, entry = db._optimize_entry(
                     self.query, strategy=self.strategy
                 )
                 self._last_result, self._entry_params = result, entry_params
-            # Positional mapping: the entry may have been cached under an
-            # alpha-variant template, so translate our canonical-order names
-            # onto the entry's before substituting.
-            mapping: Dict[str, Path] = {}
-            for i, name in enumerate(self._canonical_params):
-                value = bindings[name]
-                mapping[entry_params[i]] = (
-                    value if isinstance(value, Path) else Const(value)
+            execution = None
+            if db.context.exec_mode == "compiled" and entry is not None:
+                # Compiled templates take the bindings as runtime values:
+                # no substitution, no re-planning — the entry's artifact
+                # is called directly (positional name translation only).
+                raw = _raw_param_values(
+                    self._canonical_params, entry_params, bindings
                 )
-            bound = result.best.query.substitute_params(mapping)
-            plan = dc_replace(result.best, query=bound)
-            execution = db.execute_plan(
-                plan, instance=instance, overlays=overlays
-            )
+                if raw is not None:
+                    execution = db._execute_compiled_entry(
+                        entry, raw, instance=instance, overlays=overlays
+                    )
+            if execution is None:
+                # Positional mapping: the entry may have been cached under
+                # an alpha-variant template, so translate our
+                # canonical-order names onto the entry's before
+                # substituting.
+                mapping: Dict[str, Path] = {}
+                for i, name in enumerate(self._canonical_params):
+                    value = bindings[name]
+                    mapping[entry_params[i]] = (
+                        value if isinstance(value, Path) else Const(value)
+                    )
+                bound = result.best.query.substitute_params(mapping)
+                plan = dc_replace(result.best, query=bound)
+                execution = db.execute_plan(
+                    plan, instance=instance, overlays=overlays
+                )
             sp.set(rows=len(execution.results), skew=bool(adjustments))
         db.obs.slow_log.observe(
             str(self.query),
@@ -262,6 +306,7 @@ class Database:
         max_backchase_nodes: int = 20_000,
         reorder: bool = True,
         use_hash_joins: bool = False,
+        exec_mode: str = "interpret",
         cache_config: Optional[CacheConfig] = None,
         workload: Any = None,
         statistics_sample: Optional[int] = None,
@@ -307,6 +352,7 @@ class Database:
             max_backchase_nodes=max_backchase_nodes,
             reorder=reorder,
             use_hash_joins=use_hash_joins,
+            exec_mode=exec_mode,
             tracer=obs.tracer,
         )
         self.obs.registry.register_source(
@@ -333,6 +379,7 @@ class Database:
         strategy: str = "pruned",
         cache_config: Optional[CacheConfig] = None,
         use_hash_joins: bool = False,
+        exec_mode: str = "interpret",
         obs: Optional[Union[Observability, ObsConfig]] = None,
         **builder_kwargs,
     ) -> "Database":
@@ -352,6 +399,7 @@ class Database:
             strategy=strategy,
             cache_config=cache_config,
             use_hash_joins=use_hash_joins,
+            exec_mode=exec_mode,
             workload=wl,
             obs=obs,
         )
@@ -463,7 +511,7 @@ class Database:
 
         query = self._coerce_query(query)
         with self.obs.tracer.span("db.optimize") as sp:
-            result, _ = self._optimize_entry(
+            result, _, _ = self._optimize_entry(
                 query, strategy=strategy, use_plan_cache=use_plan_cache
             )
             sp.set(
@@ -480,8 +528,10 @@ class Database:
         use_plan_cache: bool = True,
         variant: str = "",
         context: Optional[OptimizeContext] = None,
-    ) -> Tuple[OptimizationResult, Tuple[str, ...]]:
-        """:meth:`optimize` plus the cache entry's parameter tuple.
+    ) -> Tuple[OptimizationResult, Tuple[str, ...], Optional[Any]]:
+        """:meth:`optimize` plus the cache entry's parameter tuple and
+        the entry itself (``None`` when the cache is bypassed — callers
+        use the entry to reach its lazily compiled artifact).
 
         ``variant`` suffixes the template key — the skew guard's
         ``#skew:...`` tags, which alone separate variant entries from the
@@ -498,7 +548,7 @@ class Database:
             ctx = ctx.override(strategy=strategy)
         if self._plan_cache is None or not use_plan_cache:
             result = ctx.optimizer().optimize(query)
-            return result, query.canonical().param_names()
+            return result, query.canonical().param_names(), None
         key = (query.template_key() + variant, ctx.fingerprint())
         entry = self._plan_cache.get(key)
         self.obs.tracer.event(
@@ -514,7 +564,7 @@ class Database:
                 self._dependencies(query, result),
                 params=query.canonical().param_names(),
             )
-        return entry.result, entry.params
+        return entry.result, entry.params, entry
 
     def execute(
         self,
@@ -574,6 +624,52 @@ class Database:
             plan.query, target, overlays=overlays, context=self.context
         )
 
+    def _compiled_for_entry(self, entry) -> Optional[Any]:
+        """The entry's compiled artifact, compiling the winning plan on
+        first use.  ``None`` when the plan defeats the code generator
+        (recorded on the entry so it is not retried) — callers fall back
+        to the interpreted path."""
+
+        if entry.compiled is None:
+            from repro.exec.compile import PlanCompilationError, compile_plan
+
+            try:
+                entry.compiled = compile_plan(
+                    entry.result.best.query,
+                    use_hash_joins=self.context.use_hash_joins,
+                )
+            except PlanCompilationError:
+                entry.compiled = False
+                self.obs.tracer.event("exec.compile_fallback")
+        return entry.compiled or None
+
+    def _execute_compiled_entry(
+        self,
+        entry,
+        params: Mapping[str, Any],
+        instance: Optional[Instance] = None,
+        overlays: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[ExecutionResult]:
+        """Run an entry's compiled artifact with runtime parameter values
+        (``None`` when the plan could not be compiled)."""
+
+        compiled = self._compiled_for_entry(entry)
+        if compiled is None:
+            return None
+        target = instance if instance is not None else self.instance
+        if target is None:
+            raise ReproError(
+                "this Database has no instance to execute against"
+            )
+        return execute(
+            entry.result.best.query,
+            target,
+            overlays=overlays,
+            context=self.context,
+            compiled=compiled,
+            params=params,
+        )
+
     def explain(
         self,
         query: Union[PCQuery, str],
@@ -597,7 +693,10 @@ class Database:
         :class:`~repro.obs.analyze.AnalyzeResult` whose ``render()``
         prints actual rows / loops / probes / wall time per operator next
         to the cost model's row estimates; ``result.rows`` always equals
-        ``len(execute(query))``."""
+        ``len(execute(query))``.  ANALYZE always runs the *interpreted*
+        pipeline — per-operator proxies need the operator tree — so it
+        works unchanged (and reports interpreted actuals) even when the
+        database executes in ``exec_mode="compiled"``."""
 
         query = self._coerce_query(query)
         use_hash_joins = self.context.use_hash_joins
@@ -997,7 +1096,7 @@ class Database:
         query: PCQuery,
         adjustments: List[Tuple[int, str, str, int, float]],
         strategy: Optional[str] = None,
-    ) -> Tuple[OptimizationResult, Tuple[str, ...]]:
+    ) -> Tuple[OptimizationResult, Tuple[str, ...], Optional[Any]]:
         """Re-optimize a skewed binding under adjusted statistics, cached
         in a ``#skew:...``-tagged variant entry of the plan cache."""
 

@@ -61,11 +61,19 @@ class PlanCacheEntry:
     ``$y``) share one entry via :meth:`PCQuery.template_key`; a caller
     binding its own template maps values onto the entry's plans by
     position, so the stored names never leak into the caller's API.
+
+    ``compiled`` lazily caches the winning plan's generated fused
+    function (:class:`~repro.exec.compile.CompiledPlan`) when the owning
+    database executes in compiled mode: parameters stay runtime arguments
+    of the artifact, so ``prepare(template).run(x=...)`` substitutes
+    bindings into an already-compiled function.  It lives and dies with
+    the entry — dependency invalidation drops both together.
     """
 
     result: OptimizationResult
     dependencies: FrozenSet[str]
     params: Tuple[str, ...] = ()
+    compiled: Optional[object] = None
 
 
 class PlanCache:

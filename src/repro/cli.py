@@ -156,9 +156,15 @@ def _print_verbose_stats(result) -> None:
 
 
 def cmd_optimize(args) -> int:
+    exec_mode = getattr(args, "exec_mode", "interpret")
     if args.analyze and not args.workload:
         raise ReproError(
             "--analyze runs the plan, which needs an instance: "
+            "pick one with --workload"
+        )
+    if exec_mode == "compiled" and not args.workload:
+        raise ReproError(
+            "--exec-mode compiled runs the plan, which needs an instance: "
             "pick one with --workload"
         )
     if args.workload:
@@ -167,7 +173,9 @@ def cmd_optimize(args) -> int:
                 "--workload brings its own schema/constraints/design; "
                 "drop --ddl/--constraints/--physical"
             )
-        db = Database.from_workload(args.workload, strategy=args.strategy)
+        db = Database.from_workload(
+            args.workload, strategy=args.strategy, exec_mode=exec_mode
+        )
     else:
         if not args.query:
             raise ReproError(
@@ -186,6 +194,7 @@ def cmd_optimize(args) -> int:
             max_chase_steps=args.max_chase_steps,
             max_backchase_nodes=args.max_backchase_nodes,
             strategy=args.strategy,
+            exec_mode=exec_mode,
         )
     cache = None
     if args.cache:
@@ -238,6 +247,13 @@ def cmd_optimize(args) -> int:
         print(result.report())
         if args.verbose:
             _print_verbose_stats(result)
+        if exec_mode == "compiled" and not query.has_params():
+            execution = db.execute(query)
+            print(
+                f"executed ({execution.mode}): {len(execution.results)} rows, "
+                f"tuples={execution.counters.tuples}, "
+                f"probes={execution.counters.probes}"
+            )
         if args.analyze:
             print()
             print(db.explain(query, analyze=True).render())
@@ -569,7 +585,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="EXPLAIN ANALYZE: also run each winning plan with "
         "per-operator instrumentation (actual rows/loops/probes/time "
-        "next to estimates; requires --workload for the instance)",
+        "next to estimates; requires --workload for the instance; "
+        "always runs the interpreted pipeline, even under "
+        "--exec-mode compiled)",
+    )
+    p_opt.add_argument(
+        "--exec-mode",
+        choices=("interpret", "compiled"),
+        default="interpret",
+        dest="exec_mode",
+        help="how winning plans run: 'interpret' streams the operator "
+        "pipeline; 'compiled' generates one fused function per plan over "
+        "columnar extents and executes it (requires --workload for the "
+        "instance; prints an execution summary per query)",
     )
     p_opt.set_defaults(func=cmd_optimize)
 

@@ -1,0 +1,608 @@
+"""Compilation of winning plans into specialized Python functions.
+
+The interpreted executor (:mod:`repro.exec.operators`) walks an operator
+tree tuple-at-a-time: every emitted binding copies the environment dict,
+every path evaluation re-enters :func:`~repro.query.evaluator.eval_path`
+dispatch.  After the chase & backchase have picked the plan, none of that
+flexibility is needed — the shape of the loops is fixed.  This module
+walks the same compiled operator tree (``ScanBind`` / ``Filter`` /
+``HashJoinBind`` / ``Project``) and emits **one fused Python function per
+plan**: nested tight loops over loop-local variables, with no per-tuple
+``dict`` copies and no ``eval_path`` dispatch on the hot path.
+
+Scans of schema-name extents run over :class:`~repro.exec.columnar`
+extents: referenced attributes become position-aligned columns (oids
+dereferenced once per element, not once per enclosing loop iteration),
+and equality conditions against the scan — constant selections and
+value-based equijoins alike — become bulk probes of a lazily built
+value → positions index instead of per-tuple comparisons.
+
+Differences from the interpreted path, by design:
+
+* ``$param`` markers compile to runtime arguments, so one compiled
+  artifact serves every binding of a template —
+  ``prepare(t).run(x=...)`` calls an already-compiled function;
+* :class:`~repro.exec.operators.Counters` are filled with the work the
+  compiled plan *actually* does (bulk probes skip tuples the interpreter
+  would have scanned and filtered), so instrumented counts are smaller
+  but still honest;
+* schema-name extents and hash-join build sides referenced by the plan
+  are resolved up front, so a missing name or ill-typed extent can
+  surface even when an outer loop turns out to be empty.
+
+Answers are differentially identical to the interpreted executor and the
+reference evaluator on every plan — the test suite checks exactly that,
+including under overlays and hypothesis-generated queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import ParameterBindingError, QueryExecutionError, ReproError
+from repro.exec.columnar import ColumnarCache, probe_positions
+from repro.exec.operators import (
+    Counters,
+    Filter,
+    HashJoinBind,
+    Operator,
+    Project,
+    ScanBind,
+    Singleton,
+    _count_probes,
+)
+from repro.exec.planner import compile_query
+from repro.model.values import DictValue, Oid, Row
+from repro.query import paths as P
+from repro.query.ast import Eq, PCQuery, StructOutput
+from repro.query.paths import (
+    Attr,
+    Const,
+    Dom,
+    Lookup,
+    NFLookup,
+    Param,
+    Path,
+    SName,
+    Var,
+)
+
+
+class PlanCompilationError(ReproError):
+    """A plan the code generator cannot specialize (the engine falls back
+    to the interpreted operator pipeline)."""
+
+
+#: probe-attribute sentinel: index the scan's *elements* themselves
+#: (conditions of the form ``v = <expr>`` on the loop variable).
+_SELF = object()
+
+
+@dataclass
+class CompiledPlan:
+    """One plan compiled to a fused Python function.
+
+    ``fn(instance, counters, params)`` runs the plan and returns the
+    result frozenset; :meth:`run` is the checked entry point.  The
+    columnar cache rides along so steady-state re-runs reuse extents and
+    value indexes (revalidated against the live instance on every run).
+    """
+
+    query: PCQuery
+    source: str
+    plan_text: str
+    param_names: Tuple[str, ...]
+    fn: Callable[..., FrozenSet[Any]] = field(repr=False)
+    columnar: ColumnarCache = field(repr=False, default_factory=ColumnarCache)
+
+    def run(
+        self,
+        instance,
+        counters: Optional[Counters] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> FrozenSet[Any]:
+        if counters is None:
+            counters = Counters()
+        bound: Dict[str, Any] = {}
+        if params:
+            for name, value in params.items():
+                if isinstance(value, Const):
+                    value = value.value
+                elif isinstance(value, Path):
+                    raise ParameterBindingError(
+                        f"parameter ${name} bound to a non-constant path "
+                        f"{value} — compiled templates take plain values"
+                    )
+                bound[name] = value
+        missing = [n for n in self.param_names if n not in bound]
+        if missing:
+            raise ParameterBindingError(
+                "unbound parameter(s) "
+                + ", ".join(f"${n}" for n in missing)
+                + " — pass params= when running a compiled template"
+            )
+        return self.fn(instance, counters, bound)
+
+
+class _CodeGen:
+    """Emit the fused function for one operator tree."""
+
+    def __init__(self, query: PCQuery, tree: Project) -> None:
+        self.query = query
+        self.tree = tree
+        self.colcache = ColumnarCache()
+        self.globals: Dict[str, Any] = {
+            "__builtins__": {},
+            "Row": Row,
+            "Oid": Oid,
+            "DictValue": DictValue,
+            "QueryExecutionError": QueryExecutionError,
+            "KeyError": KeyError,
+            "TypeError": TypeError,
+            "frozenset": frozenset,
+            "isinstance": isinstance,
+            "len": len,
+            "range": range,
+            "_probe": probe_positions,
+            "_cols": self.colcache,
+        }
+        self.prologue: List[str] = []
+        self.body: List[str] = []
+        self.indent = 0
+        self.helpers: Set[str] = set()
+        self.vars: Dict[str, str] = {}
+        self._snames: Dict[str, str] = {}
+        self._params: Dict[str, str] = {}
+        self._consts: Dict[Any, str] = {}
+        self._const_seq = 0
+        # columnar scans: var -> (level index, {attr-or-_SELF: column local})
+        self.col_level: Dict[str, int] = {}
+        self.col_attrs: Dict[str, Dict[Any, str]] = {}
+
+    # -- small emit helpers ------------------------------------------------
+
+    def line(self, text: str) -> None:
+        self.body.append("    " * (self.indent + 1) + text)
+
+    def pro(self, text: str) -> None:
+        self.prologue.append("    " + text)
+
+    def const(self, value: Any) -> str:
+        try:
+            key = (type(value).__name__, value)
+            cached = self._consts.get(key)
+        except TypeError:
+            key, cached = None, None
+        if cached is not None:
+            return cached
+        name = f"_k{self._const_seq}"
+        self._const_seq += 1
+        self.globals[name] = value
+        if key is not None:
+            self._consts[key] = name
+        return name
+
+    def sname(self, name: str) -> str:
+        local = self._snames.get(name)
+        if local is None:
+            local = f"_s{len(self._snames)}"
+            self._snames[name] = local
+            self.pro(f"{local} = instance[{name!r}]")
+        return local
+
+    def param(self, name: str) -> str:
+        local = self._params.get(name)
+        if local is None:
+            local = f"_p{len(self._params)}"
+            self._params[name] = local
+            self.pro(f"{local} = _params[{name!r}]")
+        return local
+
+    # -- path expression compilation --------------------------------------
+
+    def expr(self, path: Path) -> str:
+        if isinstance(path, Var):
+            local = self.vars.get(path.name)
+            if local is None:
+                raise PlanCompilationError(
+                    f"unbound variable {path.name!r} in {path}"
+                )
+            return local
+        if isinstance(path, Const):
+            return self.const(path.value)
+        if isinstance(path, Param):
+            return self.param(path.name)
+        if isinstance(path, SName):
+            return self.sname(path.name)
+        if isinstance(path, Attr):
+            base = path.base
+            if isinstance(base, Var) and base.name in self.col_attrs:
+                column = self.col_attrs[base.name].get(path.attr)
+                if column:  # registered AND already bound to a local
+                    return f"{column}[_i{self.col_level[base.name]}]"
+            self.helpers.add("attr")
+            return f"_attr({self.expr(base)}, {path.attr!r})"
+        if isinstance(path, Dom):
+            self.helpers.add("dom")
+            return f"_dom({self.expr(path.base)}, {str(path)!r})"
+        if isinstance(path, Lookup):
+            self.helpers.add("lk")
+            return (
+                f"_lk({self.expr(path.base)}, {self.expr(path.key)}, "
+                f"{str(path.base)!r})"
+            )
+        if isinstance(path, NFLookup):
+            self.helpers.add("nflk")
+            return (
+                f"_nflk({self.expr(path.base)}, {self.expr(path.key)}, "
+                f"{str(path.base)!r})"
+            )
+        raise PlanCompilationError(f"unknown path node {path!r}")
+
+    # -- condition emission ------------------------------------------------
+
+    def emit_condition(self, cond: Eq) -> None:
+        probes = _count_probes(cond.left) + _count_probes(cond.right)
+        if probes:
+            self.line(f"_probes += {probes}")
+        self.line(f"if ({self.expr(cond.left)}) != ({self.expr(cond.right)}):")
+        self.indent += 1
+        self.line("_filtered += 1")
+        self.line("continue")
+        self.indent -= 1
+
+    # -- operator chain walk ----------------------------------------------
+
+    def generate(self) -> str:
+        ops: List[Operator] = []
+        op: Operator = self.tree
+        while True:
+            ops.append(op)
+            if isinstance(op, Singleton):
+                break
+            op = op.child  # type: ignore[attr-defined]
+        ops.reverse()
+
+        i = 1
+        ground_conds: List[Eq] = []
+        if i < len(ops) and isinstance(ops[i], Filter):
+            ground_conds = list(ops[i].conditions)  # type: ignore[attr-defined]
+            i += 1
+        levels: List[Tuple[Operator, List[Eq]]] = []
+        while i < len(ops) and not isinstance(ops[i], Project):
+            bind = ops[i]
+            i += 1
+            conds: List[Eq] = []
+            if i < len(ops) and isinstance(ops[i], Filter):
+                conds = list(ops[i].conditions)  # type: ignore[attr-defined]
+                i += 1
+            levels.append((bind, conds))
+        project = ops[-1]
+        assert isinstance(project, Project)
+
+        self._analyze_columnar(ground_conds, levels)
+
+        # ground conditions run once, before any loop (with interpreted
+        # short-circuit semantics: later conditions only fire if earlier
+        # ones passed, and at most one `filtered` bump).
+        if ground_conds:
+            self.line("_g = True")
+            for j, cond in enumerate(ground_conds):
+                if j > 0:
+                    self.line("if _g:")
+                    self.indent += 1
+                probes = _count_probes(cond.left) + _count_probes(cond.right)
+                if probes:
+                    self.line(f"_probes += {probes}")
+                self.line(
+                    f"if ({self.expr(cond.left)}) != "
+                    f"({self.expr(cond.right)}):"
+                )
+                self.indent += 1
+                self.line("_g = False")
+                self.line("_filtered += 1")
+                self.indent -= 1
+                if j > 0:
+                    self.indent -= 1
+            self.line("if _g:")
+            self.indent += 1
+
+        for level, (bind, conds) in enumerate(levels):
+            if isinstance(bind, HashJoinBind):
+                self._emit_hash_join(level, bind)
+            else:
+                assert isinstance(bind, ScanBind)
+                if bind.var in self.col_level:
+                    conds = self._emit_columnar_scan(level, bind, conds)
+                else:
+                    self._emit_generic_scan(level, bind)
+            for cond in conds:
+                self.emit_condition(cond)
+
+        self._emit_project(project)
+
+        return self._assemble()
+
+    # -- columnar analysis -------------------------------------------------
+
+    def _analyze_columnar(
+        self,
+        ground_conds: List[Eq],
+        levels: List[Tuple[Operator, List[Eq]]],
+    ) -> None:
+        """Decide which scans run over columnar extents and which of
+        their depth-1 attributes become columns."""
+
+        for level, (bind, _) in enumerate(levels):
+            if isinstance(bind, ScanBind) and isinstance(bind.source, SName):
+                self.col_level[bind.var] = level
+                self.col_attrs[bind.var] = {}
+        paths: List[Path] = []
+        for cond in ground_conds:
+            paths += [cond.left, cond.right]
+        for bind, conds in levels:
+            if isinstance(bind, HashJoinBind):
+                paths += [bind.build_source, bind.build_key, bind.probe_key]
+            else:
+                paths.append(bind.source)  # type: ignore[attr-defined]
+            for cond in conds:
+                paths += [cond.left, cond.right]
+        paths += list(self.query.output.paths())
+        for path in paths:
+            for term in P.subterms(path):
+                if (
+                    isinstance(term, Attr)
+                    and isinstance(term.base, Var)
+                    and term.base.name in self.col_attrs
+                ):
+                    self.col_attrs[term.base.name].setdefault(term.attr, "")
+
+    # -- per-operator emitters --------------------------------------------
+
+    def _emit_columnar_scan(
+        self, level: int, bind: ScanBind, conds: List[Eq]
+    ) -> List[Eq]:
+        """Loop positions of a columnar extent; returns the residual
+        conditions (the probe condition, if any, is absorbed)."""
+
+        var = bind.var
+        name = bind.source.name  # type: ignore[attr-defined]
+        ext = f"_e{level}"
+        elems = f"_n{level}"
+        self.pro(f"{ext} = _cols.get(instance, {name!r})")
+        self.pro(f"{elems} = {ext}.elements")
+        for j, attr in enumerate(sorted(self.col_attrs[var])):
+            column = f"_c{level}_{j}"
+            self.col_attrs[var][attr] = column
+            self.pro(f"{column} = {ext}.column({attr!r}, instance)")
+
+        probe = self._probe_candidate(var, conds)
+        if probe is None:
+            self.line(f"for _i{level} in range(len({elems})):")
+        else:
+            cond, attr, key_path = probe
+            conds = [c for c in conds if c is not cond]
+            if attr is _SELF:
+                index_attr, column_local = None, elems
+            else:
+                index_attr, column_local = attr, self.col_attrs[var][attr]
+            index = f"_x{level}"
+            self.pro(f"{index} = {ext}.index({index_attr!r}, instance)")
+            self.line(f"_probes += {1 + _count_probes(key_path)}")
+            self.line(
+                f"for _i{level} in _probe({index}, {self.expr(key_path)}, "
+                f"{column_local}):"
+            )
+        self.indent += 1
+        self.line("_tuples += 1")
+        local = self.vars[var] = f"_v{level}"
+        self.line(f"{local} = {elems}[_i{level}]")
+        return conds
+
+    def _probe_candidate(
+        self, var: str, conds: List[Eq]
+    ) -> Optional[Tuple[Eq, Any, Path]]:
+        """An equality usable as a bulk index probe for this scan:
+        ``v.attr = <expr over other vars>`` or ``v = <expr>``.  Constant
+        (ground) probes win over join probes."""
+
+        ground_pick = join_pick = None
+        for cond in conds:
+            for this_side, other_side in (
+                (cond.left, cond.right),
+                (cond.right, cond.left),
+            ):
+                if (
+                    isinstance(this_side, Attr)
+                    and isinstance(this_side.base, Var)
+                    and this_side.base.name == var
+                ):
+                    attr: Any = this_side.attr
+                elif isinstance(this_side, Var) and this_side.name == var:
+                    attr = _SELF
+                else:
+                    continue
+                other_vars = P.free_vars(other_side)
+                if var in other_vars:
+                    continue
+                if not other_vars and ground_pick is None:
+                    ground_pick = (cond, attr, other_side)
+                elif other_vars and join_pick is None:
+                    join_pick = (cond, attr, other_side)
+        return ground_pick or join_pick
+
+    def _emit_generic_scan(self, level: int, bind: ScanBind) -> None:
+        self.helpers.add("setof")
+        probes = _count_probes(bind.source)
+        if probes:
+            self.line(f"_probes += {probes}")
+        message = f"binding source {bind.source} is not a set"
+        local = self.vars[bind.var] = f"_v{level}"
+        self.line(
+            f"for {local} in _setof({self.expr(bind.source)}, {message!r}):"
+        )
+        self.indent += 1
+        self.line("_tuples += 1")
+
+    def _emit_hash_join(self, level: int, bind: HashJoinBind) -> None:
+        self.helpers.add("setof")
+        table = f"_h{level}"
+        local = self.vars[bind.var] = f"_v{level}"
+        message = f"hash join build source {bind.build_source} is not a set"
+        build_src = self.expr(bind.build_source)
+        build_key = self.expr(bind.build_key)
+        self.pro(f"{table} = {{}}")
+        self.pro(f"for {local} in _setof({build_src}, {message!r}):")
+        self.pro("    _hash_builds += 1")
+        self.pro(f"    {table}.setdefault({build_key}, []).append({local})")
+        self.line(f"_probes += {1 + _count_probes(bind.probe_key)}")
+        self.line(f"for {local} in {table}.get({self.expr(bind.probe_key)}, ()):")
+        self.indent += 1
+        self.line("_tuples += 1")
+
+    def _emit_project(self, project: Project) -> None:
+        output = self.query.output
+        probes = sum(_count_probes(p) for p in output.paths())
+        if probes:
+            self.line(f"_probes += {probes}")
+        if isinstance(output, StructOutput):
+            fields = ", ".join(
+                f"{name!r}: {self.expr(path)}" for name, path in output.fields
+            )
+            self.line(f"_append(Row({{{fields}}}))")
+        else:
+            self.line(f"_append({self.expr(output.path)})")
+
+    # -- assembly ----------------------------------------------------------
+
+    _HELPER_SOURCE = {
+        "attr": [
+            "_deref = instance.deref",
+            "def _attr(value, attr):",
+            "    if isinstance(value, Oid):",
+            "        value = _deref(value)",
+            "    if isinstance(value, Row):",
+            "        try:",
+            "            return value[attr]",
+            "        except KeyError:",
+            "            raise QueryExecutionError(",
+            "                'row has no attribute %r: %r' % (attr, value))",
+            "    raise QueryExecutionError(",
+            "        'attribute access on non-record: .%s' % (attr,))",
+        ],
+        "dom": [
+            "def _dom(value, where):",
+            "    if not isinstance(value, DictValue):",
+            "        raise QueryExecutionError('dom of non-dictionary: %s' % where)",
+            "    return value.domain()",
+        ],
+        "lk": [
+            "def _lk(value, key, where):",
+            "    if not isinstance(value, DictValue):",
+            "        raise QueryExecutionError(",
+            "            'lookup into non-dictionary: %s' % where)",
+            "    try:",
+            "        return value.lookup(key)",
+            "    except KeyError:",
+            "        raise QueryExecutionError(",
+            "            'failing lookup: key %r not in dom(%s)' % (key, where))",
+        ],
+        "nflk": [
+            "def _nflk(value, key, where):",
+            "    if not isinstance(value, DictValue):",
+            "        raise QueryExecutionError(",
+            "            'lookup into non-dictionary: %s' % where)",
+            "    return value.nonfailing_lookup(key)",
+        ],
+        "setof": [
+            "def _setof(value, message):",
+            "    if not isinstance(value, frozenset):",
+            "        raise QueryExecutionError(message)",
+            "    return value",
+        ],
+    }
+
+    def _assemble(self) -> str:
+        lines = ["def _plan(instance, counters, _params):"]
+        for helper in ("attr", "dom", "lk", "nflk", "setof"):
+            if helper in self.helpers:
+                lines += ["    " + text for text in self._HELPER_SOURCE[helper]]
+        lines += [
+            # counters precede the prologue: hash-table builds hoisted
+            # there already bump _hash_builds
+            "    _tuples = 0",
+            "    _probes = 0",
+            "    _filtered = 0",
+            "    _hash_builds = 0",
+            "    _out = []",
+            "    _append = _out.append",
+        ]
+        lines += self.prologue
+        lines += self.body
+        lines += [
+            "    counters.tuples += _tuples",
+            "    counters.probes += _probes",
+            "    counters.filtered += _filtered",
+            "    counters.hash_builds += _hash_builds",
+            "    return frozenset(_out)",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def generate_source(
+    query: PCQuery,
+    use_hash_joins: bool = False,
+    cached_names: Optional[FrozenSet[str]] = None,
+) -> str:
+    """The generated source text alone (the lint gate compile-checks a
+    sample of these without executing anything)."""
+
+    tree = compile_query(
+        query,
+        Counters(),
+        use_hash_joins=use_hash_joins,
+        cached_names=cached_names,
+    )
+    return _CodeGen(query, tree).generate()
+
+
+def compile_plan(
+    query: PCQuery,
+    use_hash_joins: bool = False,
+    cached_names: Optional[FrozenSet[str]] = None,
+) -> CompiledPlan:
+    """Compile one plan to a :class:`CompiledPlan`.
+
+    The operator tree is built by the same planner the interpreter uses
+    (:func:`repro.exec.planner.compile_query`), so join order, selection
+    pushing, hash-join choices and the ``explain()`` text all match the
+    interpreted execution of the same query exactly.
+    """
+
+    tree = compile_query(
+        query,
+        Counters(),
+        use_hash_joins=use_hash_joins,
+        cached_names=cached_names,
+    )
+    gen = _CodeGen(query, tree)
+    try:
+        source = gen.generate()
+        code = compile(source, "<repro-compiled-plan>", "exec")
+    except PlanCompilationError:
+        raise
+    except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+        raise PlanCompilationError(
+            f"generated plan function does not compile: {exc}"
+        ) from exc
+    namespace = dict(gen.globals)
+    exec(code, namespace)
+    return CompiledPlan(
+        query=query,
+        source=source,
+        plan_text=tree.explain(),
+        param_names=query.param_names(),
+        fn=namespace["_plan"],
+        columnar=gen.colcache,
+    )

@@ -1,31 +1,77 @@
 """Plan execution: run compiled operator trees and report instrumentation.
 
-``execute(query, instance)`` is the production path (operator pipeline);
+``execute(query, instance)`` is the production path; it dispatches on the
+execution mode — ``"interpret"`` streams the operator pipeline,
+``"compiled"`` runs the plan's generated fused function
+(:mod:`repro.exec.compile`) — and both fill the same
+:class:`~repro.exec.operators.Counters`.
 ``repro.query.evaluator.evaluate`` is the reference path.  The test suite
-checks they agree on every plan the optimizer emits.
+checks all three agree on every plan the optimizer emits.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Mapping, Optional
+from typing import Any, FrozenSet, Mapping, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.exec.operators import Counters
 from repro.exec.planner import compile_query
 from repro.model.instance import Instance
 from repro.obs.trace import NOOP_TRACER
 from repro.query.ast import PCQuery
 
+EXEC_MODES = ("interpret", "compiled")
+
+#: engine-level LRU of compiled artifacts, keyed on the (hashable) query
+#: plus the compile-relevant flags — gives steady-state reuse to callers
+#: executing the same plan object repeatedly without a Database plan
+#: cache.  Artifacts hold no extent data beyond the identity-revalidated
+#: columnar caches, so entries stay sound across instance mutations.
+_COMPILED_CACHE: "OrderedDict[Tuple[Any, ...], Any]" = OrderedDict()
+_COMPILED_CACHE_SIZE = 256
+
+
+def compiled_for(
+    query: PCQuery,
+    use_hash_joins: bool = False,
+    cached_names: Optional[FrozenSet[str]] = None,
+):
+    """The (LRU-cached) :class:`~repro.exec.compile.CompiledPlan` for a
+    query under the given execution flags."""
+
+    from repro.exec.compile import compile_plan
+
+    key = (query, use_hash_joins, cached_names)
+    plan = _COMPILED_CACHE.get(key)
+    if plan is None:
+        plan = compile_plan(
+            query, use_hash_joins=use_hash_joins, cached_names=cached_names
+        )
+        _COMPILED_CACHE[key] = plan
+        while len(_COMPILED_CACHE) > _COMPILED_CACHE_SIZE:
+            _COMPILED_CACHE.popitem(last=False)
+    else:
+        _COMPILED_CACHE.move_to_end(key)
+    return plan
+
 
 @dataclass
 class ExecutionResult:
-    """Result set plus instrumentation."""
+    """Result set plus instrumentation.
+
+    ``counters`` are **per-run**: even when the caller passes a reused
+    :class:`Counters` object into :func:`execute` (which accumulates
+    across runs), the result reports only this run's counts.
+    """
 
     results: FrozenSet[Any]
     counters: Counters
     elapsed_seconds: float
     plan_text: str
+    mode: str = "interpret"
 
     def __len__(self) -> int:
         return len(self.results)
@@ -39,8 +85,11 @@ def execute(
     overlays: Optional[Mapping[str, Any]] = None,
     context=None,
     tracer=None,
+    mode: Optional[str] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    compiled=None,
 ) -> ExecutionResult:
-    """Compile and run a plan, collecting results into a frozenset.
+    """Run a plan, collecting results into a frozenset.
 
     With ``overlays`` the plan runs against a read-through
     :class:`~repro.model.instance.OverlayInstance`: the given names shadow
@@ -51,40 +100,108 @@ def execute(
     ``[cached]`` in the plan text.
 
     ``context`` (an :class:`~repro.api.context.OptimizeContext`) supplies
-    execution flags — currently ``use_hash_joins`` — and the request
-    tracer, so façade callers need not unpack them by hand.  ``tracer``
-    passed directly wins over the context's (for callers like
-    :class:`~repro.semcache.session.CachedSession` that manage their
-    execution flags themselves but still report to the request timeline).
+    execution flags — ``use_hash_joins`` and the default ``exec_mode`` —
+    and the request tracer, so façade callers need not unpack them by
+    hand.  ``tracer`` passed directly wins over the context's (for callers
+    like :class:`~repro.semcache.session.CachedSession` that manage their
+    execution flags themselves but still report to the request timeline);
+    ``mode`` passed directly wins over the context's ``exec_mode``.
+
+    In ``"compiled"`` mode the plan runs as a generated fused function
+    (reused through an engine-level LRU, or ``compiled`` — an already
+    compiled artifact, e.g. off a plan-cache entry — when given);
+    ``params`` feeds ``$`` markers of a compiled template at call time.
+    In ``"interpret"`` mode ``params`` are substituted into the query
+    before planning.  Counters are filled in both modes; a caller-reused
+    ``counters`` object accumulates across runs while the returned
+    :class:`ExecutionResult` always reports this run alone.
     """
 
     if context is not None:
         use_hash_joins = use_hash_joins or context.use_hash_joins
         if tracer is None:
             tracer = context.tracer
+        if mode is None:
+            mode = context.exec_mode
     if tracer is None:
         tracer = NOOP_TRACER
-    counters = counters or Counters()
+    if mode is None:
+        mode = "interpret"
+    if mode not in EXEC_MODES:
+        raise ReproError(
+            f"unknown exec mode {mode!r} (expected one of {EXEC_MODES})"
+        )
+    run_counters = Counters()
     cached_names = frozenset(overlays) if overlays else None
-    plan = compile_query(
-        query, counters, use_hash_joins=use_hash_joins, cached_names=cached_names
-    )
     target = instance.overlay(dict(overlays)) if overlays else instance
+
+    if mode == "compiled":
+        from repro.exec.compile import PlanCompilationError
+
+        plan = compiled
+        if plan is None:
+            try:
+                plan = compiled_for(
+                    query,
+                    use_hash_joins=use_hash_joins,
+                    cached_names=cached_names,
+                )
+            except PlanCompilationError:
+                tracer.event("exec.compile_fallback")
+                plan = None
+                mode = "interpret"
+    if mode == "compiled":
+        with tracer.span("phase.exec") as span:
+            start = time.perf_counter()
+            results = plan.run(target, run_counters, params=params)
+            elapsed = time.perf_counter() - start
+            span.set(
+                rows=len(results),
+                tuples=run_counters.tuples,
+                probes=run_counters.probes,
+                cached_scans=bool(cached_names),
+                mode=mode,
+            )
+        if counters is not None:
+            counters.merge(run_counters)
+        return ExecutionResult(
+            results=results,
+            counters=run_counters,
+            elapsed_seconds=elapsed,
+            plan_text=plan.plan_text,
+            mode=mode,
+        )
+
+    if params:
+        from repro.query.paths import Const, Path
+
+        query = query.substitute_params(
+            {
+                name: value if isinstance(value, Path) else Const(value)
+                for name, value in params.items()
+            }
+        )
+    plan = compile_query(
+        query, run_counters, use_hash_joins=use_hash_joins, cached_names=cached_names
+    )
     with tracer.span("phase.exec") as span:
         start = time.perf_counter()
         results = frozenset(plan.results(target))
         elapsed = time.perf_counter() - start
         span.set(
             rows=len(results),
-            tuples=counters.tuples,
-            probes=counters.probes,
+            tuples=run_counters.tuples,
+            probes=run_counters.probes,
             cached_scans=bool(cached_names),
         )
+    if counters is not None:
+        counters.merge(run_counters)
     return ExecutionResult(
         results=results,
-        counters=counters,
+        counters=run_counters,
         elapsed_seconds=elapsed,
         plan_text=plan.explain(),
+        mode=mode,
     )
 
 
@@ -99,7 +216,9 @@ def explain(
     through, so the text matches what :func:`execute` with the equivalent
     ``overlays`` actually runs — without it, explaining a semantic-cache
     hybrid plan silently dropped the ``[cached]`` scan tags and the text
-    diverged from the executed plan.
+    diverged from the executed plan.  The compiled mode shares the same
+    tree (and therefore the same text): the generated function is emitted
+    by walking it.
     """
 
     return compile_query(

@@ -13,7 +13,7 @@ tuples scanned and dictionary probes alongside wall-clock times.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Sequence
 
 from repro.errors import QueryExecutionError
 from repro.model.instance import Instance
@@ -40,6 +40,16 @@ class Counters:
         self.probes = 0
         self.filtered = 0
         self.hash_builds = 0
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another run's counts into this object (the engine
+        reports per-run counters and *merges* into a caller-reused
+        ``Counters``, so accumulation is explicit, never accidental)."""
+
+        self.tuples += other.tuples
+        self.probes += other.probes
+        self.filtered += other.filtered
+        self.hash_builds += other.hash_builds
 
 
 def _count_probes(path: Path) -> int:
@@ -119,15 +129,18 @@ class Filter(Operator):
         super().__init__(counters)
         self.child = child
         self.conditions = list(conditions)
-        self._cond_probes = sum(
+        # Per-condition probe counts: when the condition list short-circuits
+        # on a failing Eq, only the conditions actually evaluated may count
+        # (EXPLAIN ANALYZE renders these as actuals).
+        self._cond_probes = [
             _count_probes(c.left) + _count_probes(c.right) for c in self.conditions
-        )
+        ]
 
     def rows(self, instance: Instance) -> Iterator[Env]:
         for env in self.child.rows(instance):
-            self.counters.probes += self._cond_probes
             ok = True
-            for cond in self.conditions:
+            for cond, probes in zip(self.conditions, self._cond_probes):
+                self.counters.probes += probes
                 if eval_path(cond.left, env, instance) != eval_path(
                     cond.right, env, instance
                 ):
@@ -150,6 +163,11 @@ class HashJoinBind(Operator):
     (a path over the bound variable), then probes it with ``probe_key``
     (a path over the outer environment) — the on-the-fly hash table of
     section 2.
+
+    The table is deliberately rebuilt on every :meth:`rows` call:
+    memoizing it across runs would serve stale data after an instance
+    mutation, and ``hash_builds`` counts exactly one bump per build-side
+    element per run.
     """
 
     def __init__(
@@ -168,7 +186,6 @@ class HashJoinBind(Operator):
         self.build_key = build_key
         self.probe_key = probe_key
         self.cached = False  # set by the planner for cache-overlay builds
-        self._table: Optional[Dict[Any, List[Any]]] = None
 
     def _build(self, instance: Instance) -> Dict[Any, List[Any]]:
         table: Dict[Any, List[Any]] = {}

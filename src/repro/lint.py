@@ -1,16 +1,22 @@
-"""Parser-roundtrip lint: parse → format → re-parse must be stable.
+"""Parser-roundtrip and codegen lint.
 
-``python -m repro.lint [file.oql ...]`` checks that every query it is
-given — plus a built-in corpus covering the whole surface syntax
-(navigation joins, dictionary lookups, ``dom``, negative and float
-literals, ``$name`` template parameters) — survives the printer/parser
-round trip with its canonical key (and, for templates, its template key)
-intact.  A drift between :mod:`repro.query.printer` and
-:mod:`repro.query.parser` is exactly the kind of bug that corrupts the
-plan cache silently (two spellings of one query stop sharing an entry),
-so CI runs this as a standalone step next to ``python -m compileall``.
+``python -m repro.lint [file.oql ...]`` checks two things over a
+built-in corpus covering the whole surface syntax (navigation joins,
+dictionary lookups, ``dom``, negative and float literals, ``$name``
+template parameters) plus every query it is given:
 
-Exit status: 0 when every query round-trips, 1 otherwise (one line per
+* parse → format → re-parse is stable, with the canonical key (and, for
+  templates, the template key) intact.  A drift between
+  :mod:`repro.query.printer` and :mod:`repro.query.parser` is exactly
+  the kind of bug that corrupts the plan cache silently (two spellings
+  of one query stop sharing an entry);
+* the plan code generator (:mod:`repro.exec.compile`) emits source for
+  each corpus query that the Python compiler accepts — a cheap static
+  gate on the generated fused functions, run without any instance.
+
+CI runs this as a standalone step next to ``python -m compileall``.
+
+Exit status: 0 when every query passes, 1 otherwise (one line per
 failure).
 """
 
@@ -82,12 +88,41 @@ def check_roundtrip(name: str, text: str) -> List[str]:
     return problems
 
 
+def check_codegen(name: str, text: str) -> List[str]:
+    """Problems (empty = clean) compiling one query's generated plan
+    function — both scan modes, checked with the Python compiler."""
+
+    from repro.exec.compile import PlanCompilationError, generate_source
+
+    try:
+        query = parse_query(text)
+    except ReproError:
+        return []  # already reported by check_roundtrip
+    problems: List[str] = []
+    for use_hash_joins in (False, True):
+        label = "hash-join" if use_hash_joins else "index-nested-loop"
+        try:
+            source = generate_source(query, use_hash_joins=use_hash_joins)
+        except PlanCompilationError as exc:
+            problems.append(f"{name}: codegen refused {label} plan: {exc}")
+            continue
+        try:
+            compile(source, f"<lint:{name}>", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"{name}: generated {label} plan is not valid Python: {exc}"
+            )
+    return problems
+
+
 def run_lint(paths: Iterable[str] = ()) -> List[str]:
-    """All round-trip problems over the built-in corpus plus ``paths``."""
+    """All round-trip and codegen problems over the built-in corpus plus
+    ``paths``."""
 
     problems: List[str] = []
     for name, text in BUILTIN_CORPUS:
         problems.extend(check_roundtrip(name, text))
+        problems.extend(check_codegen(name, text))
     for path in paths:
         try:
             with open(path) as handle:
@@ -96,6 +131,7 @@ def run_lint(paths: Iterable[str] = ()) -> List[str]:
             problems.append(f"{path}: {exc}")
             continue
         problems.extend(check_roundtrip(path, text))
+        problems.extend(check_codegen(path, text))
     return problems
 
 
@@ -108,7 +144,7 @@ def main(argv: List[str] = None) -> int:
     if problems:
         print(f"lint: {len(problems)} problem(s) in {checked} queries")
         return 1
-    print(f"lint: {checked} queries round-trip clean")
+    print(f"lint: {checked} queries round-trip and codegen clean")
     return 0
 
 

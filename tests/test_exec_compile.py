@@ -1,0 +1,388 @@
+"""Compiled execution (``repro.exec.compile``) and the executor
+instrumentation fixes that shipped with it.
+
+Three layers of coverage:
+
+* pinned counter regressions — short-circuiting :class:`Filter` counts
+  only the condition probes it actually evaluated, :class:`HashJoinBind`
+  rebuilds its table on every run (no memo field), and ``execute`` with a
+  caller-reused :class:`Counters` reports *per-run* counts in the
+  :class:`ExecutionResult` while the caller's object accumulates;
+* differential checks — for every golden workload plan (the canonical
+  queries, E9's reference plans P1–P4, and each workload's optimized
+  winner) the compiled function, the interpreted pipeline and the
+  reference evaluator produce identical answers, including overlay
+  (hybrid semantic-cache) execution and ``$param`` substitution into an
+  already-compiled artifact;
+* mode plumbing — ``exec_mode`` validation, the engine artifact LRU, the
+  plan-cache entry artifact, EXPLAIN ANALYZE's transparent interpreted
+  fallback, and the CLI flag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Database
+from repro.api.context import OptimizeContext
+from repro.errors import (
+    OptimizationError,
+    ParameterBindingError,
+    QueryExecutionError,
+    ReproError,
+)
+from repro.exec.compile import (
+    CompiledPlan,
+    PlanCompilationError,
+    compile_plan,
+    generate_source,
+)
+from repro.exec.engine import compiled_for, execute
+from repro.exec.operators import (
+    Counters,
+    Filter,
+    HashJoinBind,
+    ScanBind,
+    Singleton,
+)
+from repro.model.instance import Instance
+from repro.model.values import DictValue, Row
+from repro.query.ast import Eq
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_path, parse_query
+from repro.query.paths import Const, SName
+
+
+def q(text):
+    return parse_query(text)
+
+
+@pytest.fixture
+def instance():
+    return Instance(
+        {
+            "R": frozenset({Row(A=1, B=10), Row(A=2, B=20), Row(A=3, B=30)}),
+            "S": frozenset({Row(B=10, C="x"), Row(B=20, C="y"), Row(B=30, C="z")}),
+            "D": DictValue({1: 10, 2: 20, 3: 99}),
+            "IS": DictValue(
+                {
+                    10: frozenset({Row(B=10, C="x")}),
+                    20: frozenset({Row(B=20, C="y")}),
+                    30: frozenset({Row(B=30, C="z")}),
+                }
+            ),
+        }
+    )
+
+
+class TestFilterShortCircuitProbes:
+    """Satellite 1: ``Filter.rows`` used to bump the *total* probe count
+    of all conditions per input env, even when an early condition failed
+    and the rest were never evaluated."""
+
+    def test_probes_count_only_evaluated_conditions(self, instance):
+        counters = Counters()
+        scan = ScanBind(Singleton(counters), "r", SName("R"), counters)
+        filt = Filter(
+            scan,
+            [
+                # 1 probe: fails for the A=3 row (D[3]=99 != r.B=30)
+                Eq(parse_path("D[r.A]", scope={"r"}), parse_path("r.B", scope={"r"})),
+                # 2 probes: only reached when the first condition held
+                Eq(parse_path("D[r.A]", scope={"r"}), parse_path("D[r.A]", scope={"r"})),
+            ],
+            counters,
+        )
+        survivors = list(filt.rows(instance))
+        assert len(survivors) == 2
+        assert counters.filtered == 1
+        # A=1 and A=2 evaluate both conditions (3 probes each); A=3
+        # short-circuits after the first (1 probe).  The pre-fix code
+        # charged 3 probes per env = 9.
+        assert counters.probes == 7
+
+    def test_all_pass_counts_every_condition(self, instance):
+        counters = Counters()
+        scan = ScanBind(Singleton(counters), "r", SName("R"), counters)
+        filt = Filter(
+            scan,
+            [Eq(parse_path("D[r.A]", scope={"r"}), parse_path("D[r.A]", scope={"r"}))],
+            counters,
+        )
+        assert len(list(filt.rows(instance))) == 3
+        assert counters.probes == 6  # 2 lookups x 3 envs, nothing filtered
+        assert counters.filtered == 0
+
+
+class TestHashJoinRebuild:
+    """Satellite 2: the dead ``_table`` memo field is gone and the build
+    side is provably rebuilt on every run."""
+
+    def _join(self, counters):
+        left = ScanBind(Singleton(counters), "r", SName("R"), counters)
+        return HashJoinBind(
+            left,
+            "s",
+            SName("S"),
+            parse_path("s.B", scope={"s"}),
+            parse_path("r.B", scope={"r"}),
+            counters,
+        )
+
+    def test_no_memo_field(self, counters=None):
+        join = self._join(Counters())
+        assert not hasattr(join, "_table")
+
+    def test_rebuilds_per_run(self, instance):
+        counters = Counters()
+        join = self._join(counters)
+        assert len(list(join.rows(instance))) == 3
+        assert counters.hash_builds == 3  # one bump per S element
+        assert len(list(join.rows(instance))) == 3
+        assert counters.hash_builds == 6  # rebuilt, not memoized
+
+    def test_rebuild_sees_mutation(self, instance):
+        counters = Counters()
+        join = self._join(counters)
+        assert len(list(join.rows(instance))) == 3
+        instance["S"] = frozenset({Row(B=10, C="only")})
+        assert len(list(join.rows(instance))) == 1
+
+
+class TestPerRunCounters:
+    """Satellite 3: a caller-reused ``Counters`` accumulates, but every
+    ``ExecutionResult`` reports that run alone."""
+
+    def test_result_counters_are_per_run(self, instance):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        shared = Counters()
+        first = execute(query, instance, counters=shared)
+        second = execute(query, instance, counters=shared)
+        assert first.counters.tuples == second.counters.tuples
+        assert first.counters.filtered == second.counters.filtered
+        assert second.counters is not shared
+        # the caller's object accumulates both runs
+        assert shared.tuples == 2 * first.counters.tuples
+        assert shared.filtered == 2 * first.counters.filtered
+
+    def test_compiled_mode_same_contract(self, instance):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        shared = Counters()
+        first = execute(query, instance, counters=shared, mode="compiled")
+        second = execute(query, instance, counters=shared, mode="compiled")
+        assert first.counters.tuples == second.counters.tuples
+        assert shared.tuples == 2 * first.counters.tuples
+
+
+DIFFERENTIAL_QUERIES = [
+    "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+    "select r.A from R r where r.B = 10",
+    "select r.A from R r where r.B = 10 and r.A = 1",
+    "select struct(A = r.A) from R r",
+    "select struct(C = t.C) from dom(IS) k, IS[k] t where k = 10",
+    "select struct(C = t.C) from IS{10} t",
+    "select struct(C = t.C) from IS{999} t",
+    "select struct(C = t.C) from R r, IS{r.B} t",
+    "select struct(A = r.A, X = s.C) from R r, S s where r.B = s.B and s.C = \"y\"",
+    "select struct(A = x.A, B = y.B) from R x, R y where x.A = y.A",
+]
+
+
+class TestCompiledDifferential:
+    @pytest.mark.parametrize("text", DIFFERENTIAL_QUERIES)
+    @pytest.mark.parametrize("use_hash_joins", [False, True])
+    def test_matches_interpreted_and_reference(
+        self, instance, text, use_hash_joins
+    ):
+        query = q(text)
+        reference = evaluate(query, instance)
+        interpreted = execute(
+            query, instance, use_hash_joins=use_hash_joins, mode="interpret"
+        )
+        compiled = execute(
+            query, instance, use_hash_joins=use_hash_joins, mode="compiled"
+        )
+        assert compiled.mode == "compiled"
+        assert compiled.results == interpreted.results == reference
+
+    def test_failing_lookup_error_parity(self, instance):
+        query = q("select struct(C = t.C) from IS[99] t")
+        with pytest.raises(QueryExecutionError, match="failing lookup"):
+            execute(query, instance, mode="interpret")
+        with pytest.raises(QueryExecutionError, match="failing lookup"):
+            execute(query, instance, mode="compiled")
+
+    def test_non_set_source_error_parity(self, instance):
+        query = q("select struct(X = t) from D t")
+        with pytest.raises(QueryExecutionError, match="not a set"):
+            execute(query, instance, mode="interpret")
+        with pytest.raises(QueryExecutionError, match="not a set"):
+            execute(query, instance, mode="compiled")
+
+    def test_overlay_execution_matches(self, instance):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        overlays = {"S": frozenset({Row(B=10, C="cached"), Row(B=20, C="cached2")})}
+        interpreted = execute(query, instance, overlays=overlays)
+        compiled = execute(query, instance, overlays=overlays, mode="compiled")
+        assert compiled.results == interpreted.results
+        assert evaluate(query, instance.overlay(dict(overlays))) == compiled.results
+        # the base instance stays authoritative for non-overlaid names
+        assert any(row["C"] == "cached" for row in compiled.results)
+
+    def test_mutation_invalidates_columnar_cache(self, instance):
+        query = q("select r.A from R r where r.B = 10")
+        plan = compile_plan(query)
+        assert plan.run(instance) == frozenset({1})
+        instance["R"] = frozenset({Row(A=7, B=10), Row(A=8, B=20)})
+        assert plan.run(instance) == frozenset({7})
+
+
+WORKLOADS = ["rs", "rabc", "projdept", "oo_asr"]
+
+
+class TestGoldenWorkloadPlans:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_canonical_and_winner_agree(self, name):
+        db = Database.from_workload(name)
+        wl = db.workload
+        reference = evaluate(wl.query, wl.instance)
+        for plan_query in (wl.query, db.optimize(wl.query).best.query):
+            interpreted = execute(plan_query, wl.instance, mode="interpret")
+            compiled = execute(plan_query, wl.instance, mode="compiled")
+            assert compiled.mode == "compiled"
+            assert compiled.results == interpreted.results == reference
+        db.close()
+
+    def test_projdept_reference_plans(self):
+        db = Database.from_workload("projdept")
+        wl = db.workload
+        reference = evaluate(wl.query, wl.instance)
+        for name, plan in wl.reference_plans.items():
+            interpreted = execute(plan, wl.instance, mode="interpret")
+            compiled = execute(plan, wl.instance, mode="compiled")
+            assert compiled.results == interpreted.results == reference, name
+        db.close()
+
+
+class TestCompiledTemplates:
+    def test_params_are_runtime_arguments(self, instance):
+        template = q("select struct(A = r.A) from R r where r.B = $b")
+        plan = compile_plan(template)
+        assert plan.param_names == ("b",)
+        assert plan.run(instance, params={"b": 10}) == frozenset({Row(A=1)})
+        assert plan.run(instance, params={"b": 20}) == frozenset({Row(A=2)})
+        assert plan.run(instance, params={"b": 999}) == frozenset()
+
+    def test_missing_param_raises(self, instance):
+        plan = compile_plan(q("select struct(A = r.A) from R r where r.B = $b"))
+        with pytest.raises(ParameterBindingError, match=r"\$b"):
+            plan.run(instance)
+
+    def test_const_values_unwrapped(self, instance):
+        plan = compile_plan(q("select struct(A = r.A) from R r where r.B = $b"))
+        assert plan.run(instance, params={"b": Const(10)}) == frozenset({Row(A=1)})
+
+    def test_prepared_template_uses_entry_artifact(self):
+        db = Database.from_workload("rs", exec_mode="compiled")
+        db_ref = Database.from_workload("rs")
+        template = q(
+            "select struct(A = r.A, C = s.C) from R r, S s "
+            "where r.B = s.B and s.C = $c"
+        )
+        prepared = db.prepare(template)
+        reference = db_ref.prepare(template)
+        for c in (3, 4, 5, 999):
+            got = prepared.run(c=c)
+            want = reference.run(c=c)
+            assert got.results == want.results, c
+            bound = template.bind_params({"c": Const(c)})
+            assert got.results == evaluate(bound, db.instance), c
+        # the artifact was compiled once and cached on the entry
+        entry = db._plan_cache.get(
+            (template.template_key(), db.context.fingerprint())
+        )
+        assert isinstance(entry.compiled, CompiledPlan)
+        db.close()
+        db_ref.close()
+
+    def test_database_execute_compiled_matches_interpreted(self):
+        compiled_db = Database.from_workload("rs", exec_mode="compiled")
+        interp_db = Database.from_workload("rs")
+        query = compiled_db.workload.query
+        got = compiled_db.execute(query)
+        want = interp_db.execute(query)
+        assert got.results == want.results
+        assert got.results == evaluate(query, compiled_db.instance)
+        compiled_db.close()
+        interp_db.close()
+
+
+class TestModePlumbing:
+    def test_context_validates_exec_mode(self):
+        with pytest.raises(OptimizationError, match="unknown exec mode"):
+            OptimizeContext(exec_mode="bogus")
+
+    def test_engine_validates_mode(self, instance):
+        with pytest.raises(ReproError, match="unknown exec mode"):
+            execute(q("select r.A from R r"), instance, mode="bogus")
+
+    def test_context_default_mode_flows_through(self, instance):
+        query = q("select r.A from R r where r.B = 10")
+        context = OptimizeContext(exec_mode="compiled")
+        result = execute(query, instance, context=context)
+        assert result.mode == "compiled"
+        # an explicit mode= wins over the context default
+        result = execute(query, instance, context=context, mode="interpret")
+        assert result.mode == "interpret"
+
+    def test_exec_mode_not_in_fingerprint(self):
+        interp = OptimizeContext(exec_mode="interpret")
+        compiled = OptimizeContext(exec_mode="compiled")
+        assert interp.fingerprint() == compiled.fingerprint()
+
+    def test_engine_lru_reuses_artifact(self):
+        query = q("select struct(A = r.A) from R r where r.B = 2")
+        first = compiled_for(query)
+        second = compiled_for(query)
+        assert first is second
+
+    def test_plan_text_matches_interpreted_explain(self, instance):
+        query = q("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+        interpreted = execute(query, instance, mode="interpret")
+        compiled = execute(query, instance, mode="compiled")
+        assert compiled.plan_text == interpreted.plan_text
+
+    def test_generate_source_is_valid_python(self):
+        for text in DIFFERENTIAL_QUERIES:
+            for use_hash_joins in (False, True):
+                source = generate_source(q(text), use_hash_joins=use_hash_joins)
+                compile(source, "<test>", "exec")  # must not raise
+
+    def test_explain_analyze_under_compiled_mode(self):
+        db = Database.from_workload("rs", exec_mode="compiled")
+        report = db.explain(db.workload.query, analyze=True)
+        rendered = report.render()
+        # the interpreted instrumentation ran: per-operator actual rows
+        assert "EXPLAIN ANALYZE" in rendered
+        assert "rows in" in rendered
+        db.close()
+
+    def test_cli_exec_mode_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["optimize", "--workload", "rs", "--exec-mode", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "executed (compiled):" in out
+
+    def test_cli_exec_mode_requires_workload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        query = tmp_path / "q.oql"
+        query.write_text("select r.A from R r where r.B = 5\n")
+        assert (
+            main(
+                ["optimize", "--query", str(query), "--exec-mode", "compiled"]
+            )
+            == 1
+        )
+        assert "needs an instance" in capsys.readouterr().err
