@@ -3,7 +3,9 @@
 #   make test         tier-1 suite (what CI gates on)
 #   make check        the full gate: tier-1 tests, bench smokes, golden suite
 #   make golden       regenerate tests/golden/* (review the diff!)
-#   make lint         bytecode-compile src + parser-roundtrip/codegen lint
+#   make lint         bytecode-compile src/tests/benchmarks +
+#                     parser-roundtrip/codegen lint + static analysis
+#                     (codegen verifier + invariant rules)
 #   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json ..
 #                     BENCH_e19.json)
 #   make bench-report aggregate the BENCH_e*.json artifacts into one table
@@ -40,8 +42,9 @@ check: lint
 	$(PYTEST) -q -m golden $(GOLDEN_FILES)
 
 lint:
-	python -m compileall -q src
+	python -m compileall -q src tests benchmarks
 	PYTHONPATH=src python -m repro.lint
+	PYTHONPATH=src python -m repro.analysis
 
 golden:
 	GOLDEN_REGEN=1 $(PYTEST) -q -m golden $(GOLDEN_FILES)

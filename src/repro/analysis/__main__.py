@@ -1,0 +1,161 @@
+"""``python -m repro.analysis`` — run both static-analysis engines.
+
+Sweeps the codegen verifier over the lint corpus, any ``.oql`` files
+given on the command line, and every golden workload's canonical and
+winning plan in both scan modes; then runs the invariant rules over
+``src/repro``.  Exit status 0 when no finding survives the per-line
+suppressions and the checked-in baseline, 1 otherwise.
+
+Flags: ``--json`` for machine-readable output, ``--rules`` to print the
+rule catalog, ``--skip-codegen`` / ``--skip-invariants`` /
+``--skip-workloads`` to narrow the sweep, ``--no-baseline`` to see
+baselined findings too.  With the ``CI`` environment variable set,
+findings are echoed as GitHub ``::error`` annotations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.codegen import verify_corpus, verify_workload_plans
+from repro.analysis.findings import (
+    Finding,
+    apply_baseline,
+    in_ci,
+    load_baseline,
+    render_github,
+    render_json,
+    render_text,
+)
+from repro.analysis.invariants import lint_project, load_project
+
+#: codegen rule ids and one-liners (the invariant side carries its own
+#: catalog on each rule module)
+CODEGEN_CATALOG = {
+    "CG-SYNTAX": "generated plan source does not parse",
+    "CG-SHAPE": "generated module is not exactly one `def _plan(...)` "
+    "within the generator's statement grammar",
+    "CG-DOM": "a local may be read before any binding dominates the read",
+    "CG-NAME": "a name outside the locals and the restricted exec "
+    "namespace is referenced",
+    "CG-PARAM": "a _params[...] read does not name a declared template "
+    "parameter",
+    "CG-LOOKUP": "a failing lookup is not dominated by a dom() guard, "
+    "membership check, aliasing filter, or chase proof",
+    "CG-LOCAL": "a bound local is missing from the generator's declared "
+    "metadata",
+    "CG-SITES": "`_lk` call count disagrees with the recorded lookup sites",
+    "CG-REFUSED": "codegen refused to emit a plan for a corpus query",
+}
+
+
+def _print_catalog() -> None:
+    from repro.analysis.rules import RULE_CATALOG
+
+    catalog = dict(CODEGEN_CATALOG)
+    catalog["INV-PARSE"] = "a linted source file does not parse"
+    catalog.update(RULE_CATALOG)
+    for rule in sorted(catalog):
+        print(f"{rule}: {catalog[rule]}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static verifier for generated plan code + project "
+        "invariant linter",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="extra .oql query files to run the codegen verifier over",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable findings"
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument(
+        "--skip-codegen",
+        action="store_true",
+        help="skip the generated-plan verifier",
+    )
+    parser.add_argument(
+        "--skip-invariants",
+        action="store_true",
+        help="skip the project invariant rules",
+    )
+    parser.add_argument(
+        "--skip-workloads",
+        action="store_true",
+        help="skip optimizing the golden workloads (corpus still verified)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report findings the baseline would otherwise accept",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_catalog()
+        return 0
+
+    findings: List[Finding] = []
+    artifacts = 0
+    files = 0
+
+    if not args.skip_codegen:
+        extra = []
+        for path in args.paths:
+            try:
+                with open(path) as handle:
+                    extra.append((path, handle.read()))
+            except OSError as exc:
+                findings.append(Finding(path, 0, "CG-REFUSED", str(exc)))
+        count, corpus_findings = verify_corpus(extra)
+        artifacts += count
+        findings.extend(corpus_findings)
+        if not args.skip_workloads:
+            count, workload_findings = verify_workload_plans()
+            artifacts += count
+            findings.extend(workload_findings)
+
+    if not args.skip_invariants:
+        project = load_project()
+        files = len(project.src) + len(project.tests)
+        findings.extend(lint_project(project))
+
+    baseline = set() if args.no_baseline else load_baseline()
+    matched = {f.baseline_key() for f in findings}
+    reported = apply_baseline(findings, baseline)
+
+    if args.json:
+        print(
+            render_json(
+                reported,
+                artifacts_verified=artifacts,
+                files_linted=files,
+                baselined=len(findings) - len(reported),
+            )
+        )
+        return 1 if reported else 0
+
+    if reported:
+        print(render_text(reported), file=sys.stderr)
+        if in_ci():
+            print(render_github(reported))
+    for stale in sorted(baseline - matched):
+        print(f"analysis: stale baseline entry: {stale}", file=sys.stderr)
+    print(
+        f"analysis: {artifacts} plan artifact(s) verified, "
+        f"{files} source file(s) linted, {len(reported)} finding(s)"
+    )
+    return 1 if reported else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""The lint corpus and its round-trip / codegen checks.
+
+Home of the query corpus the parser-roundtrip lint and the codegen
+verifier both sweep (:mod:`repro.lint` is a thin CLI over this module).
+The corpus covers the whole surface syntax — navigation joins,
+dictionary lookups, ``dom``, negative and float literals, ``$name``
+template parameters — plus the constructs the static verifier stresses:
+multi-parameter templates sharing a relation, lookups under ``dom()``
+guards (directly, through an equality alias, and at the end of a
+navigation chain).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+from repro.query.printer import format_query
+
+__all__ = [
+    "BUILTIN_CORPUS",
+    "check_codegen",
+    "check_roundtrip",
+    "run_lint",
+]
+
+#: queries exercising every construct the printer has to re-emit and
+#: every guard shape the codegen verifier has to prove
+BUILTIN_CORPUS: Tuple[Tuple[str, str], ...] = (
+    (
+        "join",
+        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+    ),
+    (
+        "path-output",
+        "select r.A from R r where r.B = 2",
+    ),
+    (
+        "dict-lookup",
+        "select struct(N = I[k].Name) from dom(I) k where k = 3",
+    ),
+    (
+        "navigation",
+        'select struct(PN = s, DN = d.DName) from depts d, d.DProjs s '
+        'where s = "P1"',
+    ),
+    (
+        "literals",
+        "select struct(A = r.A) from R r "
+        "where r.A = -2 and r.B = 1.5 and r.C = true and r.D = \"x\"",
+    ),
+    (
+        "template",
+        "select struct(A = r.A, C = s.C) from R r, S s "
+        "where r.B = s.B and s.C = $c and r.A = $a",
+    ),
+    (
+        "template-dup-param",
+        "select struct(A = r.A) from R r, S s "
+        "where r.A = $x and s.C = $x and r.B = s.B",
+    ),
+    (
+        # two distinct parameters over the *same* relation scanned twice:
+        # the verifier must see both _params reads name declared params
+        "template-shared-relation",
+        "select struct(A1 = r.A, A2 = s.A) from R r, R s "
+        "where r.B = $lo and s.B = $hi and r.A = s.A",
+    ),
+    (
+        # two dom()-guarded lookups whose keys are linked by an equality
+        # filter — guard dominance must flow through the alias
+        "guarded-lookup-pair",
+        "select struct(X = M[j], Y = M[k]) from dom(M) j, dom(M) k "
+        "where j = k",
+    ),
+    (
+        # the lookup key is a navigation expression equated to the
+        # dom()-bound variable, not the bound variable itself
+        "guarded-lookup-alias",
+        "select struct(N = I[r.A].Name) from R r, dom(I) k where k = r.A",
+    ),
+    (
+        # a navigation chain ending in a dictionary lookup guarded
+        # through the chain's bound variable
+        "navigation-lookup",
+        "select struct(DN = d.DName, N = I[s].Name) "
+        "from depts d, d.DProjs s, dom(I) k where k = s",
+    ),
+)
+
+
+def check_roundtrip(name: str, text: str) -> List[str]:
+    """Problems (empty = clean) with one query's print/parse round trip."""
+
+    problems: List[str] = []
+    try:
+        query = parse_query(text)
+    except ReproError as exc:
+        return [f"{name}: does not parse: {exc}"]
+    printed = format_query(query)
+    try:
+        reparsed = parse_query(printed)
+    except ReproError as exc:
+        return [f"{name}: printed form does not re-parse: {exc}"]
+    if reparsed.canonical_key() != query.canonical_key():
+        problems.append(f"{name}: canonical key drifts across print/parse")
+    if reparsed.template_key() != query.template_key():
+        problems.append(f"{name}: template key drifts across print/parse")
+    if reparsed.param_names() != query.param_names():
+        problems.append(f"{name}: parameter list drifts across print/parse")
+    return problems
+
+
+def check_codegen(name: str, text: str) -> List[str]:
+    """Problems (empty = clean) compiling one query's generated plan
+    function — both scan modes, checked with the Python compiler."""
+
+    from repro.exec.compile import PlanCompilationError, generate_source
+
+    try:
+        query = parse_query(text)
+    except ReproError:
+        return []  # already reported by check_roundtrip
+    problems: List[str] = []
+    for use_hash_joins in (False, True):
+        label = "hash-join" if use_hash_joins else "index-nested-loop"
+        try:
+            source = generate_source(query, use_hash_joins=use_hash_joins)
+        except PlanCompilationError as exc:
+            problems.append(f"{name}: codegen refused {label} plan: {exc}")
+            continue
+        try:
+            compile(source, f"<lint:{name}>", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"{name}: generated {label} plan is not valid Python: {exc}"
+            )
+    return problems
+
+
+def run_lint(paths: Iterable[str] = ()) -> List[str]:
+    """All round-trip and codegen problems over the built-in corpus plus
+    ``paths``."""
+
+    problems: List[str] = []
+    for name, text in BUILTIN_CORPUS:
+        problems.extend(check_roundtrip(name, text))
+        problems.extend(check_codegen(name, text))
+    for path in paths:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            problems.append(f"{path}: {exc}")
+            continue
+        problems.extend(check_roundtrip(path, text))
+        problems.extend(check_codegen(path, text))
+    return problems

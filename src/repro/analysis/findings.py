@@ -1,0 +1,186 @@
+"""The finding model both analysis engines report through.
+
+A :class:`Finding` is one verified-false invariant: the file (or, for the
+codegen verifier, a ``<codegen:...>`` pseudo-file naming the plan and
+scan mode), the line in that source, a stable rule id and a one-line
+message.  The rendered form is ``file:line: RULE-ID message`` — the same
+shape compilers use, so editors and CI annotate it for free.
+
+Two escape hatches keep the linter honest instead of bypassed:
+
+* **per-line suppression** — a trailing ``# repro: ignore[RULE-ID]``
+  comment (several ids comma-separated; bare ``# repro: ignore`` mutes
+  every rule) drops findings on that exact line, visibly at the site;
+* **baseline** — ``baseline.txt`` next to this module lists findings
+  that are accepted for now, keyed on ``file: RULE-ID message`` (line
+  numbers excluded, so unrelated edits do not churn it).  The shipped
+  baseline is empty: the tree lints clean, and any new finding fails.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = [
+    "Finding",
+    "apply_baseline",
+    "apply_suppressions",
+    "default_baseline_path",
+    "load_baseline",
+    "render_github",
+    "render_json",
+    "render_text",
+    "suppressed_lines",
+]
+
+#: ``# repro: ignore`` / ``# repro: ignore[INV-MONO, CG-DOM]``
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_\-, ]+)\])?")
+
+#: sentinel rule set meaning "every rule is suppressed on this line"
+ALL_RULES = frozenset({"*"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One statically verified problem."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule} {self.message}"
+
+    def baseline_key(self) -> str:
+        """The line-number-free identity baseline entries match on."""
+
+        return f"{self.file}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+# -- suppression -----------------------------------------------------------
+
+
+def suppressed_lines(source: str) -> Dict[int, Set[str]]:
+    """line number -> rule ids muted there (``ALL_RULES`` for a bare
+    ``# repro: ignore``), read from the comments via the tokenizer so
+    string literals that merely *contain* the marker do not count."""
+
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            if match.group(1) is None:
+                rules = set(ALL_RULES)
+            else:
+                rules = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+            out.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # an untokenizable file has bigger problems; other rules report
+    return out
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], suppressions: Dict[int, Set[str]]
+) -> List[Finding]:
+    """Findings surviving one file's per-line suppression comments."""
+
+    kept = []
+    for finding in findings:
+        rules = suppressions.get(finding.line)
+        if rules is not None and (finding.rule in rules or rules & ALL_RULES):
+            continue
+        kept.append(finding)
+    return kept
+
+
+# -- baseline --------------------------------------------------------------
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.txt"
+
+
+def load_baseline(path: Optional[Path] = None) -> Set[str]:
+    """Accepted finding keys (``file: RULE-ID message`` lines; ``#``
+    comments and blank lines skipped).  A missing file is an empty
+    baseline."""
+
+    path = path or default_baseline_path()
+    if not path.exists():
+        return set()
+    keys: Set[str] = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> List[Finding]:
+    return [f for f in findings if f.baseline_key() not in baseline]
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def render_json(
+    findings: Sequence[Finding], **extra: object
+) -> str:
+    payload: Dict[str, object] = {
+        "findings": [f.as_dict() for f in findings],
+        "count": len(findings),
+        "ok": not findings,
+    }
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub workflow-command annotations (one ``::error`` per finding).
+    Pseudo-files like ``<codegen:...>`` get file-less annotations."""
+
+    lines = []
+    for f in findings:
+        message = f"{f.rule} {f.message}"
+        if f.file.startswith("<"):
+            lines.append(f"::error ::{f.file}:{f.line}: {message}")
+        else:
+            lines.append(f"::error file={f.file},line={f.line}::{message}")
+    return "\n".join(lines)
+
+
+def in_ci() -> bool:
+    """Whether GitHub-style annotations should accompany text output."""
+
+    return bool(os.environ.get("CI"))

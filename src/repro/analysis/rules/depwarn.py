@@ -1,0 +1,132 @@
+"""INV-DEPWARN: every deprecation shim is pinned by a warning test.
+
+``pytest.ini`` escalates :class:`repro.errors.ReproDeprecationWarning`
+to an error, so a shim that stops warning — or a warn site nobody
+asserts on — can drift silently: either the deprecation contract
+erodes, or an internal caller regresses onto the shim and only a user
+notices.  The rule finds every ``warnings.warn(...,
+ReproDeprecationWarning, ...)`` site in ``src/repro``, takes its
+enclosing function name, and requires some ``with
+pytest.warns(ReproDeprecationWarning)`` block in ``tests/`` to mention
+that name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+RULE_IDS = ("INV-DEPWARN",)
+CATALOG = {
+    "INV-DEPWARN": "a ReproDeprecationWarning raise site has no matching "
+    "pytest.warns coverage in tests/",
+}
+
+_WARNING_NAME = "ReproDeprecationWarning"
+
+
+def _mentions_warning(node: ast.expr) -> bool:
+    return any(
+        (isinstance(sub, ast.Name) and sub.id == _WARNING_NAME)
+        or (isinstance(sub, ast.Attribute) and sub.attr == _WARNING_NAME)
+        for sub in ast.walk(node)
+    )
+
+
+def _is_warn_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "warn":
+        return False
+    return any(_mentions_warning(arg) for arg in node.args) or any(
+        kw.value is not None and _mentions_warning(kw.value)
+        for kw in node.keywords
+    )
+
+
+def _warn_sites(tree: ast.AST) -> List[Tuple[int, str]]:
+    """(line, enclosing function name) for each deprecation warn call."""
+
+    sites: List[Tuple[int, str]] = []
+
+    def visit(node: ast.AST, func: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, child.name)
+                continue
+            if _is_warn_call(child):
+                sites.append((child.lineno, func or "<module>"))
+            visit(child, func)
+
+    visit(tree, None)
+    return sites
+
+
+def _is_warns_dep(node: ast.expr) -> bool:
+    """``pytest.warns(ReproDeprecationWarning)``-shaped context manager."""
+
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "warns":
+        return False
+    return any(_mentions_warning(arg) for arg in node.args) or any(
+        kw.value is not None and _mentions_warning(kw.value)
+        for kw in node.keywords
+    )
+
+
+def _covered_identifiers(tests) -> Set[str]:
+    """Every identifier mentioned inside a ``pytest.warns(
+    ReproDeprecationWarning)`` block across the test tree."""
+
+    covered: Set[str] = set()
+    for source_file in tests:
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(
+                _is_warns_dep(item.context_expr) for item in node.items
+            ):
+                continue
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name):
+                        covered.add(sub.id)
+                    elif isinstance(sub, ast.Attribute):
+                        covered.add(sub.attr)
+    return covered
+
+
+def run(project) -> List[Finding]:
+    if not project.tests:
+        return []  # nothing to match against (linting a detached tree)
+    covered = _covered_identifiers(project.tests)
+    findings: List[Finding] = []
+    for source_file in project.src:
+        for line, func in _warn_sites(source_file.tree):
+            if func not in covered:
+                findings.append(
+                    Finding(
+                        source_file.path,
+                        line,
+                        "INV-DEPWARN",
+                        f"ReproDeprecationWarning raised in {func}() has no "
+                        "pytest.warns(ReproDeprecationWarning) block "
+                        "mentioning it in tests/",
+                    )
+                )
+    return findings

@@ -1,0 +1,104 @@
+"""INV-FPR: fields excluded from context equality must not reach
+``fingerprint()``.
+
+:class:`repro.api.context.OptimizeContext` is the plan-cache key; its
+``fingerprint()`` must be a function of exactly the fields that
+participate in equality.  A ``field(compare=False)`` member (the tracer,
+live statistics) read inside ``fingerprint()`` would make two
+interchangeable contexts hash apart — silently splitting the plan cache —
+or, worse, make non-semantic state leak into cache identity.  The rule
+flags every ``self.<field>`` read inside a ``fingerprint`` method where
+``<field>`` is declared ``compare=False`` on that class (or listed in
+:data:`EXCLUDED_BY_DESIGN`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Set
+
+from repro.analysis.findings import Finding
+
+RULE_IDS = ("INV-FPR",)
+CATALOG = {
+    "INV-FPR": "a compare=False (or by-design excluded) field is read "
+    "inside fingerprint()",
+}
+
+#: fields textually excluded from a class's fingerprint by design even
+#: though they participate in equality (documented at the class)
+EXCLUDED_BY_DESIGN: Dict[str, FrozenSet[str]] = {
+    "OptimizeContext": frozenset({"exec_mode"}),
+}
+
+
+def _is_compare_false_field(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "field":
+        return False
+    return any(
+        kw.arg == "compare"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is False
+        for kw in value.keywords
+    )
+
+
+def _excluded_fields(cls: ast.ClassDef) -> Set[str]:
+    out: Set[str] = set(EXCLUDED_BY_DESIGN.get(cls.name, frozenset()))
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.value is not None
+            and _is_compare_false_field(stmt.value)
+        ):
+            out.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign) and _is_compare_false_field(stmt.value):
+            out.update(
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            )
+    return out
+
+
+def run(project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source_file in project.src:
+        for cls in (
+            n for n in ast.walk(source_file.tree) if isinstance(n, ast.ClassDef)
+        ):
+            excluded = _excluded_fields(cls)
+            if not excluded:
+                continue
+            for method in cls.body:
+                if not (
+                    isinstance(method, ast.FunctionDef)
+                    and method.name == "fingerprint"
+                ):
+                    continue
+                for node in ast.walk(method):
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                        and node.attr in excluded
+                        and isinstance(node.ctx, ast.Load)
+                    ):
+                        findings.append(
+                            Finding(
+                                source_file.path,
+                                node.lineno,
+                                "INV-FPR",
+                                f"fingerprint() must not read "
+                                f"{cls.name}.{node.attr} — the field is "
+                                "excluded from context equality",
+                            )
+                        )
+    return findings

@@ -1,0 +1,75 @@
+"""INV-MUTDEF / INV-EXCEPT: the two hygiene bugs that bite optimizers.
+
+* **INV-MUTDEF** — a mutable default argument (``def f(x, acc=[])``) is
+  shared across calls; in a library whose engines are re-entered per
+  query (chase, backchase, cache) that is cross-query state leakage.
+* **INV-EXCEPT** — a bare ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too, and in this codebase specifically would swallow
+  :class:`repro.errors.QueryExecutionError` where a failing lookup is
+  *supposed* to propagate (the paper's dictionaries are partial
+  functions — failure is semantics, not noise).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+
+RULE_IDS = ("INV-MUTDEF", "INV-EXCEPT")
+CATALOG = {
+    "INV-MUTDEF": "mutable default argument (shared across calls)",
+    "INV-EXCEPT": "bare `except:` (swallows KeyboardInterrupt and "
+    "engine errors alike)",
+}
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+def run(project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source_file in project.src:
+        for node in ast.walk(source_file.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        name = getattr(node, "name", "<lambda>")
+                        findings.append(
+                            Finding(
+                                source_file.path,
+                                default.lineno,
+                                "INV-MUTDEF",
+                                f"{name}() has a mutable default argument — "
+                                "it is shared across calls",
+                            )
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(
+                    Finding(
+                        source_file.path,
+                        node.lineno,
+                        "INV-EXCEPT",
+                        "bare `except:` — catch a concrete exception type "
+                        "(a failing lookup must propagate)",
+                    )
+                )
+    return findings

@@ -111,6 +111,16 @@ class OptimizationError(ReproError):
     """Optimizer-level failure (e.g. no physical plan exists)."""
 
 
+class CodegenVerificationError(ReproError):
+    """The static verifier (:mod:`repro.analysis.codegen`) rejected a
+    generated plan function.
+
+    Deliberately *not* a ``PlanCompilationError``: that error triggers the
+    engine's transparent fall-back to interpretation, which would hide
+    exactly the codegen bug the debug-verify mode exists to surface.
+    """
+
+
 class ReproDeprecationWarning(DeprecationWarning):
     """Warned by entry points superseded by the :class:`repro.Database`
     façade (kept as thin shims for backward compatibility).

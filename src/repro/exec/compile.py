@@ -37,10 +37,16 @@ including under overlays and hypothesis-generated queries.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
-from repro.errors import ParameterBindingError, QueryExecutionError, ReproError
+from repro.errors import (
+    CodegenVerificationError,
+    ParameterBindingError,
+    QueryExecutionError,
+    ReproError,
+)
 from repro.exec.columnar import ColumnarCache, probe_positions
 from repro.exec.operators import (
     Counters,
@@ -78,6 +84,54 @@ class PlanCompilationError(ReproError):
 #: (conditions of the form ``v = <expr>`` on the loop variable).
 _SELF = object()
 
+#: environment switch for the debug verify mode: when set (and not "0"),
+#: :func:`compile_plan` runs the static codegen verifier over every
+#: artifact before it is exec'd.  Read lazily per compilation — plans
+#: compile rarely, so the off-path cost is one dict lookup.
+VERIFY_ENV = "REPRO_VERIFY_CODEGEN"
+
+
+def verification_enabled() -> bool:
+    return os.environ.get(VERIFY_ENV, "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class LookupSite:
+    """One emitted *failing* dictionary lookup (``_lk`` call), recorded at
+    generation time so the verifier can cross-check the AST against what
+    the generator believes it emitted."""
+
+    base: str  #: compiled source of the dictionary expression
+    key: str  #: compiled source of the key expression
+    where: str  #: the query-level base path, for messages
+
+
+@dataclass(frozen=True)
+class CodegenMetadata:
+    """Structured facts about one generated plan function.
+
+    The static verifier (:mod:`repro.analysis.codegen`) consumes this to
+    prove the artifact well-formed without executing it: every name the
+    function may reference is either a declared local, a parameter of
+    ``_plan``, or a member of the restricted exec ``namespace``; every
+    ``_params[...]`` read names a declared template parameter; every
+    ``_lk`` call in the AST matches a recorded :class:`LookupSite`.
+    """
+
+    param_names: Tuple[str, ...]  #: the query's declared template params
+    param_locals: Tuple[Tuple[str, str], ...]  #: (param, local) pairs
+    namespace: FrozenSet[str]  #: names bound in the restricted exec globals
+    locals: FrozenSet[str]  #: every local the generator deliberately binds
+    lookup_sites: Tuple[LookupSite, ...]  #: failing-lookup emissions, in order
+
+
+@dataclass(frozen=True)
+class GeneratedPlan:
+    """Source text plus metadata for one plan (the verifier's input)."""
+
+    source: str
+    metadata: CodegenMetadata
+
 
 @dataclass
 class CompiledPlan:
@@ -95,6 +149,9 @@ class CompiledPlan:
     param_names: Tuple[str, ...]
     fn: Callable[..., FrozenSet[Any]] = field(repr=False)
     columnar: ColumnarCache = field(repr=False, default_factory=ColumnarCache)
+    #: structured codegen facts (locals, params, namespace, lookup sites)
+    #: for the static verifier; ``None`` on artifacts built elsewhere.
+    metadata: Optional[CodegenMetadata] = field(repr=False, default=None)
 
     def run(
         self,
@@ -151,6 +208,9 @@ class _CodeGen:
         self.body: List[str] = []
         self.indent = 0
         self.helpers: Set[str] = set()
+        #: every local deliberately bound by an emitter (verifier metadata)
+        self.declared: Set[str] = set()
+        self.lookup_sites: List[LookupSite] = []
         self.vars: Dict[str, str] = {}
         self._snames: Dict[str, str] = {}
         self._params: Dict[str, str] = {}
@@ -188,6 +248,7 @@ class _CodeGen:
         if local is None:
             local = f"_s{len(self._snames)}"
             self._snames[name] = local
+            self.declared.add(local)
             self.pro(f"{local} = instance[{name!r}]")
         return local
 
@@ -196,6 +257,7 @@ class _CodeGen:
         if local is None:
             local = f"_p{len(self._params)}"
             self._params[name] = local
+            self.declared.add(local)
             self.pro(f"{local} = _params[{name!r}]")
         return local
 
@@ -228,10 +290,12 @@ class _CodeGen:
             return f"_dom({self.expr(path.base)}, {str(path)!r})"
         if isinstance(path, Lookup):
             self.helpers.add("lk")
-            return (
-                f"_lk({self.expr(path.base)}, {self.expr(path.key)}, "
-                f"{str(path.base)!r})"
+            base = self.expr(path.base)
+            key = self.expr(path.key)
+            self.lookup_sites.append(
+                LookupSite(base=base, key=key, where=str(path.base))
             )
+            return f"_lk({base}, {key}, {str(path.base)!r})"
         if isinstance(path, NFLookup):
             self.helpers.add("nflk")
             return (
@@ -287,6 +351,7 @@ class _CodeGen:
         # short-circuit semantics: later conditions only fire if earlier
         # ones passed, and at most one `filtered` bump).
         if ground_conds:
+            self.declared.add("_g")
             self.line("_g = True")
             for j, cond in enumerate(ground_conds):
                 if j > 0:
@@ -370,11 +435,13 @@ class _CodeGen:
         name = bind.source.name  # type: ignore[attr-defined]
         ext = f"_e{level}"
         elems = f"_n{level}"
+        self.declared.update((ext, elems, f"_i{level}"))
         self.pro(f"{ext} = _cols.get(instance, {name!r})")
         self.pro(f"{elems} = {ext}.elements")
         for j, attr in enumerate(sorted(self.col_attrs[var])):
             column = f"_c{level}_{j}"
             self.col_attrs[var][attr] = column
+            self.declared.add(column)
             self.pro(f"{column} = {ext}.column({attr!r}, instance)")
 
         probe = self._probe_candidate(var, conds)
@@ -388,6 +455,7 @@ class _CodeGen:
             else:
                 index_attr, column_local = attr, self.col_attrs[var][attr]
             index = f"_x{level}"
+            self.declared.add(index)
             self.pro(f"{index} = {ext}.index({index_attr!r}, instance)")
             self.line(f"_probes += {1 + _count_probes(key_path)}")
             self.line(
@@ -397,6 +465,7 @@ class _CodeGen:
         self.indent += 1
         self.line("_tuples += 1")
         local = self.vars[var] = f"_v{level}"
+        self.declared.add(local)
         self.line(f"{local} = {elems}[_i{level}]")
         return conds
 
@@ -439,6 +508,7 @@ class _CodeGen:
             self.line(f"_probes += {probes}")
         message = f"binding source {bind.source} is not a set"
         local = self.vars[bind.var] = f"_v{level}"
+        self.declared.add(local)
         self.line(
             f"for {local} in _setof({self.expr(bind.source)}, {message!r}):"
         )
@@ -449,6 +519,7 @@ class _CodeGen:
         self.helpers.add("setof")
         table = f"_h{level}"
         local = self.vars[bind.var] = f"_v{level}"
+        self.declared.update((table, local))
         message = f"hash join build source {bind.build_source} is not a set"
         build_src = self.expr(bind.build_source)
         build_key = self.expr(bind.build_key)
@@ -527,7 +598,13 @@ class _CodeGen:
         lines = ["def _plan(instance, counters, _params):"]
         for helper in ("attr", "dom", "lk", "nflk", "setof"):
             if helper in self.helpers:
+                self.declared.add(f"_{helper}")
                 lines += ["    " + text for text in self._HELPER_SOURCE[helper]]
+        if "attr" in self.helpers:
+            self.declared.add("_deref")
+        self.declared.update(
+            ("_tuples", "_probes", "_filtered", "_hash_builds", "_out", "_append")
+        )
         lines += [
             # counters precede the prologue: hash-table builds hoisted
             # there already bump _hash_builds
@@ -549,6 +626,37 @@ class _CodeGen:
         ]
         return "\n".join(lines) + "\n"
 
+    def metadata(self) -> CodegenMetadata:
+        """The structured facts for the source :meth:`generate` emitted
+        (only meaningful after :meth:`generate` has run)."""
+
+        return CodegenMetadata(
+            param_names=self.query.param_names(),
+            param_locals=tuple(sorted(self._params.items())),
+            namespace=frozenset(self.globals),
+            locals=frozenset(self.declared),
+            lookup_sites=tuple(self.lookup_sites),
+        )
+
+
+def generate_plan(
+    query: PCQuery,
+    use_hash_joins: bool = False,
+    cached_names: Optional[FrozenSet[str]] = None,
+) -> GeneratedPlan:
+    """Source **and** metadata for one plan, without executing anything —
+    what the static verifier (:mod:`repro.analysis.codegen`) consumes."""
+
+    tree = compile_query(
+        query,
+        Counters(),
+        use_hash_joins=use_hash_joins,
+        cached_names=cached_names,
+    )
+    gen = _CodeGen(query, tree)
+    source = gen.generate()
+    return GeneratedPlan(source=source, metadata=gen.metadata())
+
 
 def generate_source(
     query: PCQuery,
@@ -558,19 +666,16 @@ def generate_source(
     """The generated source text alone (the lint gate compile-checks a
     sample of these without executing anything)."""
 
-    tree = compile_query(
-        query,
-        Counters(),
-        use_hash_joins=use_hash_joins,
-        cached_names=cached_names,
-    )
-    return _CodeGen(query, tree).generate()
+    return generate_plan(
+        query, use_hash_joins=use_hash_joins, cached_names=cached_names
+    ).source
 
 
 def compile_plan(
     query: PCQuery,
     use_hash_joins: bool = False,
     cached_names: Optional[FrozenSet[str]] = None,
+    verify: Optional[bool] = None,
 ) -> CompiledPlan:
     """Compile one plan to a :class:`CompiledPlan`.
 
@@ -578,6 +683,13 @@ def compile_plan(
     (:func:`repro.exec.planner.compile_query`), so join order, selection
     pushing, hash-join choices and the ``explain()`` text all match the
     interpreted execution of the same query exactly.
+
+    ``verify=True`` (or ``verify=None`` with the ``REPRO_VERIFY_CODEGEN``
+    environment switch set) runs the static codegen verifier over the
+    artifact *before* it is exec'd, raising
+    :class:`~repro.errors.CodegenVerificationError` on any finding — a
+    debug mode for the generator itself.  When off (the default) the only
+    cost is one environment lookup per compilation.
     """
 
     tree = compile_query(
@@ -596,6 +708,17 @@ def compile_plan(
         raise PlanCompilationError(
             f"generated plan function does not compile: {exc}"
         ) from exc
+    if verify or (verify is None and verification_enabled()):
+        # Lazy import: repro.analysis depends on this module, and the
+        # debug mode must not tax compilations when disabled.
+        from repro.analysis.codegen import verify_artifact
+
+        problems = verify_artifact(query, source, gen.metadata())
+        if problems:
+            raise CodegenVerificationError(
+                "generated plan function failed static verification:\n"
+                + "\n".join(p.render() for p in problems)
+            )
     namespace = dict(gen.globals)
     exec(code, namespace)
     return CompiledPlan(
@@ -605,4 +728,5 @@ def compile_plan(
         param_names=query.param_names(),
         fn=namespace["_plan"],
         columnar=gen.colcache,
+        metadata=gen.metadata(),
     )

@@ -1,4 +1,4 @@
-"""Parser-roundtrip and codegen lint.
+"""Parser-roundtrip and codegen lint (thin CLI).
 
 ``python -m repro.lint [file.oql ...]`` checks two things over a
 built-in corpus covering the whole surface syntax (navigation joins,
@@ -14,7 +14,11 @@ template parameters) plus every query it is given:
   each corpus query that the Python compiler accepts — a cheap static
   gate on the generated fused functions, run without any instance.
 
-CI runs this as a standalone step next to ``python -m compileall``.
+The corpus and checks live in :mod:`repro.analysis.corpus` (they are
+also the seed list for the deeper codegen verifier,
+``python -m repro.analysis``); this module is the CLI.  ``--json``
+emits machine-readable problems; with the ``CI`` environment variable
+set, problems are echoed as GitHub ``::error`` annotations.
 
 Exit status: 0 when every query passes, 1 otherwise (one line per
 failure).
@@ -22,125 +26,54 @@ failure).
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
-from typing import Iterable, List, Tuple
+from typing import List, Optional
 
-from repro.errors import ReproError
-from repro.query.parser import parse_query
-from repro.query.printer import format_query
-
-#: queries exercising every construct the printer has to re-emit
-BUILTIN_CORPUS: Tuple[Tuple[str, str], ...] = (
-    (
-        "join",
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    ),
-    (
-        "path-output",
-        "select r.A from R r where r.B = 2",
-    ),
-    (
-        "dict-lookup",
-        "select struct(N = I[k].Name) from dom(I) k where k = 3",
-    ),
-    (
-        "navigation",
-        'select struct(PN = s, DN = d.DName) from depts d, d.DProjs s '
-        'where s = "P1"',
-    ),
-    (
-        "literals",
-        "select struct(A = r.A) from R r "
-        "where r.A = -2 and r.B = 1.5 and r.C = true and r.D = \"x\"",
-    ),
-    (
-        "template",
-        "select struct(A = r.A, C = s.C) from R r, S s "
-        "where r.B = s.B and s.C = $c and r.A = $a",
-    ),
-    (
-        "template-dup-param",
-        "select struct(A = r.A) from R r, S s "
-        "where r.A = $x and s.C = $x and r.B = s.B",
-    ),
+# Re-exported for backward compatibility: the corpus and checks moved to
+# repro.analysis.corpus when the analysis subsystem landed.
+from repro.analysis.corpus import (  # noqa: F401
+    BUILTIN_CORPUS,
+    check_codegen,
+    check_roundtrip,
+    run_lint,
 )
+from repro.analysis.findings import in_ci
 
 
-def check_roundtrip(name: str, text: str) -> List[str]:
-    """Problems (empty = clean) with one query's print/parse round trip."""
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="parser round-trip + codegen lint over the query corpus",
+    )
+    parser.add_argument("paths", nargs="*", help="extra .oql files to lint")
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable problems"
+    )
+    args = parser.parse_args(argv)
 
-    problems: List[str] = []
-    try:
-        query = parse_query(text)
-    except ReproError as exc:
-        return [f"{name}: does not parse: {exc}"]
-    printed = format_query(query)
-    try:
-        reparsed = parse_query(printed)
-    except ReproError as exc:
-        return [f"{name}: printed form does not re-parse: {exc}"]
-    if reparsed.canonical_key() != query.canonical_key():
-        problems.append(f"{name}: canonical key drifts across print/parse")
-    if reparsed.template_key() != query.template_key():
-        problems.append(f"{name}: template key drifts across print/parse")
-    if reparsed.param_names() != query.param_names():
-        problems.append(f"{name}: parameter list drifts across print/parse")
-    return problems
-
-
-def check_codegen(name: str, text: str) -> List[str]:
-    """Problems (empty = clean) compiling one query's generated plan
-    function — both scan modes, checked with the Python compiler."""
-
-    from repro.exec.compile import PlanCompilationError, generate_source
-
-    try:
-        query = parse_query(text)
-    except ReproError:
-        return []  # already reported by check_roundtrip
-    problems: List[str] = []
-    for use_hash_joins in (False, True):
-        label = "hash-join" if use_hash_joins else "index-nested-loop"
-        try:
-            source = generate_source(query, use_hash_joins=use_hash_joins)
-        except PlanCompilationError as exc:
-            problems.append(f"{name}: codegen refused {label} plan: {exc}")
-            continue
-        try:
-            compile(source, f"<lint:{name}>", "exec")
-        except SyntaxError as exc:
-            problems.append(
-                f"{name}: generated {label} plan is not valid Python: {exc}"
+    problems = run_lint(args.paths)
+    checked = len(BUILTIN_CORPUS) + len(args.paths)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "problems": problems,
+                    "checked": checked,
+                    "ok": not problems,
+                },
+                indent=2,
+                sort_keys=True,
             )
-    return problems
+        )
+        return 1 if problems else 0
 
-
-def run_lint(paths: Iterable[str] = ()) -> List[str]:
-    """All round-trip and codegen problems over the built-in corpus plus
-    ``paths``."""
-
-    problems: List[str] = []
-    for name, text in BUILTIN_CORPUS:
-        problems.extend(check_roundtrip(name, text))
-        problems.extend(check_codegen(name, text))
-    for path in paths:
-        try:
-            with open(path) as handle:
-                text = handle.read()
-        except OSError as exc:
-            problems.append(f"{path}: {exc}")
-            continue
-        problems.extend(check_roundtrip(path, text))
-        problems.extend(check_codegen(path, text))
-    return problems
-
-
-def main(argv: List[str] = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    problems = run_lint(args)
     for problem in problems:
         print(f"lint: {problem}", file=sys.stderr)
-    checked = len(BUILTIN_CORPUS) + len(args)
+    if problems and in_ci():
+        for problem in problems:
+            print(f"::error ::lint: {problem}")
     if problems:
         print(f"lint: {len(problems)} problem(s) in {checked} queries")
         return 1

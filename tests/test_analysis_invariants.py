@@ -1,0 +1,407 @@
+"""The project invariant linter (:mod:`repro.analysis.invariants`) and
+the finding plumbing (suppressions, baseline, renderers, CLI driver).
+
+Every rule gets a seeded-violation test proving it fires and a nearby
+negative proving it stays quiet on the accepted idiom; the shipped tree
+itself must lint to zero findings (the property CI gates on).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.findings import (
+    Finding,
+    apply_baseline,
+    apply_suppressions,
+    load_baseline,
+    render_github,
+    render_json,
+    render_text,
+    suppressed_lines,
+)
+from repro.analysis.invariants import (
+    lint_project,
+    load_project,
+    project_from_sources,
+)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- the shipped tree is the baseline --------------------------------------
+
+
+def test_shipped_tree_has_zero_findings():
+    project = load_project()
+    assert project.src, "expected src/repro sources to load"
+    assert project.tests, "expected tests/ sources to load"
+    assert project.parse_failures == []
+    assert lint_project(project) == []
+
+
+# -- INV-FPR ---------------------------------------------------------------
+
+_FPR_VIOLATION = """
+from dataclasses import dataclass, field
+
+@dataclass
+class Context:
+    strategy: str
+    tracer: object = field(compare=False, default=None)
+
+    def fingerprint(self):
+        return (self.strategy, self.tracer)
+"""
+
+
+def test_inv_fpr_fires_on_compare_false_read():
+    project = project_from_sources({"ctx.py": _FPR_VIOLATION})
+    findings = lint_project(project)
+    assert _rules(findings) == ["INV-FPR"]
+    assert "Context.tracer" in findings[0].message
+
+
+def test_inv_fpr_quiet_on_compared_fields():
+    clean = _FPR_VIOLATION.replace(
+        "return (self.strategy, self.tracer)", "return (self.strategy,)"
+    )
+    assert lint_project(project_from_sources({"ctx.py": clean})) == []
+
+
+def test_inv_fpr_by_design_exclusions():
+    source = """
+class OptimizeContext:
+    def fingerprint(self):
+        return (self.strategy, self.exec_mode)
+"""
+    findings = lint_project(project_from_sources({"ctx.py": source}))
+    assert _rules(findings) == ["INV-FPR"]
+    assert "exec_mode" in findings[0].message
+
+
+# -- INV-MONO --------------------------------------------------------------
+
+
+def test_inv_mono_fires_on_reset_assignment():
+    source = """
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def inc(self):
+        self.value += 1
+
+    def clear(self):
+        self.value = 0
+"""
+    findings = lint_project(project_from_sources({"metrics.py": source}))
+    assert _rules(findings) == ["INV-MONO"]
+    assert "clear()" in findings[0].message
+
+
+def test_inv_mono_fires_on_decrement_anywhere():
+    source = """
+def rollback(stats):
+    stats.cache_hits -= 1
+"""
+    counters = """
+class BackchaseStats:
+    cache_hits: int = 0
+"""
+    findings = lint_project(
+        project_from_sources({"a.py": counters, "b.py": source})
+    )
+    assert _rules(findings) == ["INV-MONO"]
+    assert "cache_hits" in findings[0].message
+
+
+def test_inv_mono_allows_init_reset_and_increment():
+    source = """
+class CacheStats:
+    lookups: int = 0
+
+    def __init__(self):
+        self.lookups = 0
+
+    def reset(self):
+        self.lookups = 0
+
+    def record(self):
+        self.lookups += 1
+"""
+    assert lint_project(project_from_sources({"stats.py": source})) == []
+
+
+def test_inv_mono_ignores_unrelated_classes():
+    source = """
+class Gauge:
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+"""
+    assert lint_project(project_from_sources({"gauge.py": source})) == []
+
+
+# -- INV-MUTDEF / INV-EXCEPT ----------------------------------------------
+
+
+def test_inv_mutdef_fires():
+    source = """
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+"""
+    findings = lint_project(project_from_sources({"m.py": source}))
+    assert _rules(findings) == ["INV-MUTDEF"]
+    assert "collect()" in findings[0].message
+
+
+def test_inv_mutdef_fires_on_constructor_calls_and_kwonly():
+    source = """
+def merge(*parts, seen=dict()):
+    return seen
+"""
+    assert _rules(lint_project(project_from_sources({"m.py": source}))) == [
+        "INV-MUTDEF"
+    ]
+
+
+def test_inv_mutdef_quiet_on_none_sentinel():
+    source = """
+def collect(item, acc=None):
+    acc = [] if acc is None else acc
+    return acc
+"""
+    assert lint_project(project_from_sources({"m.py": source})) == []
+
+
+def test_inv_except_fires_on_bare_except():
+    source = """
+def safe(fn):
+    try:
+        return fn()
+    except:
+        return None
+"""
+    findings = lint_project(project_from_sources({"e.py": source}))
+    assert _rules(findings) == ["INV-EXCEPT"]
+
+
+def test_inv_except_quiet_on_typed_handler():
+    source = """
+def safe(fn):
+    try:
+        return fn()
+    except KeyError:
+        return None
+"""
+    assert lint_project(project_from_sources({"e.py": source})) == []
+
+
+# -- INV-DEPWARN -----------------------------------------------------------
+
+_SHIM = """
+import warnings
+from repro.errors import ReproDeprecationWarning
+
+def legacy_entry():
+    warnings.warn("use Database", ReproDeprecationWarning, stacklevel=2)
+"""
+
+
+def test_inv_depwarn_fires_without_coverage():
+    tests = """
+def test_unrelated():
+    assert True
+"""
+    findings = lint_project(
+        project_from_sources({"shim.py": _SHIM}, {"test_x.py": tests})
+    )
+    assert _rules(findings) == ["INV-DEPWARN"]
+    assert "legacy_entry()" in findings[0].message
+
+
+def test_inv_depwarn_satisfied_by_pytest_warns_block():
+    tests = """
+import pytest
+from repro.errors import ReproDeprecationWarning
+
+def test_shim_warns(api):
+    with pytest.warns(ReproDeprecationWarning):
+        api.legacy_entry()
+"""
+    assert (
+        lint_project(
+            project_from_sources({"shim.py": _SHIM}, {"test_x.py": tests})
+        )
+        == []
+    )
+
+
+def test_inv_depwarn_skipped_without_test_tree():
+    assert lint_project(project_from_sources({"shim.py": _SHIM})) == []
+
+
+# -- INV-PARSE and suppressions --------------------------------------------
+
+
+def test_unparsable_source_is_a_finding():
+    findings = lint_project(project_from_sources({"broken.py": "def f(:\n"}))
+    assert _rules(findings) == ["INV-PARSE"]
+
+
+def test_per_line_suppression():
+    source = """
+def collect(item, acc=[]):  # repro: ignore[INV-MUTDEF]
+    acc.append(item)
+    return acc
+"""
+    assert lint_project(project_from_sources({"m.py": source})) == []
+
+
+def test_suppression_is_rule_specific():
+    source = """
+def collect(item, acc=[]):  # repro: ignore[INV-EXCEPT]
+    return acc
+"""
+    assert _rules(lint_project(project_from_sources({"m.py": source}))) == [
+        "INV-MUTDEF"
+    ]
+
+
+def test_bare_suppression_mutes_all_rules():
+    source = """
+def collect(item, acc=[]):  # repro: ignore
+    return acc
+"""
+    assert lint_project(project_from_sources({"m.py": source})) == []
+
+
+def test_suppressed_lines_ignores_string_literals():
+    source = 'marker = "# repro: ignore[INV-MUTDEF]"\n'
+    assert suppressed_lines(source) == {}
+
+
+def test_apply_suppressions_multiple_ids():
+    findings = [
+        Finding("f.py", 3, "INV-MUTDEF", "a"),
+        Finding("f.py", 3, "INV-EXCEPT", "b"),
+        Finding("f.py", 4, "INV-MUTDEF", "c"),
+    ]
+    kept = apply_suppressions(findings, {3: {"INV-MUTDEF", "INV-EXCEPT"}})
+    assert kept == [Finding("f.py", 4, "INV-MUTDEF", "c")]
+
+
+# -- baseline and renderers ------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    finding = Finding("src/x.py", 7, "INV-MUTDEF", "boom")
+    path = tmp_path / "baseline.txt"
+    path.write_text(f"# accepted\n\n{finding.baseline_key()}\n")
+    baseline = load_baseline(path)
+    assert apply_baseline([finding], baseline) == []
+    # the key is line-free: a moved finding still matches
+    moved = Finding("src/x.py", 99, "INV-MUTDEF", "boom")
+    assert apply_baseline([moved], baseline) == []
+    other = Finding("src/x.py", 7, "INV-EXCEPT", "boom")
+    assert apply_baseline([other], baseline) == [other]
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.txt") == set()
+
+
+def test_renderers():
+    findings = [
+        Finding("src/x.py", 7, "INV-MUTDEF", "boom"),
+        Finding("<codegen:rs-winner:hash-join>", 3, "CG-DOM", "bad read"),
+    ]
+    text = render_text(findings)
+    assert "src/x.py:7: INV-MUTDEF boom" in text
+
+    payload = json.loads(render_json(findings, artifacts_verified=4))
+    assert payload["count"] == 2
+    assert payload["ok"] is False
+    assert payload["artifacts_verified"] == 4
+    assert payload["findings"][0]["rule"] == "INV-MUTDEF"
+
+    github = render_github(findings)
+    assert "::error file=src/x.py,line=7::INV-MUTDEF boom" in github
+    # pseudo-files get file-less annotations
+    assert "::error ::<codegen:rs-winner:hash-join>:3: CG-DOM bad read" in github
+
+
+# -- the CLI driver --------------------------------------------------------
+
+
+def test_cli_clean_run(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(["--skip-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_json_mode(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(["--skip-workloads", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["artifacts_verified"] > 0
+    assert payload["files_linted"] > 0
+
+
+def test_cli_rule_catalog(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "CG-SYNTAX",
+        "CG-DOM",
+        "CG-LOOKUP",
+        "CG-PARAM",
+        "INV-FPR",
+        "INV-MONO",
+        "INV-MUTDEF",
+        "INV-EXCEPT",
+        "INV-DEPWARN",
+    ):
+        assert rule in out
+
+
+def test_cli_flags_bad_query_file(tmp_path, capsys, monkeypatch):
+    from repro.analysis.__main__ import main
+
+    bad = tmp_path / "bad.oql"
+    # parses and round-trips, but the plan's lookup is unguarded and no
+    # constraint context exists to prove it safe
+    bad.write_text("select struct(N = M[r.A]) from R r")
+    monkeypatch.setenv("CI", "1")
+    code = main(["--skip-workloads", "--skip-invariants", str(bad)])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "CG-LOOKUP" in captured.err
+    assert "::error" in captured.out
+
+
+def test_cli_reports_stale_baseline(tmp_path, capsys, monkeypatch):
+    import repro.analysis.__main__ as main_mod
+
+    monkeypatch.setattr(
+        main_mod,
+        "load_baseline",
+        lambda path=None: {"src/gone.py: INV-MUTDEF never existed"},
+    )
+    assert main_mod.main(["--skip-workloads"]) == 0
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err

@@ -1,0 +1,132 @@
+"""The ``repro.lint`` CLI: corpus health, seeded failures, exit codes,
+``--json`` mode and CI annotations.
+
+The corpus and checks themselves live in :mod:`repro.analysis.corpus`
+(re-exported by :mod:`repro.lint` for backward compatibility); these
+tests drive them through the CLI surface the Makefile and CI use, and
+prove the lint actually *fails* when the printer drifts or codegen
+emits broken Python — by seeding exactly those bugs via monkeypatch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.analysis.corpus as corpus_mod
+import repro.exec.compile as compile_mod
+import repro.lint as lint_mod
+from repro.analysis.corpus import BUILTIN_CORPUS, check_codegen, check_roundtrip, run_lint
+
+
+def test_builtin_corpus_is_clean():
+    assert run_lint() == []
+
+
+def test_corpus_covers_verifier_constructs():
+    names = {name for name, _ in BUILTIN_CORPUS}
+    # the guard-dominance shapes the static verifier stresses
+    assert {
+        "template-shared-relation",
+        "guarded-lookup-pair",
+        "guarded-lookup-alias",
+        "navigation-lookup",
+    } <= names
+
+
+def test_lint_reexports_are_the_corpus_module():
+    assert lint_mod.BUILTIN_CORPUS is BUILTIN_CORPUS
+    assert lint_mod.run_lint is run_lint
+    assert lint_mod.check_roundtrip is check_roundtrip
+    assert lint_mod.check_codegen is check_codegen
+
+
+def test_seeded_printer_drift_is_reported(monkeypatch):
+    # a printer that forgets the where-clause: re-parse succeeds but the
+    # canonical key (and the parameter list, for templates) drifts
+    monkeypatch.setattr(
+        corpus_mod, "format_query", lambda query: "select r.A from R r"
+    )
+    problems = check_roundtrip(
+        "join",
+        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+    )
+    assert problems
+    assert any("canonical key drifts" in p for p in problems)
+
+
+def test_seeded_printer_crash_is_reported(monkeypatch):
+    monkeypatch.setattr(
+        corpus_mod, "format_query", lambda query: "select from nowhere ("
+    )
+    problems = check_roundtrip("join", BUILTIN_CORPUS[0][1])
+    assert any("printed form does not re-parse" in p for p in problems)
+
+
+def test_seeded_codegen_syntax_failure_is_reported(monkeypatch):
+    monkeypatch.setattr(
+        compile_mod,
+        "generate_source",
+        lambda query, use_hash_joins=False, cached_names=None: (
+            "def _plan(instance, counters, _params:\n    return []\n"
+        ),
+    )
+    problems = check_codegen("join", BUILTIN_CORPUS[0][1])
+    # both scan modes hit the same sabotaged generator
+    assert len(problems) == 2
+    assert all("not valid Python" in p for p in problems)
+
+
+def test_unparsable_query_file_fails_lint(tmp_path):
+    bad = tmp_path / "bad.oql"
+    bad.write_text("select struct( from where")
+    problems = run_lint([str(bad)])
+    assert any("does not parse" in p for p in problems)
+
+
+def test_missing_query_file_fails_lint(tmp_path):
+    missing = tmp_path / "nope.oql"
+    assert any(str(missing) in p for p in run_lint([str(missing)]))
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert lint_mod.main([]) == 0
+    out = capsys.readouterr().out
+    assert "round-trip and codegen clean" in out
+
+    bad = tmp_path / "bad.oql"
+    bad.write_text("select struct( from where")
+    assert lint_mod.main([str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "problem(s)" in captured.out
+    assert "does not parse" in captured.err
+
+
+def test_cli_json_mode(tmp_path, capsys):
+    assert lint_mod.main(["--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["problems"] == []
+    assert payload["checked"] == len(BUILTIN_CORPUS)
+
+    bad = tmp_path / "bad.oql"
+    bad.write_text("select struct( from where")
+    assert lint_mod.main(["--json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["checked"] == len(BUILTIN_CORPUS) + 1
+    assert any("does not parse" in p for p in payload["problems"])
+
+
+def test_cli_ci_annotations(tmp_path, capsys, monkeypatch):
+    bad = tmp_path / "bad.oql"
+    bad.write_text("select struct( from where")
+
+    monkeypatch.delenv("CI", raising=False)
+    assert lint_mod.main([str(bad)]) == 1
+    assert "::error" not in capsys.readouterr().out
+
+    monkeypatch.setenv("CI", "1")
+    assert lint_mod.main([str(bad)]) == 1
+    assert "::error ::lint:" in capsys.readouterr().out
