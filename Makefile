@@ -7,7 +7,7 @@
 #                     parser-roundtrip/codegen lint + static analysis
 #                     (codegen verifier + invariant rules)
 #   make bench-smoke  1-repetition benchmark smoke (emits BENCH_e12.json ..
-#                     BENCH_e19.json)
+#                     BENCH_e20.json)
 #   make bench-report aggregate the BENCH_e*.json artifacts into one table
 #   make bench-e12    the full E12 pruning benchmark
 #   make bench-e13    the full E13 semantic-cache benchmark
@@ -17,6 +17,7 @@
 #   make bench-e17    the full E17 parameterized-template benchmark
 #   make bench-e18    the full E18 observability-overhead benchmark
 #   make bench-e19    the full E19 compiled-execution benchmark
+#   make bench-e20    the full E20 plan-quality feedback benchmark
 #   make bench        every benchmark file
 #
 # The python toolchain is assumed baked into the environment; everything
@@ -28,7 +29,7 @@ GOLDEN_FILES := tests/test_golden_plans.py tests/test_advisor.py
 
 .PHONY: test check lint golden bench bench-smoke bench-report \
 	bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 \
-	bench-e19
+	bench-e19 bench-e20
 
 test:
 	$(PYTEST) -x -q
@@ -45,6 +46,7 @@ lint:
 	python -m compileall -q src tests benchmarks
 	PYTHONPATH=src python -m repro.lint
 	PYTHONPATH=src python -m repro.analysis
+	python tests/check_golden_freshness.py
 
 golden:
 	GOLDEN_REGEN=1 $(PYTEST) -q -m golden $(GOLDEN_FILES)
@@ -79,6 +81,9 @@ bench-e18:
 
 bench-e19:
 	$(PYTEST) -q benchmarks/bench_e19_compiled.py
+
+bench-e20:
+	$(PYTEST) -q benchmarks/bench_e20_feedback.py
 
 bench:
 	$(PYTEST) -q benchmarks/bench_*.py

@@ -178,6 +178,25 @@ def _e19_rows(data: Dict) -> List[Dict[str, str]]:
     ]
 
 
+def _e20_rows(data: Dict) -> List[Dict[str, str]]:
+    return [
+        {
+            "workload": f"{wl['workload']}/{wl.get('exec_mode', 'interpret')}",
+            "headline": (
+                f"max q-error {wl['max_qerror']:.0f}, "
+                f"{wl['regressions_detected']} regressions, "
+                f"{wl['replans']} replan(s); overhead "
+                f"x{wl['overhead_ratio']:.2f}; steady tail "
+                f"{wl['noreplan_tail_seconds']:.3f}s -> "
+                f"{wl['replan_tail_seconds']:.3f}s "
+                f"({_speedup(wl['noreplan_tail_seconds'], wl['replan_tail_seconds'])}), "
+                f"answers equal: {wl['answers_equal']}"
+            ),
+        }
+        for wl in data.get("workloads", ())
+    ]
+
+
 def _generic_rows(data: Dict) -> List[Dict[str, str]]:
     workloads = data.get("workloads", ())
     if not isinstance(workloads, (list, tuple)):
@@ -202,6 +221,7 @@ ROW_BUILDERS: Dict[str, Callable[[Dict], List[Dict[str, str]]]] = {
     "e17_templates": _e17_rows,
     "e18_obs": _e18_rows,
     "e19_compiled": _e19_rows,
+    "e20_feedback": _e20_rows,
 }
 
 TITLES: Dict[str, str] = {
@@ -213,6 +233,7 @@ TITLES: Dict[str, str] = {
     "e17_templates": "E17 parameterized templates (rebound vs template)",
     "e18_obs": "E18 observability overhead (silent vs traced)",
     "e19_compiled": "E19 compiled execution (interpreted vs compiled)",
+    "e20_feedback": "E20 plan-quality feedback (drift detection and replan)",
 }
 
 

@@ -11,7 +11,12 @@
   slow-query log;
 * **EXPLAIN ANALYZE** (``db.explain(q, analyze=True)``) runs the cached
   winning plan with counting proxies between the operators and prints
-  actual rows/loops/probes/self-time next to the cost model's estimates.
+  actual rows/loops/probes/self-time next to the cost model's estimates;
+* **plan-quality feedback** (``ObsConfig(feedback=True)``) collects the
+  actual rows surviving every binding level of every request, scores
+  them against the cost model's estimates (Q-error), flags plans whose
+  estimates drifted, and — with ``CacheConfig(feedback_replan=True)`` —
+  re-optimizes flagged plans under the feedback-corrected statistics.
 
 Tracing is off by default and free when off; counters flow either way.
 
@@ -70,6 +75,60 @@ def main() -> None:
     print(f"wrote {len(db.obs.tracer)} spans to {path}")
 
     session.close()
+    db.close()
+
+    # -- 8. plan-quality feedback: drift -> flag -> replan -----------------
+    drift_flag_replan()
+
+
+def drift_flag_replan() -> None:
+    """The feedback loop end to end on a pinned stale catalog.
+
+    Passing explicit ``statistics`` pins the catalog (mutations never
+    refresh it), so an insert burst leaves the optimizer costing against
+    a world that no longer exists.  With feedback on, the per-level
+    actuals expose the drift as a large Q-error, the regression log
+    flags the cached plan, and ``feedback_replan`` serves later requests
+    from a ``#fb:``-tagged re-optimization under the corrected catalog —
+    answers identical throughout.
+    """
+
+    from repro import CacheConfig, Instance, Row, Statistics
+
+    # plain logical relations: no index to shield (or stale-shadow) the
+    # drifted base extent, so the scan actuals tell the truth
+    instance = Instance(
+        {
+            "R": frozenset(Row(A=i, B=i % 50, C=i) for i in range(100)),
+            "S": frozenset(Row(B=i % 50, C=i % 37) for i in range(400)),
+        }
+    )
+    db = Database(
+        instance=instance,
+        statistics=Statistics.from_instance(instance),  # pinned
+        obs=ObsConfig(feedback=True),
+        cache_config=CacheConfig(feedback_replan=True),
+    )
+    query = parse_query(
+        "select struct(A = r.A, B = s.B) from R r, S s "
+        "where r.A = 1 and r.B = s.B"
+    )
+
+    db.execute(query)  # healthy baseline: estimates match actuals
+
+    # the drift: a skewed insert burst the pinned catalog never sees
+    burst = frozenset(Row(A=1, B=i % 50, C=1000 + i) for i in range(600))
+    db.instance["R"] = db.instance["R"] | burst
+
+    db.execute(query)  # large Q-error observed -> the entry is flagged
+    db.execute(query)  # flagged + corrections -> served from #fb: variant
+
+    print(db.feedback_report())
+    counters = db.obs.registry.counters
+    print(
+        f"\nregressions flagged: {counters['feedback.regressions'].value}, "
+        f"feedback replans: {counters['feedback.replans'].value}"
+    )
     db.close()
 
 

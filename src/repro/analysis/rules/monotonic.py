@@ -3,7 +3,10 @@
 The observability layer and the engine statistics objects
 (:class:`repro.obs.metrics.Counter`,
 :class:`repro.backchase.backchase.BackchaseStats`,
-:class:`repro.semcache.stats.CacheStats`) are cumulative by contract —
+:class:`repro.semcache.stats.CacheStats`, the observation counters of
+:class:`repro.obs.slowlog.SlowQueryLog`,
+:class:`repro.obs.feedback.FeedbackStore` and
+:class:`repro.obs.regress.PlanRegressionLog`) are cumulative by contract —
 dashboards and the EXPLAIN ANALYZE report difference them across
 snapshots, so a decrement or a mid-life reset silently corrupts every
 derived rate.  Two checks:
@@ -30,7 +33,16 @@ CATALOG = {
 }
 
 #: classes whose numeric fields are cumulative counters
-MONOTONE_CLASSES = frozenset({"Counter", "BackchaseStats", "CacheStats"})
+MONOTONE_CLASSES = frozenset(
+    {
+        "Counter",
+        "BackchaseStats",
+        "CacheStats",
+        "SlowQueryLog",
+        "FeedbackStore",
+        "PlanRegressionLog",
+    }
+)
 
 #: methods allowed to (re)initialize counter fields
 INIT_METHODS = frozenset({"__init__", "__post_init__", "reset"})

@@ -49,7 +49,7 @@ from repro.obs import Observability, ObsConfig
 from repro.obs.analyze import AnalyzeResult, analyze_query
 from repro.optimizer.cost import CostModel, _attr_of
 from repro.optimizer.optimizer import OptimizationResult, Plan
-from repro.optimizer.statistics import Statistics
+from repro.optimizer.statistics import Statistics, default_sample
 from repro.query.ast import PCQuery
 from repro.query.paths import Const, Param, Path
 
@@ -70,6 +70,14 @@ class CacheConfig:
     with by at least this factor (either direction), the binding is
     re-optimized under adjusted statistics and parked in a skew-tagged
     plan-cache variant entry.  ``None`` disables the guard.
+
+    ``feedback_replan`` generalizes the skew guard from one bound value
+    to the whole catalog: when plan-quality feedback
+    (``ObsConfig(feedback=True)``) has flagged an entry in the
+    regression log, later requests for it re-optimize under the
+    feedback-corrected statistics and are served from a ``#fb:``-tagged
+    variant entry.  Off by default — and inert without the feedback
+    store, since there is nothing to correct with.
     """
 
     plan_cache_size: Optional[int] = 128
@@ -77,6 +85,7 @@ class CacheConfig:
     hybrid: bool = True
     max_rewrite_views: int = 8
     skew_replan_ratio: Optional[float] = 8.0
+    feedback_replan: bool = False
 
 
 def _raw_param_values(
@@ -191,19 +200,35 @@ class PreparedQuery:
                     f"unknown parameter(s) {unknown} — this query declares "
                     f"no $-markers"
                 )
+            start = time.perf_counter()
             result, entry_params, entry = db._optimize_entry(
                 self.query, strategy=self.strategy
             )
             self._last_result, self._entry_params = result, entry_params
+            result, entry_params, entry = db._maybe_feedback_replan(
+                self.query, result, entry_params, entry,
+                strategy=self.strategy,
+            )
+            execution = None
             if db.context.exec_mode == "compiled" and entry is not None:
                 execution = db._execute_compiled_entry(
                     entry, {}, instance=instance, overlays=overlays
                 )
-                if execution is not None:
-                    return execution
-            return db.execute_plan(
-                result.best, instance=instance, overlays=overlays
+            if execution is None:
+                execution = db.execute_plan(
+                    result.best, instance=instance, overlays=overlays
+                )
+            db.obs.slow_log.observe(
+                str(self.query),
+                time.perf_counter() - start,
+                source="prepared",
+                rows=len(execution.results),
             )
+            if instance is None and overlays is None:
+                db._observe_feedback(
+                    entry, result.best.query, execution, source="prepared"
+                )
+            return execution
         missing = [n for n in self.params if n not in bindings]
         unknown = [n for n in bindings if n not in self.params]
         if missing or unknown:
@@ -240,6 +265,10 @@ class PreparedQuery:
                     self.query, strategy=self.strategy
                 )
                 self._last_result, self._entry_params = result, entry_params
+                result, entry_params, entry = db._maybe_feedback_replan(
+                    self.query, result, entry_params, entry,
+                    strategy=self.strategy,
+                )
             execution = None
             if db.context.exec_mode == "compiled" and entry is not None:
                 # Compiled templates take the bindings as runtime values:
@@ -275,6 +304,13 @@ class PreparedQuery:
             source="prepared",
             rows=len(execution.results),
         )
+        if instance is None and overlays is None:
+            # The replay prices the template's $-markers exactly like the
+            # cost model did (1/NDV), so template Q-error aggregates over
+            # bindings the way the plan was actually chosen.
+            db._observe_feedback(
+                entry, result.best.query, execution, source="prepared"
+            )
         return execution
 
     def explain(self) -> str:
@@ -330,13 +366,18 @@ class Database:
         # next optimization recomputes them.  ``statistics_sample`` caps
         # every observation (initial, dirty-refresh, explicit refresh) at
         # that many rows per extent — scaled estimates, cheap on large
-        # instances.
-        self.statistics_sample = statistics_sample
+        # instances.  Without it, instances with any extent past the
+        # auto-sampling threshold default to a deterministic sample
+        # (``default_sample``), so mutation-driven re-observation stays
+        # cheap where it matters.
+        self.statistics_sample = default_sample(instance, statistics_sample)
         self._auto_statistics = statistics is None and instance is not None
         self._stats_dirty = False
         if statistics is None:
             statistics = (
-                Statistics.from_instance(instance, sample=statistics_sample)
+                Statistics.from_instance(
+                    instance, sample=self.statistics_sample
+                )
                 if instance is not None
                 else Statistics()
             )
@@ -457,6 +498,8 @@ class Database:
         if self._plan_cache is not None:
             self._plan_cache.clear()
         self._freq_cache.clear()
+        if self.obs.feedback is not None:
+            self.obs.feedback.clear()
         return statistics
 
     def _on_mutation(self, name: str) -> None:
@@ -465,6 +508,10 @@ class Database:
         if self._plan_cache is not None:
             self._plan_cache.invalidate_source(name)
         self._freq_cache.clear()
+        # Observed cardinalities are only valid for the instance state
+        # they were measured on — drop them with the value-count cache.
+        if self.obs.feedback is not None:
+            self.obs.feedback.clear()
 
     def close(self) -> None:
         """Detach the mutation listener (sessions detach separately)."""
@@ -589,8 +636,26 @@ class Database:
             )
         start = time.perf_counter()
         with self.obs.tracer.span("db.execute") as sp:
-            result = self.optimize(query)
-            execution = self.execute_plan(result.best, overlays=overlays)
+            # Inlined optimize(): the feedback layer needs the cache
+            # entry itself (to stamp Q-error / route flagged entries),
+            # which the public optimize() deliberately does not return.
+            with self.obs.tracer.span("db.optimize") as osp:
+                result, entry_params, entry = self._optimize_entry(query)
+                osp.set(
+                    strategy=result.strategy,
+                    plans=len(result.plans),
+                    best_cost=round(result.best.cost, 3),
+                )
+            result, entry_params, entry = self._maybe_feedback_replan(
+                query, result, entry_params, entry
+            )
+            execution = None
+            if self.context.exec_mode == "compiled" and entry is not None:
+                execution = self._execute_compiled_entry(
+                    entry, {}, overlays=overlays
+                )
+            if execution is None:
+                execution = self.execute_plan(result.best, overlays=overlays)
             sp.set(rows=len(execution.results))
         self.obs.slow_log.observe(
             str(query),
@@ -598,6 +663,10 @@ class Database:
             source="execute",
             rows=len(execution.results),
         )
+        if overlays is None:
+            self._observe_feedback(
+                entry, result.best.query, execution, source="execute"
+            )
         return execution
 
     def execute_plan(
@@ -621,7 +690,11 @@ class Database:
                 "this Database has no instance to execute against"
             )
         return execute(
-            plan.query, target, overlays=overlays, context=self.context
+            plan.query,
+            target,
+            overlays=overlays,
+            context=self.context,
+            feedback=self.obs.feedback is not None,
         )
 
     def _compiled_for_entry(self, entry) -> Optional[Any]:
@@ -637,6 +710,7 @@ class Database:
                 entry.compiled = compile_plan(
                     entry.result.best.query,
                     use_hash_joins=self.context.use_hash_joins,
+                    feedback=self.obs.feedback is not None,
                 )
             except PlanCompilationError:
                 entry.compiled = False
@@ -809,6 +883,16 @@ class Database:
         options.setdefault("max_rewrite_views", config.max_rewrite_views)
         options.setdefault("use_hash_joins", self.context.use_hash_joins)
         options.setdefault("slow_log", self.obs.slow_log)
+        if self.obs.feedback is not None:
+            # Cold session executions run the query verbatim (no cache
+            # entry to stamp), but their per-level actuals still teach
+            # the shared statistics corrections.
+            options.setdefault(
+                "feedback_hook",
+                lambda query, execution, source: self._observe_feedback(
+                    None, query, execution, source=source
+                ),
+            )
         sess = CachedSession(
             self.instance,
             context=self.context,
@@ -957,6 +1041,9 @@ class Database:
             "enabled": self.obs.tracer.enabled,
             "spans_recorded": len(self.obs.tracer),
         }
+        if self.obs.feedback is not None:
+            snapshot["feedback"] = self.obs.feedback.as_dict()
+            snapshot["regressions"] = self.obs.regressions.as_dicts()
         return snapshot
 
     def metrics_report(self) -> str:
@@ -964,6 +1051,29 @@ class Database:
 
         lines = [self.obs.registry.render()]
         lines.append(self.obs.slow_log.render())
+        return "\n".join(lines)
+
+    def feedback_report(self) -> str:
+        """Plan-quality feedback rendered for humans: the store's
+        observations and corrected statistics, Q-error percentiles from
+        the registry histograms, and the plan-regression log (the REPL's
+        ``\\feedback`` and ``python -m repro metrics --feedback``)."""
+
+        if self.obs.feedback is None:
+            return (
+                "plan-quality feedback is disabled — construct the "
+                "Database with obs=ObsConfig(feedback=True)"
+            )
+        lines = [self.obs.feedback.render()]
+        histogram = self.obs.registry.histograms.get("feedback.qerror")
+        if histogram is not None and histogram.count:
+            p50 = histogram.quantile(0.5)
+            p95 = histogram.quantile(0.95)
+            lines.append(
+                f"q-error over {histogram.count} levels: "
+                f"p50<={p50:g} p95<={p95:g} max={histogram.max:g}"
+            )
+        lines.append(self.obs.regressions.render())
         return "\n".join(lines)
 
     def query_report(self, request_id: Optional[int] = None):
@@ -1108,6 +1218,116 @@ class Database:
         for _, rel, attr, _, ndv in adjustments:
             adjusted.set_ndv(rel, attr, ndv)
         ctx = self.context.override(statistics=adjusted)
+        return self._optimize_entry(
+            query, strategy=strategy, variant=tag, context=ctx
+        )
+
+    # -- plan-quality feedback -------------------------------------------------
+
+    def _observe_feedback(
+        self,
+        entry: Optional[Any],
+        plan_query: PCQuery,
+        execution: ExecutionResult,
+        source: str,
+    ) -> None:
+        """Fold one request's per-level actuals into the feedback store,
+        the Q-error histograms, the producing cache entry, and the
+        regression log.  A no-op (one ``None`` check) with feedback off
+        or when the run collected no actuals."""
+
+        store = self.obs.feedback
+        if store is None or execution.level_rows is None:
+            return
+        from repro.obs.feedback import QERROR_BUCKETS
+
+        observation = store.observe(
+            plan_query,
+            self.context.statistics,
+            execution.level_rows,
+            rows=len(execution.results),
+            elapsed_seconds=execution.elapsed_seconds,
+            use_hash_joins=self.context.use_hash_joins,
+            source=source,
+        )
+        if observation is None:
+            return
+        registry = self.obs.registry
+        registry.counter("feedback.observations").inc()
+        histogram = registry.histogram("feedback.qerror", bounds=QERROR_BUCKETS)
+        for level in observation.levels:
+            histogram.observe(level.qerror)
+        registry.histogram(
+            "feedback.qerror.max", bounds=QERROR_BUCKETS
+        ).observe(observation.max_qerror)
+        baseline = None
+        if entry is not None:
+            if observation.max_qerror > entry.worst_qerror:
+                entry.worst_qerror = observation.max_qerror
+            baseline = entry.baseline_seconds
+            if (
+                baseline is None
+                or execution.elapsed_seconds < baseline
+            ):
+                entry.baseline_seconds = execution.elapsed_seconds
+        regression = self.obs.regressions.observe(
+            str(plan_query),
+            observation.max_qerror,
+            execution.elapsed_seconds,
+            baseline_seconds=baseline,
+            source=source,
+        )
+        if regression is not None:
+            registry.counter("feedback.regressions").inc()
+            self.obs.tracer.event(
+                "feedback.regression",
+                kind=regression.kind,
+                qerror=round(observation.max_qerror, 2),
+            )
+            if entry is not None:
+                entry.flagged = True
+
+    def _maybe_feedback_replan(
+        self,
+        query: PCQuery,
+        result: OptimizationResult,
+        entry_params: Tuple[str, ...],
+        entry: Optional[Any],
+        strategy: Optional[str] = None,
+    ) -> Tuple[OptimizationResult, Tuple[str, ...], Optional[Any]]:
+        """Route a regression-flagged entry through a feedback-corrected
+        re-optimization (``CacheConfig.feedback_replan``); otherwise pass
+        the base entry through unchanged."""
+
+        if (
+            entry is None
+            or not entry.flagged
+            or not self.cache_config.feedback_replan
+        ):
+            return result, entry_params, entry
+        store = self.obs.feedback
+        if store is None or not store.has_corrections():
+            return result, entry_params, entry
+        if not entry.replanned:
+            entry.replanned = True
+            self.obs.registry.counter("feedback.replans").inc()
+        self.obs.tracer.event("feedback.replan")
+        return self._optimize_feedback_variant(query, strategy=strategy)
+
+    def _optimize_feedback_variant(
+        self,
+        query: PCQuery,
+        strategy: Optional[str] = None,
+    ) -> Tuple[OptimizationResult, Tuple[str, ...], Optional[Any]]:
+        """Re-optimize under the feedback-corrected statistics, cached in
+        a ``#fb:``-tagged variant entry (the skew guard's mechanism, with
+        the store's drift-stable fingerprint as the bucket)."""
+
+        store = self.obs.feedback
+        tag = "#fb:" + store.fingerprint()
+        ctx = self.context.override(
+            statistics=store.corrected_statistics(self.context.statistics)
+        )
         return self._optimize_entry(
             query, strategy=strategy, variant=tag, context=ctx
         )

@@ -68,12 +68,24 @@ class PlanCacheEntry:
     of the artifact, so ``prepare(template).run(x=...)`` substitutes
     bindings into an already-compiled function.  It lives and dies with
     the entry — dependency invalidation drops both together.
+
+    The plan-quality feedback layer (:mod:`repro.obs.feedback`) stamps
+    its verdicts here: ``worst_qerror`` is the worst per-level Q-error
+    any request served by this entry observed, ``baseline_seconds`` the
+    best execution time, ``flagged`` whether the regression log tripped
+    on it (the routing signal for ``CacheConfig.feedback_replan``), and
+    ``replanned`` whether a feedback variant was already minted for it.
+    All four reset naturally with the entry on invalidation.
     """
 
     result: OptimizationResult
     dependencies: FrozenSet[str]
     params: Tuple[str, ...] = ()
     compiled: Optional[object] = None
+    worst_qerror: float = 1.0
+    baseline_seconds: Optional[float] = None
+    flagged: bool = False
+    replanned: bool = False
 
 
 class PlanCache:

@@ -12,13 +12,13 @@ Usage::
     python -m repro minimize --query q.oql [--constraints c.epcd]
     python -m repro check    --constraints c.epcd   (syntax check)
     python -m repro serve-repl [--workload rs|rabc|projdept|oo_asr]
-                               [--no-cache] [--hybrid|--no-hybrid]
+                               [--no-cache] [--hybrid|--no-hybrid] [--feedback]
     python -m repro tune     --workload rs|rabc|projdept|oo_asr
                              [--query q.oql ...] [--budget N]
                              [--max-tuples N] [--sample N] [--apply]
     python -m repro metrics  --workload rs|rabc|projdept|oo_asr
                              [--query q.oql ...] [--repeat N] [--param x=3 ...]
-                             [--trace] [--json]
+                             [--trace] [--feedback] [--json]
 
 ``optimize`` accepts ``--query`` repeatedly; queries may carry ``$name``
 parameter markers, bound with ``--param name=value`` (repeatable).  With
@@ -273,7 +273,8 @@ def cmd_metrics(args) -> int:
     from repro.obs import ObsConfig
 
     db = Database.from_workload(
-        args.workload, obs=ObsConfig(tracing=args.trace)
+        args.workload,
+        obs=ObsConfig(tracing=args.trace, feedback=args.feedback),
     )
     queries = []
     for query_path in args.query or ():
@@ -293,11 +294,21 @@ def cmd_metrics(args) -> int:
                         for n in query.param_names()
                         if n in params
                     }
-                session.run(query, params=bound)
+                if args.feedback:
+                    # Feedback observes the plan-cache request path
+                    # (db.execute / prepared runs), which sessions bypass
+                    # — route the mix through the optimizing front door
+                    # so the report has observations to show.
+                    db.execute(query, params=bound)
+                else:
+                    session.run(query, params=bound)
         if args.json:
             print(json.dumps(db.metrics(), indent=2, sort_keys=True))
         else:
             print(db.metrics_report())
+            if args.feedback:
+                print()
+                print(db.feedback_report())
             if args.trace:
                 print()
                 print(db.query_report().render())
@@ -343,6 +354,9 @@ Commands:
   \\metrics          the full metrics registry: counters, latency
                     histograms, plan-cache and semantic-cache sources,
                     slow-query log
+  \\feedback         the plan-quality feedback report: per-level Q-errors,
+                    learned statistics corrections, flagged regressions
+                    (needs --feedback at startup)
   .stats   alias for \\metrics
   .views   cached views (name, size, hits)
   .help    this message
@@ -363,7 +377,11 @@ def _build_repl_workload(name: str):
 
 
 def cmd_serve_repl(args) -> int:
-    db = Database.from_workload(args.workload)
+    from repro.obs import ObsConfig
+
+    db = Database.from_workload(
+        args.workload, obs=ObsConfig(feedback=args.feedback)
+    )
     session = db.session(
         enabled=not args.no_cache,
         hybrid=args.hybrid,
@@ -421,6 +439,9 @@ def cmd_serve_repl(args) -> int:
             else:
                 db.obs.tracer.disable()
             print(f"timing {'on' if timing else 'off'}")
+            continue
+        if line == "\\feedback":
+            print(db.feedback_report())
             continue
         if line in (".stats", "\\metrics"):
             # One rendering for both spellings: the full registry snapshot
@@ -638,6 +659,13 @@ def build_parser() -> argparse.ArgumentParser:
         "span timeline",
     )
     p_met.add_argument(
+        "--feedback",
+        action="store_true",
+        help="enable the plan-quality feedback layer and print its "
+        "report (per-level Q-errors, learned statistics corrections, "
+        "flagged plan regressions) after the metrics snapshot",
+    )
+    p_met.add_argument(
         "--json",
         action="store_true",
         help="print the raw Database.metrics() snapshot as JSON",
@@ -722,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="admit plans mixing cached results and base relations "
         "(--no-hybrid restores all-or-nothing view-only rewrites)",
+    )
+    p_repl.add_argument(
+        "--feedback",
+        action="store_true",
+        help="enable the plan-quality feedback layer "
+        "(inspect with \\feedback at the prompt)",
     )
     p_repl.set_defaults(func=cmd_serve_repl)
 

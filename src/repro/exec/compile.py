@@ -152,12 +152,17 @@ class CompiledPlan:
     #: structured codegen facts (locals, params, namespace, lookup sites)
     #: for the static verifier; ``None`` on artifacts built elsewhere.
     metadata: Optional[CodegenMetadata] = field(repr=False, default=None)
+    #: feedback artifacts take a fourth ``_fb`` list parameter and append
+    #: one per-level actual-rows tuple per run; non-feedback artifacts are
+    #: byte-identical to what this module always generated.
+    feedback: bool = False
 
     def run(
         self,
         instance,
         counters: Optional[Counters] = None,
         params: Optional[Mapping[str, Any]] = None,
+        feedback_out: Optional[List[Tuple[int, ...]]] = None,
     ) -> FrozenSet[Any]:
         if counters is None:
             counters = Counters()
@@ -179,15 +184,23 @@ class CompiledPlan:
                 + ", ".join(f"${n}" for n in missing)
                 + " — pass params= when running a compiled template"
             )
+        if self.feedback:
+            out = feedback_out if feedback_out is not None else []
+            return self.fn(instance, counters, bound, out)
         return self.fn(instance, counters, bound)
 
 
 class _CodeGen:
     """Emit the fused function for one operator tree."""
 
-    def __init__(self, query: PCQuery, tree: Project) -> None:
+    def __init__(
+        self, query: PCQuery, tree: Project, feedback: bool = False
+    ) -> None:
         self.query = query
         self.tree = tree
+        #: emit per-level row counters + the ``_fb`` out-parameter
+        self.feedback = feedback
+        self.n_levels = 0
         self.colcache = ColumnarCache()
         self.globals: Dict[str, Any] = {
             "__builtins__": {},
@@ -373,6 +386,7 @@ class _CodeGen:
             self.line("if _g:")
             self.indent += 1
 
+        self.n_levels = len(levels)
         for level, (bind, conds) in enumerate(levels):
             if isinstance(bind, HashJoinBind):
                 self._emit_hash_join(level, bind)
@@ -384,6 +398,12 @@ class _CodeGen:
                     self._emit_generic_scan(level, bind)
             for cond in conds:
                 self.emit_condition(cond)
+            if self.feedback:
+                # After the level's residual conditions: the actual rows
+                # surviving the level, matching where the interpreted
+                # chain counts (columnar scans absorb probe conditions,
+                # so counting any earlier would diverge between modes).
+                self.line(f"_r{level} += 1")
 
         self._emit_project(project)
 
@@ -595,7 +615,10 @@ class _CodeGen:
     }
 
     def _assemble(self) -> str:
-        lines = ["def _plan(instance, counters, _params):"]
+        if self.feedback:
+            lines = ["def _plan(instance, counters, _params, _fb):"]
+        else:
+            lines = ["def _plan(instance, counters, _params):"]
         for helper in ("attr", "dom", "lk", "nflk", "setof"):
             if helper in self.helpers:
                 self.declared.add(f"_{helper}")
@@ -615,8 +638,16 @@ class _CodeGen:
             "    _out = []",
             "    _append = _out.append",
         ]
+        if self.feedback:
+            for level in range(self.n_levels):
+                self.declared.add(f"_r{level}")
+                lines.append(f"    _r{level} = 0")
         lines += self.prologue
         lines += self.body
+        if self.feedback:
+            rows = ", ".join(f"_r{level}" for level in range(self.n_levels))
+            suffix = "," if self.n_levels == 1 else ""
+            lines.append(f"    _fb.append(({rows}{suffix}))")
         lines += [
             "    counters.tuples += _tuples",
             "    counters.probes += _probes",
@@ -643,6 +674,7 @@ def generate_plan(
     query: PCQuery,
     use_hash_joins: bool = False,
     cached_names: Optional[FrozenSet[str]] = None,
+    feedback: bool = False,
 ) -> GeneratedPlan:
     """Source **and** metadata for one plan, without executing anything —
     what the static verifier (:mod:`repro.analysis.codegen`) consumes."""
@@ -653,7 +685,7 @@ def generate_plan(
         use_hash_joins=use_hash_joins,
         cached_names=cached_names,
     )
-    gen = _CodeGen(query, tree)
+    gen = _CodeGen(query, tree, feedback=feedback)
     source = gen.generate()
     return GeneratedPlan(source=source, metadata=gen.metadata())
 
@@ -662,12 +694,16 @@ def generate_source(
     query: PCQuery,
     use_hash_joins: bool = False,
     cached_names: Optional[FrozenSet[str]] = None,
+    feedback: bool = False,
 ) -> str:
     """The generated source text alone (the lint gate compile-checks a
     sample of these without executing anything)."""
 
     return generate_plan(
-        query, use_hash_joins=use_hash_joins, cached_names=cached_names
+        query,
+        use_hash_joins=use_hash_joins,
+        cached_names=cached_names,
+        feedback=feedback,
     ).source
 
 
@@ -676,6 +712,7 @@ def compile_plan(
     use_hash_joins: bool = False,
     cached_names: Optional[FrozenSet[str]] = None,
     verify: Optional[bool] = None,
+    feedback: bool = False,
 ) -> CompiledPlan:
     """Compile one plan to a :class:`CompiledPlan`.
 
@@ -698,7 +735,7 @@ def compile_plan(
         use_hash_joins=use_hash_joins,
         cached_names=cached_names,
     )
-    gen = _CodeGen(query, tree)
+    gen = _CodeGen(query, tree, feedback=feedback)
     try:
         source = gen.generate()
         code = compile(source, "<repro-compiled-plan>", "exec")
@@ -729,4 +766,5 @@ def compile_plan(
         fn=namespace["_plan"],
         columnar=gen.colcache,
         metadata=gen.metadata(),
+        feedback=feedback,
     )

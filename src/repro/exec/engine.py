@@ -38,17 +38,26 @@ def compiled_for(
     query: PCQuery,
     use_hash_joins: bool = False,
     cached_names: Optional[FrozenSet[str]] = None,
+    feedback: bool = False,
 ):
     """The (LRU-cached) :class:`~repro.exec.compile.CompiledPlan` for a
-    query under the given execution flags."""
+    query under the given execution flags.
+
+    ``feedback`` is part of the key: feedback artifacts carry per-level
+    row counters and a fourth parameter, so they must never be served to
+    (or shadow) the byte-identical silent artifacts.
+    """
 
     from repro.exec.compile import compile_plan
 
-    key = (query, use_hash_joins, cached_names)
+    key = (query, use_hash_joins, cached_names, feedback)
     plan = _COMPILED_CACHE.get(key)
     if plan is None:
         plan = compile_plan(
-            query, use_hash_joins=use_hash_joins, cached_names=cached_names
+            query,
+            use_hash_joins=use_hash_joins,
+            cached_names=cached_names,
+            feedback=feedback,
         )
         _COMPILED_CACHE[key] = plan
         while len(_COMPILED_CACHE) > _COMPILED_CACHE_SIZE:
@@ -72,6 +81,9 @@ class ExecutionResult:
     elapsed_seconds: float
     plan_text: str
     mode: str = "interpret"
+    #: per-binding-level actual row counts (rows surviving each bind and
+    #: its conditions), filled only when the run collected feedback.
+    level_rows: Optional[Tuple[int, ...]] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -88,6 +100,7 @@ def execute(
     mode: Optional[str] = None,
     params: Optional[Mapping[str, Any]] = None,
     compiled=None,
+    feedback: bool = False,
 ) -> ExecutionResult:
     """Run a plan, collecting results into a frozenset.
 
@@ -115,6 +128,12 @@ def execute(
     before planning.  Counters are filled in both modes; a caller-reused
     ``counters`` object accumulates across runs while the returned
     :class:`ExecutionResult` always reports this run alone.
+
+    ``feedback=True`` additionally reports per-level actual cardinalities
+    (``ExecutionResult.level_rows``) for the plan-quality feedback layer:
+    compiled artifacts are compiled as feedback variants, interpreted
+    chains get per-operator counters.  The default pays nothing — no
+    instrumentation, and compiled artifacts identical to today's.
     """
 
     if context is not None:
@@ -145,15 +164,22 @@ def execute(
                     query,
                     use_hash_joins=use_hash_joins,
                     cached_names=cached_names,
+                    feedback=feedback,
                 )
             except PlanCompilationError:
                 tracer.event("exec.compile_fallback")
                 plan = None
                 mode = "interpret"
     if mode == "compiled":
+        # A caller-supplied artifact decides for itself (plan-cache
+        # entries are compiled with the database's feedback setting).
+        collect = getattr(plan, "feedback", False)
+        fb_out = [] if collect else None
         with tracer.span("phase.exec") as span:
             start = time.perf_counter()
-            results = plan.run(target, run_counters, params=params)
+            results = plan.run(
+                target, run_counters, params=params, feedback_out=fb_out
+            )
             elapsed = time.perf_counter() - start
             span.set(
                 rows=len(results),
@@ -170,6 +196,7 @@ def execute(
             elapsed_seconds=elapsed,
             plan_text=plan.plan_text,
             mode=mode,
+            level_rows=tuple(fb_out[0]) if fb_out else None,
         )
 
     if params:
@@ -184,10 +211,19 @@ def execute(
     plan = compile_query(
         query, run_counters, use_hash_joins=use_hash_joins, cached_names=cached_names
     )
+    chain = None
+    if feedback:
+        # Lazy import: the silent path never touches the feedback module.
+        from repro.obs.feedback import finish_chain, instrument_chain
+
+        chain = instrument_chain(plan)
     with tracer.span("phase.exec") as span:
         start = time.perf_counter()
         results = frozenset(plan.results(target))
         elapsed = time.perf_counter() - start
+        level_rows = None
+        if chain is not None:
+            level_rows = finish_chain(chain, run_counters)
         span.set(
             rows=len(results),
             tuples=run_counters.tuples,
@@ -202,6 +238,7 @@ def execute(
         elapsed_seconds=elapsed,
         plan_text=plan.explain(),
         mode=mode,
+        level_rows=level_rows,
     )
 
 

@@ -12,18 +12,39 @@ One observability layer across optimize → cache → execute:
 - :mod:`repro.obs.slowlog` — ring-buffer :class:`SlowQueryLog`;
 - :mod:`repro.obs.report` — per-request :class:`QueryReport` timelines;
 - :mod:`repro.obs.analyze` — :func:`analyze_query`, the EXPLAIN ANALYZE
-  engine behind ``Database.explain(q, analyze=True)``.
+  engine behind ``Database.explain(q, analyze=True)``;
+- :mod:`repro.obs.feedback` — always-on cardinality feedback: per-level
+  actuals vs the cost model's replay, Q-error accounting, corrected
+  statistics (``ObsConfig(feedback=True)``);
+- :mod:`repro.obs.regress` — ring-buffer :class:`PlanRegressionLog`
+  flagging plans whose Q-error or latency drifted past thresholds.
 
-:class:`Observability` bundles one tracer + registry + slow log per
+:class:`Observability` bundles one tracer + registry + slow log (plus,
+with feedback enabled, one feedback store + regression log) per
 :class:`~repro.api.database.Database`, built from an :class:`ObsConfig`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.obs.analyze import AnalyzeResult, OpStats, analyze_query
+from repro.obs.feedback import (
+    DEFAULT_FEEDBACK_CAPACITY,
+    FeedbackObservation,
+    FeedbackStore,
+    LevelFeedback,
+    qerror,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.regress import (
+    DEFAULT_LATENCY_DRIFT_RATIO,
+    DEFAULT_QERROR_THRESHOLD,
+    DEFAULT_REGRESSION_CAPACITY,
+    PlanRegression,
+    PlanRegressionLog,
+)
 from repro.obs.report import QueryReport
 from repro.obs.slowlog import (
     DEFAULT_CAPACITY,
@@ -36,19 +57,25 @@ from repro.obs.trace import DEFAULT_MAX_SPANS, NOOP_TRACER, Span, Tracer
 __all__ = [
     "AnalyzeResult",
     "Counter",
+    "FeedbackObservation",
+    "FeedbackStore",
     "Gauge",
     "Histogram",
+    "LevelFeedback",
     "MetricsRegistry",
     "NOOP_TRACER",
     "ObsConfig",
     "Observability",
     "OpStats",
+    "PlanRegression",
+    "PlanRegressionLog",
     "QueryReport",
     "SlowQuery",
     "SlowQueryLog",
     "Span",
     "Tracer",
     "analyze_query",
+    "qerror",
 ]
 
 
@@ -60,17 +87,30 @@ class ObsConfig:
     The default (``tracing=False``) records no spans — only the metrics
     registry (whose legacy sources are free) and the slow-query log are
     live.  ``tracing=True`` turns on span recording and thereby the
-    per-phase latency histograms.
+    per-phase latency histograms.  ``feedback=True`` turns on plan-quality
+    feedback: per-level actual cardinalities, Q-error histograms, and the
+    plan-regression log (with it off, the execution path records nothing
+    and compiled artifacts carry no feedback code).
     """
 
     tracing: bool = False
     max_spans: int = DEFAULT_MAX_SPANS
     slow_query_threshold: float = DEFAULT_THRESHOLD_SECONDS
     slow_log_capacity: int = DEFAULT_CAPACITY
+    feedback: bool = False
+    qerror_threshold: float = DEFAULT_QERROR_THRESHOLD
+    latency_drift_ratio: float = DEFAULT_LATENCY_DRIFT_RATIO
+    feedback_capacity: int = DEFAULT_FEEDBACK_CAPACITY
+    regression_capacity: int = DEFAULT_REGRESSION_CAPACITY
 
 
 class Observability:
-    """One tracer + metrics registry + slow-query log, wired together."""
+    """One tracer + metrics registry + slow-query log, wired together.
+
+    With ``config.feedback`` a :class:`FeedbackStore` and
+    :class:`PlanRegressionLog` ride along; otherwise both attributes are
+    ``None`` and the execution layers skip feedback work entirely.
+    """
 
     def __init__(self, config: ObsConfig = ObsConfig()) -> None:
         self.config = config
@@ -84,6 +124,15 @@ class Observability:
             threshold_seconds=config.slow_query_threshold,
             capacity=config.slow_log_capacity,
         )
+        self.feedback: Optional[FeedbackStore] = None
+        self.regressions: Optional[PlanRegressionLog] = None
+        if config.feedback:
+            self.feedback = FeedbackStore(capacity=config.feedback_capacity)
+            self.regressions = PlanRegressionLog(
+                qerror_threshold=config.qerror_threshold,
+                latency_ratio=config.latency_drift_ratio,
+                capacity=config.regression_capacity,
+            )
 
     def report(self, request_id=None) -> QueryReport:
         """The :class:`QueryReport` timeline for one traced request
@@ -94,5 +143,6 @@ class Observability:
     def __repr__(self) -> str:
         return (
             f"Observability(tracing={self.tracer.enabled}, "
+            f"feedback={self.feedback is not None}, "
             f"{len(self.tracer)} spans, {len(self.slow_log)} slow queries)"
         )

@@ -116,6 +116,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate: the smallest bucket
+        upper bound covering a ``q`` fraction of observations (the exact
+        maximum for the overflow bucket).  ``None`` when empty."""
+
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if not self.count:
+            return None
+        target = q * self.count
+        seen = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            seen += n
+            if seen >= target:
+                return bound
+        return self.max
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -167,10 +184,19 @@ class MetricsRegistry:
             gauge = self.gauges[name] = Gauge(name)
         return gauge
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, bounds: Optional[Tuple[float, ...]] = None
+    ) -> Histogram:
+        """Create-on-use, like the other instruments.  ``bounds`` only
+        applies at creation (latency buckets fit seconds; dimensionless
+        families like Q-error pass their own geometric buckets)."""
+
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(name)
+            if bounds is not None:
+                histogram = self.histograms[name] = Histogram(name, bounds)
+            else:
+                histogram = self.histograms[name] = Histogram(name)
         return histogram
 
     # -- feeds -----------------------------------------------------------------
@@ -245,16 +271,26 @@ class MetricsRegistry:
             for name, value in snap["gauges"].items():
                 lines.append(f"    {name}: {value}")
         if snap["histograms"]:
-            lines.append("  latency histograms")
+            lines.append("  histograms")
             for name, hist in snap["histograms"].items():
                 mn = hist["min_seconds"]
                 mx = hist["max_seconds"]
-                lines.append(
-                    f"    {name}: n={hist['count']}"
-                    f" mean={hist['mean_seconds'] * 1000:.3f}ms"
-                    f" min={0.0 if mn is None else mn * 1000:.3f}ms"
-                    f" max={0.0 if mx is None else mx * 1000:.3f}ms"
-                )
+                if name.startswith("latency."):
+                    # Span durations are seconds; everything else (e.g.
+                    # the dimensionless Q-error family) renders as-is.
+                    lines.append(
+                        f"    {name}: n={hist['count']}"
+                        f" mean={hist['mean_seconds'] * 1000:.3f}ms"
+                        f" min={0.0 if mn is None else mn * 1000:.3f}ms"
+                        f" max={0.0 if mx is None else mx * 1000:.3f}ms"
+                    )
+                else:
+                    lines.append(
+                        f"    {name}: n={hist['count']}"
+                        f" mean={hist['mean_seconds']:.4g}"
+                        f" min={0.0 if mn is None else mn:.4g}"
+                        f" max={0.0 if mx is None else mx:.4g}"
+                    )
         if len(lines) == 1:
             lines.append("  (empty)")
         return "\n".join(lines)

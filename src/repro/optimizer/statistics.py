@@ -10,6 +10,7 @@ synthetically.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Dict, List, Optional
@@ -85,8 +86,10 @@ class Statistics:
         NDVs are scaled estimates (observed NDV extrapolated linearly and
         capped at the cardinality), and fan-outs/entry sizes are sample
         means.  This keeps advisor what-if costing cheap on large
-        instances; estimates depend on set iteration order, so exact-mode
-        callers (golden tests) should leave ``sample`` off.
+        instances; the sampled subset is deterministic (see
+        :func:`_capped`), so repeated observations of the same instance
+        agree — exact-mode callers (golden tests) still leave ``sample``
+        off.
         """
 
         if sample is not None and sample < 1:
@@ -126,11 +129,53 @@ class Statistics:
 
 
 def _capped(iterable, sample: Optional[int]) -> List:
-    """The whole iterable, or its first ``sample`` elements."""
+    """The whole iterable, or a deterministic ``sample``-element subset.
+
+    Set extents iterate in a per-process order (hash randomization) —
+    ``islice`` alone would make sampled estimates, and everything
+    downstream of them (advisor rankings, feedback replays), differ run
+    to run.  For sets the ``repr``-smallest elements are selected
+    instead: order-free and O(n log sample) via a bounded heap, so the
+    same instance always yields the same sampled catalog.  Ordered
+    inputs (dict entry views, row lists) keep their own deterministic
+    prefix.
+    """
 
     if sample is None:
         return list(iterable)
+    if isinstance(iterable, (set, frozenset)):
+        items = list(iterable)
+        if len(items) <= int(sample):
+            return items
+        return heapq.nsmallest(int(sample), items, key=repr)
     return list(islice(iterable, int(sample)))
+
+
+#: Auto-observed statistics switch to sampling above this many rows in a
+#: single extent, so feedback-driven re-observation after a mutation
+#: stays cheap on large instances.
+AUTO_SAMPLE_THRESHOLD = 10_000
+AUTO_SAMPLE_SIZE = 2_000
+
+
+def default_sample(
+    instance: Optional[Instance], sample: Optional[int] = None
+) -> Optional[int]:
+    """The effective per-extent sample cap for auto-observed statistics:
+    an explicit ``sample`` always wins; otherwise large instances (any
+    extent over :data:`AUTO_SAMPLE_THRESHOLD` rows) default to
+    :data:`AUTO_SAMPLE_SIZE` and small ones stay exact."""
+
+    if sample is not None or instance is None:
+        return sample
+    for name in instance.names():
+        value = instance[name]
+        if (
+            isinstance(value, (frozenset, DictValue))
+            and len(value) > AUTO_SAMPLE_THRESHOLD
+        ):
+            return AUTO_SAMPLE_SIZE
+    return None
 
 
 def _collect_attr_stats(

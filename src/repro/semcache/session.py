@@ -79,6 +79,7 @@ class CachedSession:
         hybrid: bool = True,
         context=None,
         slow_log=None,
+        feedback_hook=None,
         **cache_options,
     ) -> None:
         """``context`` (an :class:`~repro.api.context.OptimizeContext`)
@@ -86,7 +87,12 @@ class CachedSession:
         value — how ``Database.session()`` wires sessions; the individual
         arguments remain for standalone use.  ``slow_log`` (a
         :class:`~repro.obs.slowlog.SlowQueryLog`) records runs over its
-        threshold — ``Database.session()`` passes the database's."""
+        threshold — ``Database.session()`` passes the database's.
+        ``feedback_hook`` — a ``(query, execution, source)`` callable —
+        receives every *cold* execution (rewrites run against overlays,
+        whose extents would corrupt cardinality feedback) with per-level
+        actuals collected; ``Database.session()`` wires the plan-quality
+        feedback observer here when feedback is on."""
 
         self.instance = instance
         self.enabled = enabled
@@ -96,6 +102,7 @@ class CachedSession:
         self.context = context
         self.tracer = context.tracer if context is not None else NOOP_TRACER
         self.slow_log = slow_log
+        self.feedback_hook = feedback_hook
         self.cache = cache or SemanticCache(
             constraints, statistics=statistics, context=context, **cache_options
         )
@@ -157,7 +164,10 @@ class CachedSession:
                 self.instance,
                 use_hash_joins=self.use_hash_joins,
                 tracer=tracer,
+                feedback=self.feedback_hook is not None,
             )
+            if self.feedback_hook is not None:
+                self.feedback_hook(query, execution, "session.cold")
             return SessionResult(
                 results=execution.results,
                 source=COLD,
@@ -221,7 +231,10 @@ class CachedSession:
             self.instance,
             use_hash_joins=self.use_hash_joins,
             tracer=tracer,
+            feedback=self.feedback_hook is not None,
         )
+        if self.feedback_hook is not None:
+            self.feedback_hook(query, execution, "session.cold")
         if self.register_results:
             self.cache.register(
                 query, execution.results, self._implicit_dependencies()

@@ -1,11 +1,12 @@
 """Tier-1 smoke runs of the E12 (pruning), E13 (semantic cache), E14
 (hybrid rewrites), E15 (prepared queries / plan cache), E16 (physical
 design advisor), E17 (parameterized templates), E18 (observability
-overhead) and E19 (compiled execution) benchmarks (1 small run each).
+overhead), E19 (compiled execution) and E20 (plan-quality feedback)
+benchmarks (1 small run each).
 
 Keeps the benchmark harnesses honest without inflating suite runtime: the
 smallest workloads run once, the acceptance criteria are asserted, and the
-measured counters are emitted to ``BENCH_e12.json`` .. ``BENCH_e19.json``
+measured counters are emitted to ``BENCH_e12.json`` .. ``BENCH_e20.json``
 at the repo root (the artifacts ``make bench-smoke`` / CI pick up;
 ``make bench-report`` tabulates them).
 
@@ -30,6 +31,7 @@ BENCH_E16_OUT = REPO_ROOT / "BENCH_e16.json"
 BENCH_E17_OUT = REPO_ROOT / "BENCH_e17.json"
 BENCH_E18_OUT = REPO_ROOT / "BENCH_e18.json"
 BENCH_E19_OUT = REPO_ROOT / "BENCH_e19.json"
+BENCH_E20_OUT = REPO_ROOT / "BENCH_e20.json"
 
 
 def _load_bench_module(stem: str = "bench_e12_pruning"):
@@ -340,3 +342,44 @@ def test_e19_smoke_and_emit_json():
         + "\n"
     )
     assert BENCH_E19_OUT.exists()
+
+
+@pytest.mark.bench_smoke
+def test_e20_smoke_and_emit_json():
+    bench = _load_bench_module("bench_e20_feedback")
+
+    def measure():
+        result = bench.run_feedback_comparison(
+            "drift", repetitions=5, scale="smoke"
+        )
+        try:
+            bench.assert_feedback_cheap(result)
+            bench.assert_feedback_recovers(result)
+        except AssertionError:
+            # Both gates are wall-clock ratios; one scheduler hiccup on a
+            # loaded CI machine can lose either.  Re-measure once (the
+            # structural criteria below are deterministic and never
+            # retried; margins are ~15-25x on the recovery gate).
+            result = bench.run_feedback_comparison(
+                "drift", repetitions=5, scale="smoke"
+            )
+        return result
+
+    result = measure()
+
+    bench.assert_feedback_sound(result)
+    bench.assert_feedback_cheap(result)
+    bench.assert_feedback_recovers(result)
+
+    BENCH_E20_OUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "e20_feedback",
+                "tier": "smoke",
+                "workloads": [result],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert BENCH_E20_OUT.exists()
